@@ -1,0 +1,102 @@
+//! Real wall-clock benchmarks of the FV3 modules on the host: the
+//! FORTRAN-style baseline loops vs the DSL executor (naive and fused
+//! expansions) for the two Table II modules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataflow::exec::{DataStore, Executor, NoHooks};
+use dataflow::graph::ExpansionAttrs;
+use dataflow::Array3;
+use fv3::fv_tp_2d::{baseline_fv_tp_2d, flux_domain};
+use fv3::riem_solver_c::baseline_riem_solver_c;
+use fv3core::experiments::{module_program, Module};
+
+const N: usize = 32;
+const NK: usize = 16;
+
+fn filled(layout: &dataflow::Layout, seed: i64, lo: f64, hi: f64) -> Array3 {
+    let [ni, nj, nk] = layout.domain;
+    let (hi_h, hj_h) = (layout.halo[0] as i64, layout.halo[1] as i64);
+    let mut a = Array3::zeros(layout.clone());
+    for k in 0..nk as i64 {
+        for j in -hj_h..nj as i64 + hj_h {
+            for i in -hi_h..ni as i64 + hi_h {
+                let x = (((i + 5) * 131 + (j + 5) * 17 + k * 7 + seed) % 97) as f64 / 97.0;
+                a.set(i, j, k, lo + (hi - lo) * x);
+            }
+        }
+    }
+    a
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fv3_modules");
+    group.sample_size(15);
+
+    // --- fv_tp_2d ---
+    let prog = module_program(Module::FiniteVolumeTransport, N, NK);
+    for (name, attrs) in [
+        ("fvt_dsl_naive", ExpansionAttrs::naive()),
+        ("fvt_dsl_fused", ExpansionAttrs::tuned()),
+    ] {
+        let mut g = prog.clone();
+        g.expand_libraries(&attrs);
+        let mut store = DataStore::for_sdfg(&g);
+        for (i, c_) in g.containers.iter().enumerate() {
+            if !c_.transient {
+                *store.get_mut(dataflow::DataId(i)) =
+                    filled(&c_.layout, i as i64, 0.1, 1.0);
+            }
+        }
+        let exec = Executor::serial();
+        group.bench_function(name, |b| {
+            b.iter(|| exec.run(&g, &mut store, &[], &mut NoHooks))
+        });
+    }
+    {
+        let layout = dataflow::Layout::fv3_default([N, N, NK], [4, 4, 0]);
+        let q = filled(&layout, 1, 0.1, 1.0);
+        let crx = filled(&layout, 2, -0.5, 0.5);
+        let cry = filled(&layout, 3, -0.5, 0.5);
+        let xfx = filled(&layout, 4, -1.0, 1.0);
+        let yfx = filled(&layout, 5, -1.0, 1.0);
+        let mut fx = Array3::zeros(layout.clone());
+        let mut fy = Array3::zeros(layout);
+        group.bench_function("fvt_baseline_loops", |b| {
+            b.iter(|| baseline_fv_tp_2d(&q, &crx, &cry, &xfx, &yfx, &mut fx, &mut fy))
+        });
+        let _ = flux_domain(N, NK);
+    }
+
+    // --- riem_solver_c ---
+    let prog = module_program(Module::RiemannSolverC, N, NK);
+    {
+        let mut g = prog.clone();
+        g.expand_libraries(&ExpansionAttrs::tuned());
+        let mut store = DataStore::for_sdfg(&g);
+        for (i, c_) in g.containers.iter().enumerate() {
+            if !c_.transient {
+                let lo = if c_.name == "delz" { -800.0 } else { 200.0 };
+                let hi = if c_.name == "delz" { -200.0 } else { 1200.0 };
+                *store.get_mut(dataflow::DataId(i)) = filled(&c_.layout, i as i64, lo, hi);
+            }
+        }
+        let exec = Executor::serial();
+        group.bench_function("riemann_dsl_fused", |b| {
+            b.iter(|| exec.run(&g, &mut store, &[2.0], &mut NoHooks))
+        });
+    }
+    {
+        let layout = dataflow::Layout::fv3_default([N, N, NK], [0, 0, 1]);
+        let delp = filled(&layout, 1, 500.0, 1500.0);
+        let pt = filled(&layout, 2, 250.0, 350.0);
+        let delz = filled(&layout, 3, -800.0, -200.0);
+        let mut w = filled(&layout, 4, -2.0, 2.0);
+        group.bench_function("riemann_baseline_loops", |b| {
+            b.iter(|| baseline_riem_solver_c(&delp, &pt, &delz, &mut w, 2.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Ablation benchmarks for the design decisions DESIGN.md calls out:
+//! fused vs unfused kernels (real executed data movement), and the
+//! bytecode VM vs tree-walking interpretation of tasklet bodies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataflow::bytecode;
+use dataflow::exec::{DataStore, Executor, NoHooks};
+use dataflow::expr::{DataId, EvalCtx, LocalId, Offset3, ParamId};
+use dataflow::graph::{DataflowNode, Sdfg, State};
+use dataflow::kernel::{Domain, KOrder, Kernel, LValue, Schedule, Stmt};
+use dataflow::storage::Axis;
+use dataflow::transforms::fusion::greedy_subgraph_fusion;
+use dataflow::{Array3, Expr};
+
+const N: usize = 48;
+const NK: usize = 16;
+
+/// A 4-stage pointwise chain: prime fusion fodder.
+fn chain_program() -> Sdfg {
+    let mut g = Sdfg::new("chain");
+    let l = dataflow::Layout::fv3_default([N, N, NK], [1, 1, 0]);
+    let a = g.add_container("a", l.clone(), false);
+    let t1 = g.add_container("t1", l.clone(), true);
+    let t2 = g.add_container("t2", l.clone(), true);
+    let out = g.add_container("out", l, false);
+    let dom = Domain::from_shape([N, N, NK]);
+    let stage = |name: &str, from: DataId, to: DataId, c: f64| {
+        let mut k = Kernel::new(name, dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        k.stmts.push(Stmt::full(
+            LValue::Field(to),
+            Expr::load(from, 0, 0, 0) * Expr::c(c) + Expr::c(1.0),
+        ));
+        DataflowNode::Kernel(k)
+    };
+    let mut s = State::new("s");
+    s.nodes.push(stage("s0", a, t1, 2.0));
+    s.nodes.push(stage("s1", t1, t2, 0.5));
+    s.nodes.push(stage("s2", t2, out, 3.0));
+    g.add_state(s);
+    g
+}
+
+struct TreeCtx<'a> {
+    arr: &'a Array3,
+    i: i64,
+    j: i64,
+    k: i64,
+}
+impl EvalCtx for TreeCtx<'_> {
+    fn load(&self, _d: DataId, o: Offset3) -> f64 {
+        self.arr
+            .get(self.i + o.i as i64, self.j + o.j as i64, self.k + o.k as i64)
+    }
+    fn local(&self, _l: LocalId) -> f64 {
+        0.0
+    }
+    fn param(&self, _p: ParamId) -> f64 {
+        0.0
+    }
+    fn index(&self, ax: Axis) -> i64 {
+        match ax {
+            Axis::I => self.i,
+            Axis::J => self.j,
+            Axis::K => self.k,
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transforms");
+    group.sample_size(15);
+
+    // Fused vs unfused execution (real data movement difference).
+    let unfused = chain_program();
+    let mut fused = unfused.clone();
+    let applied = greedy_subgraph_fusion(&mut fused);
+    assert!(!applied.is_empty());
+    for (name, g) in [("chain_unfused", &unfused), ("chain_fused", &fused)] {
+        let mut store = DataStore::for_sdfg(g);
+        *store.get_mut(DataId(0)) =
+            Array3::from_fn(g.layout_of(DataId(0)), |i, j, k| (i + j + k) as f64);
+        let exec = Executor::serial();
+        group.bench_function(name, |b| {
+            b.iter(|| exec.run(g, &mut store, &[], &mut NoHooks))
+        });
+    }
+
+    // Bytecode VM vs tree interpretation of one stencil expression.
+    let expr = Expr::load(DataId(0), -1, 0, 0)
+        + Expr::load(DataId(0), 1, 0, 0)
+        + Expr::load(DataId(0), 0, -1, 0)
+        + Expr::load(DataId(0), 0, 1, 0)
+        - Expr::c(4.0) * Expr::load(DataId(0), 0, 0, 0);
+    let l = dataflow::Layout::fv3_default([N, N, NK], [1, 1, 0]);
+    let arr = Array3::from_fn(l, |i, j, k| ((i * 3 + j * 5 + k) % 7) as f64);
+    let prog = bytecode::compile(&expr, &|_| 0);
+
+    struct VmView<'a> {
+        arr: &'a Array3,
+        i: i64,
+        j: i64,
+        k: i64,
+    }
+    impl bytecode::VmCtx for VmView<'_> {
+        fn load(&self, _slot: u16, o: Offset3) -> f64 {
+            self.arr
+                .get(self.i + o.i as i64, self.j + o.j as i64, self.k + o.k as i64)
+        }
+        fn local(&self, _l: u16) -> f64 {
+            0.0
+        }
+        fn param(&self, _p: u16) -> f64 {
+            0.0
+        }
+        fn index(&self, ax: Axis) -> i64 {
+            match ax {
+                Axis::I => self.i,
+                Axis::J => self.j,
+                Axis::K => self.k,
+            }
+        }
+    }
+
+    group.bench_function("tasklet_tree_interpreter", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..NK as i64 {
+                for j in 0..N as i64 {
+                    for i in 0..N as i64 {
+                        acc += expr.eval(&TreeCtx { arr: &arr, i, j, k });
+                    }
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("tasklet_bytecode_vm", |b| {
+        b.iter(|| {
+            let mut regs = vec![0.0f64; prog.n_regs as usize];
+            let mut acc = 0.0;
+            for k in 0..NK as i64 {
+                for j in 0..N as i64 {
+                    for i in 0..N as i64 {
+                        acc += bytecode::run(&prog, &VmView { arr: &arr, i, j, k }, &mut regs);
+                    }
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 10: model-augmented kernel runtimes — the automated
+//! memory-bandwidth bounds analysis applied to the dynamical core after
+//! the first optimization cycle, ranking the worst-performing, most
+//! important kernels (the workflow that surfaced Smagorinsky diffusion's
+//! power-operator problem).
+
+use fv3::dyn_core::{build_dycore_program, DycoreConfig};
+use fv3core::bounds::{bounds_report, render, underperformers};
+use fv3core::experiments::p100;
+use fv3core::pipeline::{run_pipeline, PipelineStage};
+
+fn main() {
+    let (n, nk) = (192, 80);
+    let program = build_dycore_program(n, nk, DycoreConfig::default());
+
+    // First cycle up to local caching — i.e. *before* the power fix.
+    let staged = run_pipeline(&program.sdfg, &p100(), &|_| 0.0, PipelineStage::LocalCaching);
+    let (rows, m) = bounds_report(&staged.optimized, &p100(), &|_| 0.0);
+    println!("FIG 10: model-augmented kernel runtimes (first cycle, {n}x{n}x{nk})");
+    println!("{}", render(&rows, 12));
+    println!(
+        "total modeled kernel time {:.3} ms over {} launches",
+        m.total_time * 1e3,
+        m.launches
+    );
+    let under = underperformers(&rows, 0.6);
+    println!("\nkernels below 60% of bandwidth-bound peak (fine-tuning worklist):");
+    for r in under.iter().take(8) {
+        println!("  {:<50} {:>5.1}%", r.kernel, r.peak_fraction * 100.0);
+    }
+
+    // After the power fix, the Smagorinsky kernel recovers (the paper
+    // reports 99.68% utilization afterwards).
+    let fixed = run_pipeline(&program.sdfg, &p100(), &|_| 0.0, PipelineStage::PowerOperator);
+    let (rows2, _) = bounds_report(&fixed.optimized, &p100(), &|_| 0.0);
+    let smag_before = rows
+        .iter()
+        .filter(|r| r.kernel.contains("d_sw"))
+        .map(|r| r.peak_fraction)
+        .fold(1.0f64, f64::min);
+    let smag_after = rows2
+        .iter()
+        .filter(|r| r.kernel.contains("d_sw"))
+        .map(|r| r.peak_fraction)
+        .fold(1.0f64, f64::min);
+    println!(
+        "\nSmagorinsky case study: worst d_sw kernel {:.1}% -> {:.1}% of peak",
+        smag_before * 100.0,
+        smag_after * 100.0
+    );
+    println!("(paper: 511.16us -> 129.02us, 99.68% utilization afterwards)");
+}

@@ -1,0 +1,46 @@
+//! Table I: Lines-of-Code comparison.
+//!
+//! Counts the non-blank, non-comment Rust lines of our DSL dycore and
+//! compares them against the FORTRAN LoC the paper records for the
+//! reference implementation (29,458 for the dynamical core; 858 for
+//! `fv_tp_2d`; 267 for `riem_solver_c`). The paper's Python port measured
+//! 12,450 / 686 / 253 (0.42x overall).
+
+use fv3core::experiments::{count_loc, rust_files};
+use std::path::Path;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+    let fv3_src = root.join("fv3/src");
+
+    let dycore_loc = count_loc(&rust_files(&fv3_src));
+    let fvt_loc = count_loc(&[fv3_src.join("fv_tp_2d.rs"), fv3_src.join("ppm.rs")]);
+    let riem_loc = count_loc(&[fv3_src.join("riem_solver_c.rs")]);
+
+    println!("TABLE I: Lines of Code (LoC) Comparison of FV3");
+    println!("{:-<72}", "");
+    println!(
+        "{:<28} {:>12} {:>14} {:>8}",
+        "Module Name", "Rust LoC", "FORTRAN LoC", "ratio"
+    );
+    println!("{:-<72}", "");
+    let rows = [
+        ("Dynamical Core", dycore_loc, 29_458usize),
+        ("Finite Volume Transport", fvt_loc, 858),
+        ("Riemann Solver C", riem_loc, 267),
+    ];
+    for (name, ours, fortran) in rows {
+        println!(
+            "{:<28} {:>12} {:>14} {:>7.2}x",
+            name,
+            ours,
+            fortran,
+            ours as f64 / fortran as f64
+        );
+    }
+    println!("{:-<72}", "");
+    println!("paper (Python):  Dynamical Core 12,450 vs 29,458 = 0.42x");
+    println!("note: our dycore files include both the DSL stencils AND the");
+    println!("FORTRAN-style baselines plus their unit tests; the stencil");
+    println!("definitions alone are a small fraction of each file.");
+}

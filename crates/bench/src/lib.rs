@@ -1,0 +1,5 @@
+//! Evaluation harness for the reproduction: one binary per paper table
+//! or figure (see `src/bin/`), plus Criterion wall-clock benches (see
+//! `benches/`). The mapping from experiment to binary lives in
+//! DESIGN.md's per-experiment index; paper-vs-measured results live in
+//! EXPERIMENTS.md.

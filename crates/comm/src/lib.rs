@@ -1,0 +1,19 @@
+//! Cubed-sphere communication substrate — the MPI / halo-exchange analog.
+//!
+//! FV3 parallelizes with "a two-dimensional domain decomposition in the
+//! horizontal dimensions using MPI library calls" over the six tiles of
+//! the gnomonic cubed sphere (Section II). This crate provides that
+//! substrate for the reproduction: face geometry with derived edge
+//! connectivity ([`geometry`]), rank decomposition ([`partition`]), and a
+//! pack/exchange/unpack halo updater with per-pair orientation transforms
+//! ([`halo`]). Ranks are simulated in-process (see DESIGN.md); the
+//! packing, orientation and corner logic is the real thing, and exchange
+//! statistics feed `machine::NetworkModel` for the scaling studies.
+
+pub mod geometry;
+pub mod halo;
+pub mod partition;
+
+pub use geometry::{CubeGeometry, Edge, EdgeLink, FaceFrame};
+pub use halo::{rank_arrays, CornerPolicy, ExchangeStats, HaloUpdater};
+pub use partition::{HaloSource, Partition, RankId};

@@ -1,0 +1,113 @@
+//! Property-based tests on the cubed-sphere communication substrate:
+//! geometric connectivity invariants for arbitrary sizes, partition
+//! roundtrips, and halo-exchange source correctness for arbitrary
+//! decompositions.
+
+use comm::geometry::{CubeGeometry, Edge};
+use comm::halo::{rank_arrays, CornerPolicy, HaloUpdater};
+use comm::partition::{HaloSource, Partition, RankId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cube_connectivity_invariants_hold_for_any_size(n in 2usize..32) {
+        let g = CubeGeometry::new(n);
+        let mut pairs = std::collections::HashSet::new();
+        for f in 0..6 {
+            for e in Edge::ALL {
+                let link = g.links[f][e.idx()];
+                // Symmetric:
+                let back = g.links[link.face][link.edge.idx()];
+                prop_assert_eq!(back.face, f);
+                prop_assert_eq!(back.edge, e);
+                let a = (f, e.idx());
+                let b = (link.face, link.edge.idx());
+                pairs.insert(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+        prop_assert_eq!(pairs.len(), 12);
+    }
+
+    #[test]
+    fn halo_sources_are_always_interior_cells(
+        n in 4usize..20,
+        depth in 0i64..3,
+    ) {
+        let g = CubeGeometry::new(n);
+        for f in 0..6 {
+            for e in Edge::ALL {
+                for t in 0..n as i64 {
+                    let (nf, i, j) = g.halo_source(f, e, depth, t);
+                    prop_assert!(nf < 6);
+                    prop_assert!((0..n as i64).contains(&i));
+                    prop_assert!((0..n as i64).contains(&j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_coords_roundtrip_for_any_decomposition(
+        rt in 1usize..5,
+        mult in 1usize..4,
+    ) {
+        let p = Partition::new(rt * mult * 4, rt);
+        prop_assert_eq!(p.ranks(), 6 * rt * rt);
+        for r in 0..p.ranks() {
+            let (t, x, y) = p.coords(RankId(r));
+            prop_assert_eq!(p.rank(t, x, y), RankId(r));
+        }
+        // Edge-rank fraction is 1 for rt <= 2 and < 1 for rt >= 3.
+        if rt <= 2 {
+            prop_assert_eq!(p.edge_rank_fraction(), 1.0);
+        } else {
+            prop_assert!(p.edge_rank_fraction() < 1.0);
+        }
+    }
+
+    #[test]
+    fn exchanged_halos_always_equal_their_source_cells(
+        rt in 1usize..3,
+        sub in 4usize..8,
+        width in 1usize..4,
+        seed in 0i64..1000,
+    ) {
+        let part = Partition::new(rt * sub, rt);
+        let up = HaloUpdater::new(part.clone(), width, CornerPolicy::Leave);
+        let mut arrays = rank_arrays(&part, 2, width);
+        // Unique global values per (rank, i, j, k).
+        for r in 0..part.ranks() {
+            for k in 0..2i64 {
+                for j in 0..sub as i64 {
+                    for i in 0..sub as i64 {
+                        arrays[r].set(i, j, k,
+                            seed as f64 + (r as i64 * 1000 + k * 300 + j * 17 + i) as f64);
+                    }
+                }
+            }
+        }
+        up.exchange_scalar(&mut arrays);
+        let s = sub as i64;
+        for r in 0..part.ranks() {
+            for d in 1..=width as i64 {
+                for t in 0..s {
+                    for (i, j) in [(-d, t), (s - 1 + d, t), (t, -d), (t, s - 1 + d)] {
+                        match part.halo_source(RankId(r), i, j) {
+                            HaloSource::Intra { rank, i: si, j: sj }
+                            | HaloSource::Inter { rank, i: si, j: sj, .. } => {
+                                prop_assert_eq!(
+                                    arrays[r].get(i, j, 1),
+                                    arrays[rank.0].get(si, sj, 1),
+                                    "rank {} halo ({}, {})", r, i, j
+                                );
+                            }
+                            HaloSource::CubeCorner => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Register bytecode for tasklet bodies — the "code generation" stage.
+//!
+//! DaCe generates C++/CUDA from expanded SDFGs; the equivalent stage here
+//! compiles each statement's expression tree into a flat register program
+//! executed by a small VM. This removes tree-walking overhead from the
+//! per-grid-point inner loop (the ablation bench `transforms` measures the
+//! difference) and gives strength-reduction transformations a concrete
+//! instruction to lower to ([`Instr::PowI`]).
+
+use crate::expr::{apply_bin, apply_cmp, apply_un, BinOp, CmpOp, Expr, Offset3, UnOp};
+use crate::storage::Axis;
+
+/// One VM instruction. Registers are `u16` indices into a per-thread
+/// register file of `f64`s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `r[dst] = val`
+    Const { dst: u16, val: f64 },
+    /// `r[dst] = params[p]`
+    Param { dst: u16, p: u16 },
+    /// `r[dst] = field[slot] at current point + off`
+    Load { dst: u16, slot: u16, off: Offset3 },
+    /// `r[dst] = locals[l]`
+    LoadLocal { dst: u16, l: u16 },
+    /// `r[dst] = un(op, r[a])`
+    Un { op: UnOp, dst: u16, a: u16 },
+    /// `r[dst] = bin(op, r[a], r[b])`
+    Bin { op: BinOp, dst: u16, a: u16, b: u16 },
+    /// `r[dst] = cmp(op, r[a], r[b]) ? 1.0 : 0.0`
+    Cmp { op: CmpOp, dst: u16, a: u16, b: u16 },
+    /// `r[dst] = r[c] != 0 ? r[a] : r[b]`
+    Select { dst: u16, c: u16, a: u16, b: u16 },
+    /// `r[dst] = current index along axis`
+    Index { dst: u16, axis: Axis },
+    /// `r[dst] = r[a]^n` by repeated multiplication (strength-reduced pow)
+    PowI { dst: u16, a: u16, n: i32 },
+}
+
+/// A compiled expression: instructions leaving the result in `result`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub instrs: Vec<Instr>,
+    pub result: u16,
+    pub n_regs: u16,
+}
+
+/// Compile an expression tree. `slot_of` maps a [`crate::expr::DataId`] to
+/// the kernel-local field slot used by `Instr::Load`.
+pub fn compile(expr: &Expr, slot_of: &impl Fn(crate::expr::DataId) -> u16) -> Program {
+    let mut instrs = Vec::with_capacity(expr.size());
+    let mut next = 0u16;
+    let result = emit(expr, slot_of, &mut instrs, &mut next);
+    Program {
+        instrs,
+        result,
+        n_regs: next,
+    }
+}
+
+fn alloc(next: &mut u16) -> u16 {
+    let r = *next;
+    *next = next.checked_add(1).expect("expression too large for u16 registers");
+    r
+}
+
+fn emit(
+    e: &Expr,
+    slot_of: &impl Fn(crate::expr::DataId) -> u16,
+    out: &mut Vec<Instr>,
+    next: &mut u16,
+) -> u16 {
+    match e {
+        Expr::Const(v) => {
+            let dst = alloc(next);
+            out.push(Instr::Const { dst, val: *v });
+            dst
+        }
+        Expr::Param(p) => {
+            let dst = alloc(next);
+            out.push(Instr::Param {
+                dst,
+                p: p.0 as u16,
+            });
+            dst
+        }
+        Expr::Load(d, o) => {
+            let dst = alloc(next);
+            out.push(Instr::Load {
+                dst,
+                slot: slot_of(*d),
+                off: *o,
+            });
+            dst
+        }
+        Expr::Local(l) => {
+            let dst = alloc(next);
+            out.push(Instr::LoadLocal {
+                dst,
+                l: l.0 as u16,
+            });
+            dst
+        }
+        Expr::Index(ax) => {
+            let dst = alloc(next);
+            out.push(Instr::Index { dst, axis: *ax });
+            dst
+        }
+        Expr::Un(op, a) => {
+            let ra = emit(a, slot_of, out, next);
+            let dst = alloc(next);
+            out.push(Instr::Un { op: *op, dst, a: ra });
+            dst
+        }
+        Expr::Powi(a, n) => {
+            let ra = emit(a, slot_of, out, next);
+            let dst = alloc(next);
+            out.push(Instr::PowI { dst, a: ra, n: *n });
+            dst
+        }
+        Expr::Bin(op, a, b) => {
+            // Note: integer `Bin(Pow, x, Const(n))` deliberately stays a
+            // general powf call — exactly the inefficiency the paper found
+            // in generated code. The power transformation rewrites such
+            // trees to `Expr::Powi`, which compiles to `Instr::PowI`.
+            let ra = emit(a, slot_of, out, next);
+            let rb = emit(b, slot_of, out, next);
+            let dst = alloc(next);
+            out.push(Instr::Bin {
+                op: *op,
+                dst,
+                a: ra,
+                b: rb,
+            });
+            dst
+        }
+        Expr::Cmp(op, a, b) => {
+            let ra = emit(a, slot_of, out, next);
+            let rb = emit(b, slot_of, out, next);
+            let dst = alloc(next);
+            out.push(Instr::Cmp {
+                op: *op,
+                dst,
+                a: ra,
+                b: rb,
+            });
+            dst
+        }
+        Expr::Select(c, a, b) => {
+            let rc = emit(c, slot_of, out, next);
+            let ra = emit(a, slot_of, out, next);
+            let rb = emit(b, slot_of, out, next);
+            let dst = alloc(next);
+            out.push(Instr::Select {
+                dst,
+                c: rc,
+                a: ra,
+                b: rb,
+            });
+            dst
+        }
+    }
+}
+
+/// Per-point execution context for the VM.
+pub trait VmCtx {
+    /// Read field `slot` at the current point plus `off`.
+    fn load(&self, slot: u16, off: Offset3) -> f64;
+    /// Read per-thread local `l`.
+    fn local(&self, l: u16) -> f64;
+    /// Scalar parameter `p`.
+    fn param(&self, p: u16) -> f64;
+    /// Current global index along `axis`.
+    fn index(&self, axis: Axis) -> i64;
+}
+
+/// Execute a compiled program; returns the result register value.
+///
+/// `regs` must have at least `program.n_regs` entries and is reused across
+/// points to avoid allocation in the inner loop.
+#[inline]
+pub fn run<C: VmCtx>(program: &Program, ctx: &C, regs: &mut [f64]) -> f64 {
+    for ins in &program.instrs {
+        match *ins {
+            Instr::Const { dst, val } => regs[dst as usize] = val,
+            Instr::Param { dst, p } => regs[dst as usize] = ctx.param(p),
+            Instr::Load { dst, slot, off } => regs[dst as usize] = ctx.load(slot, off),
+            Instr::LoadLocal { dst, l } => regs[dst as usize] = ctx.local(l),
+            Instr::Un { op, dst, a } => regs[dst as usize] = apply_un(op, regs[a as usize]),
+            Instr::Bin { op, dst, a, b } => {
+                regs[dst as usize] = apply_bin(op, regs[a as usize], regs[b as usize])
+            }
+            Instr::Cmp { op, dst, a, b } => {
+                regs[dst as usize] = if apply_cmp(op, regs[a as usize], regs[b as usize]) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Instr::Select { dst, c, a, b } => {
+                regs[dst as usize] = if regs[c as usize] != 0.0 {
+                    regs[a as usize]
+                } else {
+                    regs[b as usize]
+                }
+            }
+            Instr::Index { dst, axis } => regs[dst as usize] = ctx.index(axis) as f64,
+            Instr::PowI { dst, a, n } => {
+                let x = regs[a as usize];
+                let mut acc = 1.0f64;
+                for _ in 0..n.unsigned_abs() {
+                    acc *= x;
+                }
+                regs[dst as usize] = if n < 0 { 1.0 / acc } else { acc };
+            }
+        }
+    }
+    regs[program.result as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{DataId, EvalCtx, LocalId, ParamId};
+    use rand::{Rng, SeedableRng};
+
+    /// Shared context implementing both the tree-walking EvalCtx and VmCtx
+    /// so we can cross-validate.
+    struct Ctx {
+        field: Vec<f64>, // value per (slot, small offset hash)
+        params: Vec<f64>,
+        locals: Vec<f64>,
+        idx: [i64; 3],
+    }
+
+    fn key(slot: u16, off: Offset3) -> usize {
+        (slot as usize) * 125
+            + ((off.i + 2) as usize) * 25
+            + ((off.j + 2) as usize) * 5
+            + (off.k + 2) as usize
+    }
+
+    impl VmCtx for Ctx {
+        fn load(&self, slot: u16, off: Offset3) -> f64 {
+            self.field[key(slot, off)]
+        }
+        fn local(&self, l: u16) -> f64 {
+            self.locals[l as usize]
+        }
+        fn param(&self, p: u16) -> f64 {
+            self.params[p as usize]
+        }
+        fn index(&self, axis: Axis) -> i64 {
+            self.idx[axis.idx()]
+        }
+    }
+
+    impl EvalCtx for Ctx {
+        fn load(&self, d: DataId, o: Offset3) -> f64 {
+            self.field[key(d.0 as u16, o)]
+        }
+        fn local(&self, l: LocalId) -> f64 {
+            self.locals[l.0]
+        }
+        fn param(&self, p: ParamId) -> f64 {
+            self.params[p.0]
+        }
+        fn index(&self, axis: Axis) -> i64 {
+            self.idx[axis.idx()]
+        }
+    }
+
+    fn ctx(rng: &mut impl Rng) -> Ctx {
+        Ctx {
+            field: (0..500).map(|_| rng.gen_range(0.1..4.0)).collect(),
+            params: (0..4).map(|_| rng.gen_range(0.1..2.0)).collect(),
+            locals: (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            idx: [3, 4, 5],
+        }
+    }
+
+    /// Random expression generator over safe domains (positive field
+    /// values so log/sqrt/pow stay finite).
+    fn random_expr(rng: &mut impl Rng, depth: u32) -> Expr {
+        if depth == 0 {
+            return match rng.gen_range(0..5) {
+                0 => Expr::Const(rng.gen_range(0.5..3.0)),
+                1 => Expr::Param(ParamId(rng.gen_range(0..4))),
+                2 => Expr::Local(LocalId(rng.gen_range(0..4))),
+                3 => Expr::Index(*[Axis::I, Axis::J, Axis::K].iter().nth(rng.gen_range(0..3)).unwrap()),
+                _ => Expr::Load(
+                    DataId(rng.gen_range(0..3)),
+                    Offset3::new(
+                        rng.gen_range(-2..3),
+                        rng.gen_range(-2..3),
+                        rng.gen_range(-2..3),
+                    ),
+                ),
+            };
+        }
+        match rng.gen_range(0..8) {
+            0 => Expr::un(UnOp::Abs, random_expr(rng, depth - 1)),
+            1 => Expr::un(UnOp::Sqrt, Expr::un(UnOp::Abs, random_expr(rng, depth - 1))),
+            2 => Expr::bin(
+                BinOp::Add,
+                random_expr(rng, depth - 1),
+                random_expr(rng, depth - 1),
+            ),
+            3 => Expr::bin(
+                BinOp::Mul,
+                random_expr(rng, depth - 1),
+                random_expr(rng, depth - 1),
+            ),
+            4 => Expr::bin(
+                BinOp::Pow,
+                Expr::un(UnOp::Abs, random_expr(rng, depth - 1)),
+                Expr::Const(rng.gen_range(1..4) as f64),
+            ),
+            5 => Expr::cmp(
+                CmpOp::Lt,
+                random_expr(rng, depth - 1),
+                random_expr(rng, depth - 1),
+            ),
+            6 => Expr::select(
+                Expr::cmp(
+                    CmpOp::Gt,
+                    random_expr(rng, depth - 1),
+                    Expr::Const(1.0),
+                ),
+                random_expr(rng, depth - 1),
+                random_expr(rng, depth - 1),
+            ),
+            _ => Expr::bin(
+                BinOp::Sub,
+                random_expr(rng, depth - 1),
+                random_expr(rng, depth - 1),
+            ),
+        }
+    }
+
+    #[test]
+    fn vm_matches_tree_interpreter_on_random_expressions() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0x5eed);
+        for case in 0..200 {
+            let e = random_expr(&mut rng, 4);
+            let c = ctx(&mut rng);
+            let p = compile(&e, &|d| d.0 as u16);
+            let mut regs = vec![0.0; p.n_regs as usize];
+            let vm = run(&p, &c, &mut regs);
+            let tree = e.eval(&c);
+            let close = if vm.is_nan() && tree.is_nan() {
+                true
+            } else {
+                let denom = 1.0f64.max(tree.abs());
+                ((vm - tree) / denom).abs() < 1e-12
+            };
+            assert!(close, "case {case}: vm={vm} tree={tree} expr={e:?}");
+        }
+    }
+
+    #[test]
+    fn powi_expression_compiles_to_powi_instr() {
+        let e = Expr::powi(Expr::Local(LocalId(0)), 2);
+        let p = compile(&e, &|_| 0);
+        assert!(p.instrs.iter().any(|i| matches!(i, Instr::PowI { n: 2, .. })));
+        assert!(!p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Bin { op: BinOp::Pow, .. })));
+    }
+
+    #[test]
+    fn untransformed_integer_pow_stays_general_purpose() {
+        // Matches the paper: generated code contains pow(delpc, 2.0)
+        // until the power transformation rewrites it.
+        let e = Expr::bin(BinOp::Pow, Expr::Local(LocalId(0)), Expr::Const(2.0));
+        let p = compile(&e, &|_| 0);
+        assert!(p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Bin { op: BinOp::Pow, .. })));
+    }
+
+    #[test]
+    fn non_integer_pow_stays_general() {
+        let e = Expr::bin(BinOp::Pow, Expr::Local(LocalId(0)), Expr::Const(0.5));
+        let p = compile(&e, &|_| 0);
+        assert!(p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Bin { op: BinOp::Pow, .. })));
+    }
+
+    #[test]
+    fn negative_integer_pow() {
+        let e = Expr::powi(Expr::Const(2.0), -3);
+        let p = compile(&e, &|_| 0);
+        let mut regs = vec![0.0; p.n_regs as usize];
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let v = run(&p, &ctx(&mut rng), &mut regs);
+        assert!((v - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn register_count_is_tight_enough() {
+        let e = Expr::c(1.0) + Expr::c(2.0) + Expr::c(3.0) + Expr::c(4.0);
+        let p = compile(&e, &|_| 0);
+        assert!(p.n_regs <= 8);
+        assert_eq!(p.result as usize, p.n_regs as usize - 1);
+    }
+}

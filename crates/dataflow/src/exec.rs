@@ -1,0 +1,956 @@
+//! The runtime executor: runs an expanded SDFG numerically on the host.
+//!
+//! Execution is column-oriented: every kernel iterates its `(i, j)` columns
+//! (in parallel chunks through [`machine::Pool`]) and marches K upward,
+//! downward, or in arbitrary order per its [`KOrder`]. Statement bodies run
+//! through the bytecode VM. The executor enforces the same parallel-model
+//! restriction GT4Py does: within one kernel, no statement may read — at a
+//! nonzero horizontal offset — a field written by the same kernel
+//! (cross-thread dependencies must be broken into separate kernels or
+//! fused by recomputation; Section IV-D "some synchronization points were
+//! pre-determined and had to be worked around by splitting stencils").
+
+use crate::bytecode::{self, Program, VmCtx};
+use crate::expr::{DataId, Offset3};
+use crate::graph::{ControlNode, DataflowNode, Sdfg};
+use crate::kernel::{KOrder, Kernel, LValue};
+use crate::storage::{Array3, Axis, Layout};
+use machine::Pool;
+use std::time::Instant;
+
+/// Runtime storage: one array per SDFG container.
+#[derive(Debug, Clone)]
+pub struct DataStore {
+    arrays: Vec<Array3>,
+}
+
+impl DataStore {
+    /// Allocate zeroed arrays for every container of `sdfg`.
+    pub fn for_sdfg(sdfg: &Sdfg) -> Self {
+        DataStore {
+            arrays: sdfg
+                .containers
+                .iter()
+                .map(|c| Array3::zeros(c.layout.clone()))
+                .collect(),
+        }
+    }
+
+    /// Immutable access to a container's array.
+    pub fn get(&self, d: DataId) -> &Array3 {
+        &self.arrays[d.0]
+    }
+
+    /// Mutable access to a container's array.
+    pub fn get_mut(&mut self, d: DataId) -> &mut Array3 {
+        &mut self.arrays[d.0]
+    }
+
+    /// Number of containers.
+    pub fn len(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrays.is_empty()
+    }
+}
+
+/// Hooks for nodes the executor cannot run itself.
+pub trait ExecHooks {
+    /// Perform a halo exchange on `fields` (distributed driver).
+    fn halo_exchange(&mut self, fields: &[DataId], store: &mut DataStore) {
+        let _ = (fields, store);
+    }
+
+    /// Invoke a named host callback (the Python-interop analog).
+    fn callback(&mut self, name: &str, store: &mut DataStore) {
+        let _ = (name, store);
+    }
+}
+
+/// No-op hooks for single-rank programs.
+pub struct NoHooks;
+impl ExecHooks for NoHooks {}
+
+/// Aggregated per-kernel execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStat {
+    pub name: String,
+    pub invocations: u64,
+    pub points: u64,
+    pub wall_seconds: f64,
+}
+
+/// Report of one SDFG execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Kernel launches performed.
+    pub launches: u64,
+    /// Stats grouped by kernel name ("sort by summarized runtimes grouped
+    /// by kernel type", Section VI-C).
+    pub kernels: Vec<KernelStat>,
+    /// Total wall-clock seconds inside kernel loops.
+    pub wall_seconds: f64,
+    /// Halo exchanges performed.
+    pub halo_exchanges: u64,
+    /// Host callbacks performed.
+    pub callbacks: u64,
+}
+
+impl ExecReport {
+    fn record(&mut self, name: &str, points: u64, secs: f64) {
+        self.launches += 1;
+        self.wall_seconds += secs;
+        if let Some(k) = self.kernels.iter_mut().find(|k| k.name == name) {
+            k.invocations += 1;
+            k.points += points;
+            k.wall_seconds += secs;
+        } else {
+            self.kernels.push(KernelStat {
+                name: name.to_string(),
+                invocations: 1,
+                points,
+                wall_seconds: secs,
+            });
+        }
+    }
+}
+
+/// Validate the parallel-model restriction for `kernel`.
+///
+/// Returns an error description when a statement reads a field written by
+/// this kernel at a nonzero horizontal offset (a cross-thread dependency),
+/// or when a `Parallel` kernel has a vertical self-dependency.
+pub fn validate_kernel(kernel: &Kernel) -> Result<(), String> {
+    let written = kernel.writes();
+    for (si, s) in kernel.stmts.iter().enumerate() {
+        for (d, o) in s.expr.loads() {
+            if written.contains(&d) {
+                if o.i != 0 || o.j != 0 {
+                    return Err(format!(
+                        "kernel '{}' stmt {si}: reads {d:?} at horizontal offset {o} but \
+                         the kernel writes it — split the stencil or fuse on-the-fly",
+                        kernel.name
+                    ));
+                }
+                match kernel.k_order {
+                    KOrder::Parallel => {
+                        if o.k != 0 {
+                            return Err(format!(
+                                "kernel '{}' stmt {si}: vertical self-dependency {o} in a \
+                                 PARALLEL computation",
+                                kernel.name
+                            ));
+                        }
+                    }
+                    KOrder::Forward => {
+                        if o.k > 0 {
+                            return Err(format!(
+                                "kernel '{}' stmt {si}: forward solver reads {d:?} at k+{}",
+                                kernel.name, o.k
+                            ));
+                        }
+                    }
+                    KOrder::Backward => {
+                        if o.k < 0 {
+                            return Err(format!(
+                                "kernel '{}' stmt {si}: backward solver reads {d:?} at k{}",
+                                kernel.name, o.k
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate every kernel in an SDFG.
+pub fn validate_sdfg(sdfg: &Sdfg) -> Result<(), String> {
+    for state in &sdfg.states {
+        for node in &state.nodes {
+            if let DataflowNode::Kernel(k) = node {
+                validate_kernel(k)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Kernel execution
+
+/// Raw view of one container used inside the kernel loop. Columns write
+/// disjoint points (guaranteed by [`validate_kernel`]), so sharing the
+/// pointer across worker threads is sound.
+#[derive(Clone, Copy)]
+struct FieldSlot {
+    ptr: *mut f64,
+    base: usize,
+    strides: [usize; 3],
+}
+
+unsafe impl Send for FieldSlot {}
+unsafe impl Sync for FieldSlot {}
+
+impl FieldSlot {
+    #[inline]
+    fn offset(&self, i: i64, j: i64, k: i64) -> usize {
+        (self.base as i64
+            + i * self.strides[0] as i64
+            + j * self.strides[1] as i64
+            + k * self.strides[2] as i64) as usize
+    }
+
+    #[inline]
+    unsafe fn read(&self, i: i64, j: i64, k: i64) -> f64 {
+        *self.ptr.add(self.offset(i, j, k))
+    }
+
+    #[inline]
+    unsafe fn write(&self, i: i64, j: i64, k: i64, v: f64) {
+        *self.ptr.add(self.offset(i, j, k)) = v;
+    }
+}
+
+/// Concrete (resolved) bounds of one statement.
+#[derive(Debug, Clone, Copy)]
+struct StmtBounds {
+    il: i64,
+    ih: i64,
+    jl: i64,
+    jh: i64,
+    kl: i64,
+    kh: i64,
+}
+
+struct CompiledStmt {
+    program: Program,
+    bounds: StmtBounds,
+    lvalue: CompiledLValue,
+}
+
+enum CompiledLValue {
+    Field(u16),
+    Local(u16),
+}
+
+struct PointCtx<'a> {
+    slots: &'a [FieldSlot],
+    locals: &'a [f64],
+    params: &'a [f64],
+    i: i64,
+    j: i64,
+    k: i64,
+}
+
+impl VmCtx for PointCtx<'_> {
+    #[inline]
+    fn load(&self, slot: u16, off: Offset3) -> f64 {
+        unsafe {
+            self.slots[slot as usize].read(
+                self.i + off.i as i64,
+                self.j + off.j as i64,
+                self.k + off.k as i64,
+            )
+        }
+    }
+
+    #[inline]
+    fn local(&self, l: u16) -> f64 {
+        self.locals[l as usize]
+    }
+
+    #[inline]
+    fn param(&self, p: u16) -> f64 {
+        self.params[p as usize]
+    }
+
+    #[inline]
+    fn index(&self, axis: Axis) -> i64 {
+        match axis {
+            Axis::I => self.i,
+            Axis::J => self.j,
+            Axis::K => self.k,
+        }
+    }
+}
+
+/// Execute one kernel over the store. `params` are the SDFG's scalar
+/// parameter values. Returns the number of points executed.
+pub fn run_kernel(kernel: &Kernel, store: &mut DataStore, params: &[f64], pool: &Pool) -> u64 {
+    debug_assert!(validate_kernel(kernel).is_ok(), "{:?}", validate_kernel(kernel));
+    if kernel.domain.is_empty() || kernel.stmts.is_empty() {
+        return 0;
+    }
+
+    // Field slot table: stable order over reads + writes.
+    let mut ids: Vec<DataId> = Vec::new();
+    for (d, _) in kernel.reads() {
+        if !ids.contains(&d) {
+            ids.push(d);
+        }
+    }
+    for d in kernel.writes() {
+        if !ids.contains(&d) {
+            ids.push(d);
+        }
+    }
+    let slot_of = |d: DataId| -> u16 {
+        ids.iter().position(|x| *x == d).expect("unknown field in kernel") as u16
+    };
+
+    let slots: Vec<FieldSlot> = ids
+        .iter()
+        .map(|d| {
+            let a = store.get_mut(*d);
+            let layout: Layout = a.layout().clone();
+            FieldSlot {
+                ptr: a.raw_mut().as_mut_ptr(),
+                base: layout.base,
+                strides: layout.strides,
+            }
+        })
+        .collect();
+
+    // Compile statements and resolve bounds.
+    let dom = kernel.domain;
+    let mut compiled = Vec::with_capacity(kernel.stmts.len());
+    let mut hull = StmtBounds {
+        il: i64::MAX,
+        ih: i64::MIN,
+        jl: i64::MAX,
+        jh: i64::MIN,
+        kl: i64::MAX,
+        kh: i64::MIN,
+    };
+    let mut points = 0u64;
+    for s in &kernel.stmts {
+        let grown = s.extent.grow(&dom);
+        let (il, ih, jl, jh) = match &s.region {
+            Some(r) => {
+                let (il, ih) = r.i.resolve(dom.start[0], dom.end[0]);
+                let (jl, jh) = r.j.resolve(dom.start[1], dom.end[1]);
+                (il, ih, jl, jh)
+            }
+            None => (grown.start[0], grown.end[0], grown.start[1], grown.end[1]),
+        };
+        let (kl, kh) = s.k_range.resolve(dom.start[2], dom.end[2]);
+        let b = StmtBounds {
+            il,
+            ih,
+            jl,
+            jh,
+            kl,
+            kh,
+        };
+        hull.il = hull.il.min(b.il);
+        hull.ih = hull.ih.max(b.ih);
+        hull.jl = hull.jl.min(b.jl);
+        hull.jh = hull.jh.max(b.jh);
+        hull.kl = hull.kl.min(b.kl);
+        hull.kh = hull.kh.max(b.kh);
+        points += ((ih - il).max(0) * (jh - jl).max(0) * (kh - kl).max(0)) as u64;
+        let program = bytecode::compile(&s.expr, &slot_of);
+        let lvalue = match s.lvalue {
+            LValue::Field(d) => CompiledLValue::Field(slot_of(d)),
+            LValue::Local(l) => CompiledLValue::Local(l.0 as u16),
+        };
+        compiled.push(CompiledStmt {
+            program,
+            bounds: b,
+            lvalue,
+        });
+    }
+    if hull.ih <= hull.il || hull.jh <= hull.jl || hull.kh <= hull.kl {
+        return 0;
+    }
+
+    let max_regs = compiled.iter().map(|c| c.program.n_regs).max().unwrap_or(0) as usize;
+    let n_locals = kernel.n_locals.max(
+        compiled
+            .iter()
+            .filter_map(|c| match c.lvalue {
+                CompiledLValue::Local(l) => Some(l as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0),
+    );
+
+    let ni = (hull.ih - hull.il) as usize;
+    let nj = (hull.jh - hull.jl) as usize;
+    let columns = ni * nj;
+    let k_desc = kernel.k_order == KOrder::Backward;
+    let compiled = &compiled;
+    let slots = &slots;
+
+    pool.for_each_chunk(columns, |range| {
+        let mut regs = vec![0.0f64; max_regs];
+        let mut locals = vec![0.0f64; n_locals.max(1)];
+        for col in range {
+            let i = hull.il + (col % ni) as i64;
+            let j = hull.jl + (col / ni) as i64;
+            locals.iter_mut().for_each(|l| *l = 0.0);
+            let mut k = if k_desc { hull.kh - 1 } else { hull.kl };
+            while k >= hull.kl && k < hull.kh {
+                for cs in compiled {
+                    let b = &cs.bounds;
+                    if i >= b.il && i < b.ih && j >= b.jl && j < b.jh && k >= b.kl && k < b.kh {
+                        let v = {
+                            let ctx = PointCtx {
+                                slots,
+                                locals: &locals,
+                                params,
+                                i,
+                                j,
+                                k,
+                            };
+                            bytecode::run(&cs.program, &ctx, &mut regs)
+                        };
+                        match cs.lvalue {
+                            CompiledLValue::Field(slot) => unsafe {
+                                slots[slot as usize].write(i, j, k, v);
+                            },
+                            CompiledLValue::Local(l) => locals[l as usize] = v,
+                        }
+                    }
+                }
+                k += if k_desc { -1 } else { 1 };
+            }
+        }
+    });
+
+    points
+}
+
+/// Executes SDFGs with a worker pool and hooks.
+pub struct Executor {
+    pool: Pool,
+}
+
+impl Executor {
+    /// An executor backed by `pool`.
+    pub fn new(pool: Pool) -> Self {
+        Executor { pool }
+    }
+
+    /// Serial executor (deterministic, used by tests).
+    pub fn serial() -> Self {
+        Executor { pool: Pool::new(1) }
+    }
+
+    /// Run the whole program. `params` maps [`crate::expr::ParamId`]
+    /// indices to values and must cover `sdfg.params`.
+    pub fn run(
+        &self,
+        sdfg: &Sdfg,
+        store: &mut DataStore,
+        params: &[f64],
+        hooks: &mut dyn ExecHooks,
+    ) -> ExecReport {
+        assert!(
+            params.len() >= sdfg.params.len(),
+            "expected {} params, got {}",
+            sdfg.params.len(),
+            params.len()
+        );
+        let mut report = ExecReport::default();
+        self.run_control(&sdfg.control, sdfg, store, params, hooks, &mut report);
+        report
+    }
+
+    fn run_control(
+        &self,
+        nodes: &[ControlNode],
+        sdfg: &Sdfg,
+        store: &mut DataStore,
+        params: &[f64],
+        hooks: &mut dyn ExecHooks,
+        report: &mut ExecReport,
+    ) {
+        for node in nodes {
+            match node {
+                ControlNode::State(s) => {
+                    self.run_state(&sdfg.states[*s], store, params, hooks, report)
+                }
+                ControlNode::Loop { trips, body } => {
+                    for _ in 0..*trips {
+                        self.run_control(body, sdfg, store, params, hooks, report);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_state(
+        &self,
+        state: &crate::graph::State,
+        store: &mut DataStore,
+        params: &[f64],
+        hooks: &mut dyn ExecHooks,
+        report: &mut ExecReport,
+    ) {
+        for node in &state.nodes {
+            match node {
+                DataflowNode::Kernel(k) => {
+                    let t0 = Instant::now();
+                    let points = run_kernel(k, store, params, &self.pool);
+                    report.record(&k.name, points, t0.elapsed().as_secs_f64());
+                }
+                DataflowNode::Library(l) => {
+                    panic!(
+                        "unexpanded library node '{}' — call Sdfg::expand_libraries first",
+                        l.label()
+                    );
+                }
+                DataflowNode::Copy { src, dst } => {
+                    let (s, d) = (*src, *dst);
+                    let src_arr = store.get(s).clone();
+                    store.get_mut(d).copy_from(&src_arr);
+                }
+                DataflowNode::HaloExchange { fields } => {
+                    hooks.halo_exchange(fields, store);
+                    report.halo_exchanges += 1;
+                }
+                DataflowNode::Callback { name, .. } => {
+                    hooks.callback(name, store);
+                    report.callbacks += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: run a single kernel on a store with no hooks, serially.
+pub fn run_kernel_serial(kernel: &Kernel, store: &mut DataStore, params: &[f64]) -> u64 {
+    run_kernel(kernel, store, params, &Pool::new(1))
+}
+
+/// Aggregate executed kernel stats by name sorted by total wall time
+/// descending (the Fig. 10 ranking).
+pub fn rank_by_wall_time(report: &ExecReport) -> Vec<&KernelStat> {
+    let mut v: Vec<&KernelStat> = report.kernels.iter().collect();
+    v.sort_by(|a, b| b.wall_seconds.partial_cmp(&a.wall_seconds).unwrap());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Expr, LocalId};
+    use crate::graph::State;
+    use crate::kernel::{Anchor, AxisInterval, Domain, Extent2, KOrder, Region2, Schedule, Stmt};
+    use crate::storage::StorageOrder;
+
+    fn sdfg_with(n: usize, halo: usize, names: &[&str]) -> (Sdfg, Vec<DataId>) {
+        let mut g = Sdfg::new("t");
+        let l = Layout::new([n, n, 4], [halo, halo, 1], StorageOrder::IContiguous, 1);
+        let ids = names
+            .iter()
+            .map(|nm| g.add_container(*nm, l.clone(), false))
+            .collect();
+        (g, ids)
+    }
+
+    #[test]
+    fn pointwise_kernel_executes() {
+        let (mut g, ids) = sdfg_with(8, 0, &["a", "b"]);
+        let p = g.add_param("scale");
+        let mut k = Kernel::new(
+            "scale",
+            Domain::from_shape([8, 8, 4]),
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        k.stmts.push(Stmt::full(
+            LValue::Field(ids[1]),
+            Expr::load(ids[0], 0, 0, 0) * Expr::Param(p),
+        ));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k));
+        g.add_state(s);
+
+        let mut store = DataStore::for_sdfg(&g);
+        *store.get_mut(ids[0]) = Array3::from_fn(g.layout_of(ids[0]), |i, j, k| {
+            (i + j + k) as f64
+        });
+        let report = Executor::serial().run(&g, &mut store, &[3.0], &mut NoHooks);
+        assert_eq!(report.launches, 1);
+        assert_eq!(store.get(ids[1]).get(2, 3, 1), 18.0);
+    }
+
+    #[test]
+    fn laplacian_uses_halo() {
+        let (mut g, ids) = sdfg_with(6, 1, &["inp", "out"]);
+        let mut k = Kernel::new(
+            "lap",
+            Domain::from_shape([6, 6, 4]),
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        let e = Expr::load(ids[0], -1, 0, 0)
+            + Expr::load(ids[0], 1, 0, 0)
+            + Expr::load(ids[0], 0, -1, 0)
+            + Expr::load(ids[0], 0, 1, 0)
+            - Expr::c(4.0) * Expr::load(ids[0], 0, 0, 0);
+        k.stmts.push(Stmt::full(LValue::Field(ids[1]), e));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k));
+        g.add_state(s);
+
+        let mut store = DataStore::for_sdfg(&g);
+        // f(i,j) = i^2 -> laplacian = 2 everywhere (constant in j, k)
+        let l = g.layout_of(ids[0]);
+        let mut inp = Array3::zeros(l);
+        for k_ in 0..4i64 {
+            for j in -1..7i64 {
+                for i in -1..7i64 {
+                    inp.set(i, j, k_, (i * i) as f64);
+                }
+            }
+        }
+        *store.get_mut(ids[0]) = inp;
+        Executor::serial().run(&g, &mut store, &[], &mut NoHooks);
+        for j in 0..6 {
+            for i in 0..6 {
+                assert!((store.get(ids[1]).get(i, j, 2) - 2.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_solver_carries_dependency() {
+        // cum[k] = cum[k-1] + a[k] for k >= 1; cum[0] = a[0]
+        let (mut g, ids) = sdfg_with(4, 0, &["a", "cum"]);
+        let mut k = Kernel::new(
+            "cumsum",
+            Domain::from_shape([4, 4, 4]),
+            KOrder::Forward,
+            Schedule::gpu_vertical(),
+        );
+        k.stmts.push(Stmt {
+            lvalue: LValue::Field(ids[1]),
+            expr: Expr::load(ids[0], 0, 0, 0),
+            k_range: AxisInterval::new(Anchor::Start(0), Anchor::Start(1)),
+            region: None,
+            extent: Extent2::ZERO,
+        });
+        k.stmts.push(Stmt {
+            lvalue: LValue::Field(ids[1]),
+            expr: Expr::load(ids[1], 0, 0, -1) + Expr::load(ids[0], 0, 0, 0),
+            k_range: AxisInterval::new(Anchor::Start(1), Anchor::End(0)),
+            region: None,
+            extent: Extent2::ZERO,
+        });
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k));
+        g.add_state(s);
+
+        let mut store = DataStore::for_sdfg(&g);
+        *store.get_mut(ids[0]) = Array3::from_fn(g.layout_of(ids[0]), |_, _, k| (k + 1) as f64);
+        Executor::serial().run(&g, &mut store, &[], &mut NoHooks);
+        // cumsum of 1,2,3,4 = 1,3,6,10
+        assert_eq!(store.get(ids[1]).get(0, 0, 0), 1.0);
+        assert_eq!(store.get(ids[1]).get(1, 2, 1), 3.0);
+        assert_eq!(store.get(ids[1]).get(3, 3, 3), 10.0);
+    }
+
+    #[test]
+    fn backward_solver_marches_down() {
+        // s[k] = s[k+1] + a[k] for k < n-1; s[n-1] = a[n-1]  (suffix sum)
+        let (mut g, ids) = sdfg_with(3, 0, &["a", "suf"]);
+        let mut k = Kernel::new(
+            "suffix",
+            Domain::from_shape([3, 3, 4]),
+            KOrder::Backward,
+            Schedule::gpu_vertical(),
+        );
+        k.stmts.push(Stmt {
+            lvalue: LValue::Field(ids[1]),
+            expr: Expr::load(ids[0], 0, 0, 0),
+            k_range: AxisInterval::new(Anchor::End(-1), Anchor::End(0)),
+            region: None,
+            extent: Extent2::ZERO,
+        });
+        k.stmts.push(Stmt {
+            lvalue: LValue::Field(ids[1]),
+            expr: Expr::load(ids[1], 0, 0, 1) + Expr::load(ids[0], 0, 0, 0),
+            k_range: AxisInterval::new(Anchor::Start(0), Anchor::End(-1)),
+            region: None,
+            extent: Extent2::ZERO,
+        });
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k));
+        g.add_state(s);
+
+        let mut store = DataStore::for_sdfg(&g);
+        *store.get_mut(ids[0]) = Array3::from_fn(g.layout_of(ids[0]), |_, _, k| (k + 1) as f64);
+        Executor::serial().run(&g, &mut store, &[], &mut NoHooks);
+        // suffix sums of 1,2,3,4 = 10,9,7,4
+        assert_eq!(store.get(ids[1]).get(0, 0, 0), 10.0);
+        assert_eq!(store.get(ids[1]).get(2, 2, 2), 7.0);
+        assert_eq!(store.get(ids[1]).get(1, 1, 3), 4.0);
+    }
+
+    #[test]
+    fn locals_carry_within_column_of_forward_solver() {
+        // Running max via a local: loc = max(loc, a); out = loc
+        let (mut g, ids) = sdfg_with(2, 0, &["a", "out"]);
+        let mut k = Kernel::new(
+            "runmax",
+            Domain::from_shape([2, 2, 4]),
+            KOrder::Forward,
+            Schedule::gpu_vertical(),
+        );
+        k.n_locals = 1;
+        k.stmts.push(Stmt::full(
+            LValue::Local(LocalId(0)),
+            Expr::bin(
+                crate::expr::BinOp::Max,
+                Expr::Local(LocalId(0)),
+                Expr::load(ids[0], 0, 0, 0),
+            ),
+        ));
+        k.stmts
+            .push(Stmt::full(LValue::Field(ids[1]), Expr::Local(LocalId(0))));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k));
+        g.add_state(s);
+
+        let mut store = DataStore::for_sdfg(&g);
+        let vals = [3.0, 1.0, 5.0, 2.0];
+        *store.get_mut(ids[0]) =
+            Array3::from_fn(g.layout_of(ids[0]), |_, _, k| vals[k as usize]);
+        Executor::serial().run(&g, &mut store, &[], &mut NoHooks);
+        let expect = [3.0, 3.0, 5.0, 5.0];
+        for k_ in 0..4i64 {
+            assert_eq!(store.get(ids[1]).get(1, 1, k_), expect[k_ as usize]);
+        }
+    }
+
+    #[test]
+    fn region_statement_applies_only_at_edge() {
+        let (mut g, ids) = sdfg_with(6, 0, &["out"]);
+        let mut k = Kernel::new(
+            "edges",
+            Domain::from_shape([6, 6, 4]),
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        k.stmts
+            .push(Stmt::full(LValue::Field(ids[0]), Expr::c(1.0)));
+        k.stmts.push(Stmt {
+            lvalue: LValue::Field(ids[0]),
+            expr: Expr::c(9.0),
+            k_range: AxisInterval::FULL,
+            region: Some(Region2 {
+                i: AxisInterval::FULL,
+                j: AxisInterval::at_start(0),
+            }),
+            extent: Extent2::ZERO,
+        });
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k));
+        g.add_state(s);
+
+        let mut store = DataStore::for_sdfg(&g);
+        Executor::serial().run(&g, &mut store, &[], &mut NoHooks);
+        assert_eq!(store.get(ids[0]).get(3, 0, 1), 9.0);
+        assert_eq!(store.get(ids[0]).get(3, 1, 1), 1.0);
+        assert_eq!(store.get(ids[0]).get(0, 5, 3), 1.0);
+    }
+
+    #[test]
+    fn extent_extends_statement_domain() {
+        let (mut g, ids) = sdfg_with(6, 2, &["out"]);
+        let mut k = Kernel::new(
+            "ext",
+            Domain::from_shape([6, 6, 4]),
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        k.stmts.push(Stmt {
+            lvalue: LValue::Field(ids[0]),
+            expr: Expr::c(7.0),
+            k_range: AxisInterval::FULL,
+            region: None,
+            extent: Extent2 {
+                i_lo: 1,
+                i_hi: 1,
+                j_lo: 0,
+                j_hi: 0,
+            },
+        });
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k));
+        g.add_state(s);
+
+        let mut store = DataStore::for_sdfg(&g);
+        Executor::serial().run(&g, &mut store, &[], &mut NoHooks);
+        assert_eq!(store.get(ids[0]).get(-1, 0, 0), 7.0);
+        assert_eq!(store.get(ids[0]).get(6, 0, 0), 7.0);
+        assert_eq!(store.get(ids[0]).get(0, -1, 0), 0.0, "j not extended");
+    }
+
+    #[test]
+    fn parallel_pool_matches_serial() {
+        let (mut g, ids) = sdfg_with(16, 1, &["inp", "out"]);
+        let mut k = Kernel::new(
+            "lap",
+            Domain::from_shape([16, 16, 4]),
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        let e = Expr::load(ids[0], -1, 0, 0) + Expr::load(ids[0], 1, 0, 0)
+            - Expr::c(2.0) * Expr::load(ids[0], 0, 0, 0);
+        k.stmts.push(Stmt::full(LValue::Field(ids[1]), e));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k));
+        g.add_state(s);
+
+        let init = |store: &mut DataStore| {
+            let l = g.layout_of(ids[0]);
+            let mut a = Array3::zeros(l);
+            for k_ in 0..4i64 {
+                for j in -1..17i64 {
+                    for i in -1..17i64 {
+                        a.set(i, j, k_, ((i * 7 + j * 3 + k_) % 11) as f64);
+                    }
+                }
+            }
+            *store.get_mut(ids[0]) = a;
+        };
+        let mut s1 = DataStore::for_sdfg(&g);
+        init(&mut s1);
+        Executor::serial().run(&g, &mut s1, &[], &mut NoHooks);
+        let mut s2 = DataStore::for_sdfg(&g);
+        init(&mut s2);
+        Executor::new(Pool::new(4)).run(&g, &mut s2, &[], &mut NoHooks);
+        assert_eq!(s1.get(ids[1]).max_abs_diff(s2.get(ids[1])), 0.0);
+    }
+
+    #[test]
+    fn loop_control_node_repeats() {
+        let (mut g, ids) = sdfg_with(4, 0, &["x"]);
+        let mut k = Kernel::new(
+            "inc",
+            Domain::from_shape([4, 4, 4]),
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        k.stmts.push(Stmt::full(
+            LValue::Field(ids[0]),
+            Expr::load(ids[0], 0, 0, 0) + Expr::c(1.0),
+        ));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k));
+        g.states.push(s);
+        g.control = vec![ControlNode::Loop {
+            trips: 5,
+            body: vec![ControlNode::State(0)],
+        }];
+
+        let mut store = DataStore::for_sdfg(&g);
+        let report = Executor::serial().run(&g, &mut store, &[], &mut NoHooks);
+        assert_eq!(report.launches, 5);
+        assert_eq!(store.get(ids[0]).get(2, 2, 2), 5.0);
+    }
+
+    #[test]
+    fn halo_and_callback_hooks_fire() {
+        let (mut g, ids) = sdfg_with(4, 1, &["x"]);
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::HaloExchange {
+            fields: vec![ids[0]],
+        });
+        s.nodes.push(DataflowNode::Callback {
+            name: "diag".into(),
+            reads: vec![ids[0]],
+            writes: vec![],
+        });
+        g.add_state(s);
+
+        struct H {
+            halos: u32,
+            cbs: Vec<String>,
+        }
+        impl ExecHooks for H {
+            fn halo_exchange(&mut self, fields: &[DataId], _store: &mut DataStore) {
+                assert_eq!(fields.len(), 1);
+                self.halos += 1;
+            }
+            fn callback(&mut self, name: &str, _store: &mut DataStore) {
+                self.cbs.push(name.to_string());
+            }
+        }
+        let mut h = H {
+            halos: 0,
+            cbs: vec![],
+        };
+        let mut store = DataStore::for_sdfg(&g);
+        let report = Executor::serial().run(&g, &mut store, &[], &mut h);
+        assert_eq!(h.halos, 1);
+        assert_eq!(h.cbs, vec!["diag"]);
+        assert_eq!(report.halo_exchanges, 1);
+        assert_eq!(report.callbacks, 1);
+    }
+
+    #[test]
+    fn validation_rejects_horizontal_self_dependency() {
+        let (_, ids) = sdfg_with(4, 1, &["x", "y"]);
+        let mut k = Kernel::new(
+            "bad",
+            Domain::from_shape([4, 4, 4]),
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        k.stmts.push(Stmt::full(
+            LValue::Field(ids[0]),
+            Expr::load(ids[0], 1, 0, 0),
+        ));
+        assert!(validate_kernel(&k).is_err());
+        // And vertical self-dependency in PARALLEL:
+        let mut k2 = Kernel::new(
+            "bad2",
+            Domain::from_shape([4, 4, 4]),
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        k2.stmts.push(Stmt::full(
+            LValue::Field(ids[1]),
+            Expr::load(ids[1], 0, 0, -1),
+        ));
+        assert!(validate_kernel(&k2).is_err());
+        // Forward reading k-1 of own output is fine:
+        let mut k3 = Kernel::new(
+            "ok",
+            Domain::from_shape([4, 4, 4]),
+            KOrder::Forward,
+            Schedule::gpu_vertical(),
+        );
+        k3.stmts.push(Stmt::full(
+            LValue::Field(ids[1]),
+            Expr::load(ids[1], 0, 0, -1),
+        ));
+        assert!(validate_kernel(&k3).is_ok());
+        // ...but reading k+1 in a forward solver is not.
+        let mut k4 = k3.clone();
+        k4.stmts[0].expr = Expr::load(ids[1], 0, 0, 1);
+        assert!(validate_kernel(&k4).is_err());
+    }
+
+    #[test]
+    fn param_count_is_checked() {
+        let mut g = Sdfg::new("t");
+        g.add_param("dt");
+        let store = &mut DataStore::for_sdfg(&g);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Executor::serial().run(&g, store, &[], &mut NoHooks);
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,475 @@
+//! Kernel fusion transformations — the workhorses of Table III and the
+//! transformation families transfer tuning searches over (Section VI-B).
+//!
+//! * **On-the-fly map fusion (OTF)** "fuses by replicating the computations
+//!   of the first map for each input of the second map, thereby trading
+//!   memory for recomputation": the producer's expression is spliced into
+//!   the consumer at every offset the consumer reads the intermediate at.
+//! * **Subgraph fusion (SGF)** "can fuse arbitrary subgraphs into a single
+//!   kernel by extracting common iteration spaces": adjacent kernels with
+//!   identical domains and compatible vertical orders are concatenated
+//!   into one kernel when every cross-kernel dependency is pointwise.
+
+use crate::exec::validate_kernel;
+use crate::expr::{DataId, Expr, LocalId};
+use crate::graph::{DataflowNode, Sdfg};
+use crate::kernel::{KOrder, Kernel, LValue};
+use crate::transforms::{touches_between, Applied, UsageMap};
+
+/// Error type for rejected transformations.
+pub type TransformResult = Result<Applied, String>;
+
+fn kernels_at<'a>(
+    sdfg: &'a Sdfg,
+    state: usize,
+    a: usize,
+    b: usize,
+) -> Result<(&'a Kernel, &'a Kernel), String> {
+    let get = |i: usize| match sdfg.states[state].nodes.get(i) {
+        Some(DataflowNode::Kernel(k)) => Ok(k),
+        Some(other) => Err(format!("node {i} is not a kernel: {other:?}")),
+        None => Err(format!("node index {i} out of range")),
+    };
+    Ok((get(a)?, get(b)?))
+}
+
+/// Apply on-the-fly map fusion: inline the single-statement producer at
+/// `(state, producer)` into the consumer at `(state, consumer)`,
+/// re-computing the producer expression at every offset.
+///
+/// Preconditions (all checked):
+/// * both nodes are kernels in the same state, producer before consumer;
+/// * the producer has exactly one statement writing a *transient* field,
+///   with no region restriction and a full K interval;
+/// * the producer is `Parallel` (no loop-carried state to replicate);
+/// * the consumer is the only reader of the intermediate in the program;
+/// * no node between them touches the intermediate or the producer's
+///   inputs;
+/// * the fused kernel passes [`validate_kernel`] (e.g. the consumer must
+///   not write the producer's inputs at conflicting offsets).
+pub fn fuse_otf(sdfg: &mut Sdfg, state: usize, producer: usize, consumer: usize) -> TransformResult {
+    if producer >= consumer {
+        return Err("producer must precede consumer".into());
+    }
+    let usage = UsageMap::build(sdfg);
+    let (p, c) = kernels_at(sdfg, state, producer, consumer)?;
+
+    if p.k_order != KOrder::Parallel {
+        return Err(format!("OTF producer '{}' is not a parallel stencil", p.name));
+    }
+    if p.stmts.len() != 1 {
+        return Err(format!(
+            "OTF producer '{}' has {} statements (need exactly 1)",
+            p.name,
+            p.stmts.len()
+        ));
+    }
+    let pstmt = &p.stmts[0];
+    if pstmt.region.is_some() || pstmt.k_range != crate::kernel::AxisInterval::FULL {
+        return Err("OTF producer statement is region- or interval-restricted".into());
+    }
+    let inter = match pstmt.lvalue {
+        LValue::Field(d) => d,
+        LValue::Local(_) => return Err("OTF producer writes a local".into()),
+    };
+    if !sdfg.containers[inter.0].transient {
+        return Err(format!(
+            "intermediate '{}' is not transient",
+            sdfg.containers[inter.0].name
+        ));
+    }
+    if !c.reads_data(inter) {
+        return Err("consumer does not read the intermediate".into());
+    }
+    if usage.read_count(inter) != 1 {
+        return Err(format!(
+            "intermediate read by {} nodes, need exactly 1",
+            usage.read_count(inter)
+        ));
+    }
+    // Producer inputs must be stable between the two nodes, and the
+    // intermediate untouched.
+    let mut guarded: Vec<DataId> = p.reads().into_iter().map(|(d, _)| d).collect();
+    guarded.push(inter);
+    if touches_between(sdfg, state, producer, consumer, &guarded) {
+        return Err("interfering node between producer and consumer".into());
+    }
+
+    // Splice.
+    let pexpr = pstmt.expr.clone();
+    let mut fused = c.clone();
+    for s in &mut fused.stmts {
+        s.expr = std::mem::replace(&mut s.expr, Expr::Const(0.0))
+            .substitute_load(inter, &|o| pexpr.clone().shift(o));
+    }
+    fused.name = format!("{}*{}", p.name, c.name);
+    validate_kernel(&fused).map_err(|e| format!("fused kernel invalid: {e}"))?;
+
+    let labels = vec![p.name.clone(), c.name.clone()];
+    // Commit: replace consumer, drop producer.
+    sdfg.states[state].nodes[consumer] = DataflowNode::Kernel(fused);
+    sdfg.states[state].nodes.remove(producer);
+    Ok(Applied {
+        kind: "otf",
+        labels,
+    })
+}
+
+/// Apply subgraph fusion: merge adjacent kernels `(state, first)` and
+/// `(state, first + 1)` into one kernel over their common iteration space.
+///
+/// Preconditions (all checked):
+/// * identical domains;
+/// * compatible vertical orders (equal, or one side `Parallel` combined
+///   with a solver — the solver's order wins);
+/// * every field written by the first and read by the second is read at
+///   zero horizontal offset (per-thread ordering suffices — the "no
+///   dependency between threads" condition of Section VI-A1), and at a
+///   vertical offset compatible with the merged K order;
+/// * the merged kernel passes [`validate_kernel`].
+pub fn fuse_subgraph(sdfg: &mut Sdfg, state: usize, first: usize) -> TransformResult {
+    let second = first + 1;
+    let (a, b) = kernels_at(sdfg, state, first, second)?;
+
+    if a.domain != b.domain {
+        return Err(format!(
+            "domain mismatch: '{}' {:?} vs '{}' {:?}",
+            a.name, a.domain, b.name, b.domain
+        ));
+    }
+    let k_order = match (a.k_order, b.k_order) {
+        (x, y) if x == y => x,
+        (KOrder::Parallel, y) => y,
+        (x, KOrder::Parallel) => x,
+        (x, y) => return Err(format!("incompatible K orders {x:?} and {y:?}")),
+    };
+    // Cross-kernel dependencies must be pointwise horizontally.
+    let a_writes = a.writes();
+    for s in &b.stmts {
+        for (d, o) in s.expr.loads() {
+            if a_writes.contains(&d) && (o.i != 0 || o.j != 0) {
+                return Err(format!(
+                    "'{}' reads {d:?} at horizontal offset {o} produced by '{}' — \
+                     requires OTF recomputation, not SGF",
+                    b.name, a.name
+                ));
+            }
+        }
+    }
+
+    let mut fused = a.clone();
+    fused.k_order = k_order;
+    if k_order != KOrder::Parallel {
+        fused.schedule.k_as_loop = true;
+    }
+    // Re-number the second kernel's locals above the first's.
+    let shift = a.n_locals;
+    let mut b_stmts = b.stmts.clone();
+    for s in &mut b_stmts {
+        if let LValue::Local(l) = &mut s.lvalue {
+            *l = LocalId(l.0 + shift);
+        }
+        s.expr = std::mem::replace(&mut s.expr, Expr::Const(0.0)).rewrite(&|e| match e {
+            Expr::Local(l) => Expr::Local(LocalId(l.0 + shift)),
+            other => other,
+        });
+    }
+    fused.stmts.extend(b_stmts);
+    fused.n_locals = a.n_locals + b.n_locals;
+    fused.name = format!("{}+{}", a.name, b.name);
+    fused.cached_fields = {
+        let mut cf = a.cached_fields.clone();
+        for d in &b.cached_fields {
+            if !cf.contains(d) {
+                cf.push(*d);
+            }
+        }
+        cf
+    };
+    validate_kernel(&fused).map_err(|e| format!("fused kernel invalid: {e}"))?;
+
+    let labels = vec![a.name.clone(), b.name.clone()];
+    sdfg.states[state].nodes[first] = DataflowNode::Kernel(fused);
+    sdfg.states[state].nodes.remove(second);
+    Ok(Applied {
+        kind: "sgf",
+        labels,
+    })
+}
+
+/// Greedily apply SGF to every adjacent kernel pair in every state until
+/// no more matches apply. Returns the applied transformations.
+pub fn greedy_subgraph_fusion(sdfg: &mut Sdfg) -> Vec<Applied> {
+    let mut applied = Vec::new();
+    for state in 0..sdfg.states.len() {
+        let mut i = 0;
+        while i + 1 < sdfg.states[state].nodes.len() {
+            match fuse_subgraph(sdfg, state, i) {
+                Ok(a) => applied.push(a),
+                Err(_) => i += 1,
+            }
+        }
+    }
+    applied
+}
+
+/// Greedily apply OTF fusion to every (producer, consumer) candidate pair
+/// in every state until no more matches apply.
+pub fn greedy_otf_fusion(sdfg: &mut Sdfg) -> Vec<Applied> {
+    let mut applied = Vec::new();
+    for state in 0..sdfg.states.len() {
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let n = sdfg.states[state].nodes.len();
+            'outer: for p in 0..n {
+                for c in (p + 1)..n {
+                    if fuse_otf(sdfg, state, p, c).map(|a| applied.push(a)).is_ok() {
+                        progress = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{DataStore, Executor, NoHooks};
+    use crate::graph::State;
+    use crate::kernel::{Domain, Schedule, Stmt};
+    use crate::storage::{Array3, Layout, StorageOrder};
+
+    /// Build: tmp = 2*a ; out = tmp[-1] + tmp[+1]   (classic OTF shape)
+    fn otf_sdfg() -> (Sdfg, DataId, DataId) {
+        let mut g = Sdfg::new("otf");
+        let l = Layout::new([8, 8, 2], [2, 2, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let tmp = g.add_container("tmp", l.clone(), true);
+        let out = g.add_container("out", l, false);
+        let dom = Domain::from_shape([8, 8, 2]);
+
+        let mut p = Kernel::new("prod", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        p.stmts.push(Stmt::full(
+            LValue::Field(tmp),
+            Expr::c(2.0) * Expr::load(a, 0, 0, 0),
+        ));
+        // The producer must compute one extra cell each side so the
+        // consumer can read tmp at +-1 (extent analysis output).
+        p.stmts[0].extent = crate::kernel::Extent2 {
+            i_lo: 1,
+            i_hi: 1,
+            j_lo: 0,
+            j_hi: 0,
+        };
+        let mut c = Kernel::new("cons", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        c.stmts.push(Stmt::full(
+            LValue::Field(out),
+            Expr::load(tmp, -1, 0, 0) + Expr::load(tmp, 1, 0, 0),
+        ));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(p));
+        s.nodes.push(DataflowNode::Kernel(c));
+        g.add_state(s);
+        (g, a, out)
+    }
+
+    fn run_and_get(g: &Sdfg, a: DataId, out: DataId) -> Array3 {
+        let mut store = DataStore::for_sdfg(g);
+        let l = g.layout_of(a);
+        let mut arr = Array3::zeros(l.clone());
+        let (hi, hj, hk) = (l.halo[0] as i64, l.halo[1] as i64, l.halo[2] as i64);
+        let (ni, nj, nk) = (l.domain[0] as i64, l.domain[1] as i64, l.domain[2] as i64);
+        for k in -hk..nk + hk {
+            for j in -hj..nj + hj {
+                for i in -hi..ni + hi {
+                    arr.set(i, j, k, (i * 3 + j * 5 + k * 7) as f64);
+                }
+            }
+        }
+        *store.get_mut(a) = arr;
+        Executor::serial().run(g, &mut store, &[], &mut NoHooks);
+        store.get(out).clone()
+    }
+
+    #[test]
+    fn otf_fusion_preserves_semantics() {
+        let (mut g, a, out) = otf_sdfg();
+        let before = run_and_get(&g, a, out);
+        let applied = fuse_otf(&mut g, 0, 0, 1).expect("OTF should apply");
+        assert_eq!(applied.kind, "otf");
+        assert_eq!(applied.labels, vec!["prod".to_string(), "cons".to_string()]);
+        assert_eq!(g.states[0].nodes.len(), 1);
+        let after = run_and_get(&g, a, out);
+        assert_eq!(before.max_abs_diff(&after), 0.0);
+    }
+
+    #[test]
+    fn otf_fusion_trades_memory_for_recomputation() {
+        let (g, _, _) = otf_sdfg();
+        let profile_sum = |g: &Sdfg| {
+            g.states[0]
+                .kernels()
+                .map(|k| k.profile(&g.layout_fn()).bytes_total())
+                .sum::<u64>()
+        };
+        let flops_sum = |g: &Sdfg| {
+            g.states[0]
+                .kernels()
+                .map(|k| k.profile(&g.layout_fn()).flops)
+                .sum::<u64>()
+        };
+        let bytes_before = profile_sum(&g);
+        let flops_before = flops_sum(&g);
+        let mut g2 = g.clone();
+        fuse_otf(&mut g2, 0, 0, 1).unwrap();
+        let bytes_after = profile_sum(&g2);
+        let flops_after = flops_sum(&g2);
+        assert!(bytes_after < bytes_before, "traffic must drop");
+        assert!(flops_after >= flops_before, "recomputation may add flops");
+    }
+
+    #[test]
+    fn otf_rejects_non_transient_intermediate() {
+        let (mut g, _, _) = otf_sdfg();
+        let tmp = g.find_container("tmp").unwrap();
+        g.containers[tmp.0].transient = false;
+        assert!(fuse_otf(&mut g, 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn otf_rejects_second_reader() {
+        let (mut g, _, _) = otf_sdfg();
+        let tmp = g.find_container("tmp").unwrap();
+        let out2 = g.add_container(
+            "out2",
+            g.containers[0].layout.clone(),
+            false,
+        );
+        let mut extra = Kernel::new(
+            "extra",
+            Domain::from_shape([8, 8, 2]),
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        extra
+            .stmts
+            .push(Stmt::full(LValue::Field(out2), Expr::load(tmp, 0, 0, 0)));
+        g.states[0].nodes.push(DataflowNode::Kernel(extra));
+        assert!(fuse_otf(&mut g, 0, 0, 1).is_err());
+    }
+
+    /// Build: t = a + 1 ; out = t * 3  (pointwise chain, SGF shape)
+    fn sgf_sdfg() -> (Sdfg, DataId, DataId) {
+        let mut g = Sdfg::new("sgf");
+        let l = Layout::new([8, 8, 4], [1, 1, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let t = g.add_container("t", l.clone(), true);
+        let out = g.add_container("out", l, false);
+        let dom = Domain::from_shape([8, 8, 4]);
+        let mut k1 = Kernel::new("add1", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        k1.stmts.push(Stmt::full(
+            LValue::Field(t),
+            Expr::load(a, 0, 0, 0) + Expr::c(1.0),
+        ));
+        let mut k2 = Kernel::new("mul3", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        k2.stmts.push(Stmt::full(
+            LValue::Field(out),
+            Expr::load(t, 0, 0, 0) * Expr::c(3.0),
+        ));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k1));
+        s.nodes.push(DataflowNode::Kernel(k2));
+        g.add_state(s);
+        (g, a, out)
+    }
+
+    #[test]
+    fn sgf_fusion_preserves_semantics() {
+        let (mut g, a, out) = sgf_sdfg();
+        let before = run_and_get(&g, a, out);
+        let applied = fuse_subgraph(&mut g, 0, 0).expect("SGF should apply");
+        assert_eq!(applied.kind, "sgf");
+        assert_eq!(g.states[0].nodes.len(), 1);
+        assert_eq!(g.kernel_count(), 1);
+        let after = run_and_get(&g, a, out);
+        assert_eq!(before.max_abs_diff(&after), 0.0);
+    }
+
+    #[test]
+    fn sgf_rejects_offset_dependency() {
+        let (mut g, _, _) = sgf_sdfg();
+        // Make the consumer read t at an offset: needs OTF, not SGF.
+        let t = g.find_container("t").unwrap();
+        if let DataflowNode::Kernel(k2) = &mut g.states[0].nodes[1] {
+            k2.stmts[0].expr = Expr::load(t, 1, 0, 0) * Expr::c(3.0);
+        }
+        assert!(fuse_subgraph(&mut g, 0, 0).is_err());
+    }
+
+    #[test]
+    fn sgf_rejects_domain_mismatch() {
+        let (mut g, _, _) = sgf_sdfg();
+        if let DataflowNode::Kernel(k2) = &mut g.states[0].nodes[1] {
+            k2.domain = Domain::from_shape([4, 4, 4]);
+        }
+        assert!(fuse_subgraph(&mut g, 0, 0).is_err());
+    }
+
+    #[test]
+    fn sgf_merges_parallel_into_solver_order() {
+        let (mut g, _, _) = sgf_sdfg();
+        if let DataflowNode::Kernel(k2) = &mut g.states[0].nodes[1] {
+            k2.k_order = KOrder::Forward;
+        }
+        let _ = fuse_subgraph(&mut g, 0, 0).expect("parallel+forward fuses");
+        let k = g.states[0].kernels().next().unwrap();
+        assert_eq!(k.k_order, KOrder::Forward);
+        assert!(k.schedule.k_as_loop);
+    }
+
+    #[test]
+    fn sgf_renumbers_locals() {
+        let (mut g, _, _) = sgf_sdfg();
+        // Give both kernels a local 0.
+        for idx in 0..2 {
+            if let DataflowNode::Kernel(k) = &mut g.states[0].nodes[idx] {
+                k.n_locals = 1;
+                k.stmts.insert(
+                    0,
+                    Stmt::full(LValue::Local(LocalId(0)), Expr::c(idx as f64)),
+                );
+            }
+        }
+        fuse_subgraph(&mut g, 0, 0).unwrap();
+        let k = g.states[0].kernels().next().unwrap();
+        assert_eq!(k.n_locals, 2);
+        // Second kernel's local must now be LocalId(1).
+        let has_l1 = k
+            .stmts
+            .iter()
+            .any(|s| matches!(s.lvalue, LValue::Local(LocalId(1))));
+        assert!(has_l1);
+    }
+
+    #[test]
+    fn greedy_fusions_reduce_kernel_count() {
+        let (mut g, a, out) = sgf_sdfg();
+        let before = run_and_get(&g, a, out);
+        let applied = greedy_subgraph_fusion(&mut g);
+        assert_eq!(applied.len(), 1);
+        assert_eq!(g.kernel_count(), 1);
+        let after = run_and_get(&g, a, out);
+        assert_eq!(before.max_abs_diff(&after), 0.0);
+
+        let (mut g2, a2, out2) = otf_sdfg();
+        let before2 = run_and_get(&g2, a2, out2);
+        let applied2 = greedy_otf_fusion(&mut g2);
+        assert_eq!(applied2.len(), 1);
+        let after2 = run_and_get(&g2, a2, out2);
+        assert_eq!(before2.max_abs_diff(&after2), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Data-centric graph transformations (Section VI).
+//!
+//! Every optimization in the paper's pipeline is a rewrite on the SDFG:
+//!
+//! * [`fusion`] — on-the-fly map fusion (OTF, fuse-by-recomputation) and
+//!   subgraph fusion (SGF, common-iteration-space fusion), the two
+//!   transformation families transfer tuning searches over (Section VI-B);
+//! * [`local_storage`] — register caching of vertical-solver accesses and
+//!   demotion of single-thread transients to locals (Section VI-A2);
+//! * [`power`] — strength reduction of the power operator (Section VI-C1);
+//! * [`schedule`] — schedule assignment sweeps and the region realization
+//!   strategy (split kernels vs predication, Section V-A / Table III);
+//! * [`tiling`] — tile-size sweeps feeding the CPU cache model
+//!   (Section V-A's "tiling and tile sizes in each dimension").
+//!
+//! Transforms are *semantics-preserving*: each checks its preconditions
+//! and re-validates the rewritten kernel, returning `Err` (leaving the
+//! graph untouched) when the match does not apply.
+
+pub mod fusion;
+pub mod local_storage;
+pub mod power;
+pub mod schedule;
+pub mod tiling;
+
+use crate::expr::DataId;
+use crate::graph::{DataflowNode, Sdfg};
+
+/// Identifies a node inside an SDFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef {
+    pub state: usize,
+    pub node: usize,
+}
+
+/// Summary of an applied transformation (for reports and transfer-tuning
+/// pattern descriptions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Applied {
+    /// Transformation kind tag, e.g. `"otf"`, `"sgf"`, `"power"`.
+    pub kind: &'static str,
+    /// Labels of the kernels involved.
+    pub labels: Vec<String>,
+}
+
+/// How often each container is read/written across the whole SDFG,
+/// including reads by halo exchanges and callbacks.
+#[derive(Debug, Clone, Default)]
+pub struct UsageMap {
+    pub reads: Vec<u32>,
+    pub writes: Vec<u32>,
+}
+
+impl UsageMap {
+    /// Build for `sdfg`.
+    pub fn build(sdfg: &Sdfg) -> Self {
+        let n = sdfg.containers.len();
+        let mut u = UsageMap {
+            reads: vec![0; n],
+            writes: vec![0; n],
+        };
+        for state in &sdfg.states {
+            for node in &state.nodes {
+                for d in node.reads() {
+                    u.reads[d.0] += 1;
+                }
+                for d in node.writes() {
+                    u.writes[d.0] += 1;
+                }
+            }
+        }
+        u
+    }
+
+    /// Readers of `d` across the program.
+    pub fn read_count(&self, d: DataId) -> u32 {
+        self.reads[d.0]
+    }
+}
+
+/// Whether any node strictly between `a` and `b` in the same state
+/// accesses any of `fields`. Used as a safety precondition by fusions.
+pub fn touches_between(sdfg: &Sdfg, state: usize, a: usize, b: usize, fields: &[DataId]) -> bool {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    sdfg.states[state].nodes[lo + 1..hi].iter().any(|n| {
+        n.reads().iter().any(|d| fields.contains(d))
+            || n.writes().iter().any(|d| fields.contains(d))
+    })
+}
+
+/// Fetch a kernel by reference (panics if the node is not a kernel).
+pub fn kernel_at<'a>(sdfg: &'a Sdfg, r: NodeRef) -> &'a crate::kernel::Kernel {
+    match &sdfg.states[r.state].nodes[r.node] {
+        DataflowNode::Kernel(k) => k,
+        other => panic!("expected kernel at {r:?}, found {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::graph::State;
+    use crate::kernel::{Domain, KOrder, Kernel, LValue, Schedule, Stmt};
+    use crate::storage::{Layout, StorageOrder};
+
+    #[test]
+    fn usage_map_counts_all_states() {
+        let mut g = Sdfg::new("u");
+        let l = Layout::new([4, 4, 2], [1, 1, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let b = g.add_container("b", l.clone(), true);
+        let mut k1 = Kernel::new(
+            "k1",
+            Domain::from_shape([4, 4, 2]),
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        k1.stmts
+            .push(Stmt::full(LValue::Field(b), Expr::load(a, 0, 0, 0)));
+        let mut s1 = State::new("s1");
+        s1.nodes.push(DataflowNode::Kernel(k1.clone()));
+        g.add_state(s1);
+        let mut s2 = State::new("s2");
+        s2.nodes.push(DataflowNode::Kernel(k1));
+        g.add_state(s2);
+
+        let u = UsageMap::build(&g);
+        assert_eq!(u.read_count(a), 2);
+        assert_eq!(u.writes[b.0], 2);
+    }
+
+    #[test]
+    fn touches_between_detects_interference() {
+        let mut g = Sdfg::new("t");
+        let l = Layout::new([4, 4, 2], [0, 0, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let b = g.add_container("b", l.clone(), false);
+        let c = g.add_container("c", l, false);
+        let mk = |name: &str, r: DataId, w: DataId| {
+            let mut k = Kernel::new(
+                name,
+                Domain::from_shape([4, 4, 2]),
+                KOrder::Parallel,
+                Schedule::gpu_horizontal(),
+            );
+            k.stmts
+                .push(Stmt::full(LValue::Field(w), Expr::load(r, 0, 0, 0)));
+            DataflowNode::Kernel(k)
+        };
+        let mut s = State::new("s");
+        s.nodes.push(mk("k0", a, b));
+        s.nodes.push(mk("k1", b, c));
+        s.nodes.push(mk("k2", a, c));
+        g.add_state(s);
+        // Node 1 (k1) reads b and writes c, so b and c interfere between
+        // nodes 0 and 2 but a does not.
+        assert!(touches_between(&g, 0, 0, 2, &[b]));
+        assert!(touches_between(&g, 0, 0, 2, &[c]));
+        assert!(!touches_between(&g, 0, 0, 2, &[a]));
+        // Adjacent nodes never interfere (empty range between them).
+        assert!(!touches_between(&g, 0, 0, 1, &[b]));
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests on the FV3 numerics: PPM reconstruction
+//! invariants, transport conservation, tridiagonal-solver correctness
+//! against dense elimination, and remap conservation.
+
+use dataflow::{Array3, Layout};
+use fv3::fv_tp_2d::{baseline_fv_tp_2d, baseline_transport_update};
+use fv3::ppm::{baseline_ppm, flux_from_left, flux_from_right, SweepAxis};
+use fv3::remapping::remap_column;
+use fv3::riem_solver_c::{baseline_riem_solver_c, couple, rhs_forcing, sound_speed2};
+use proptest::prelude::*;
+
+fn field_from(vals: &[f64], n: usize, nk: usize, halo: usize) -> Array3 {
+    let l = Layout::fv3_default([n, n, nk], [halo, halo, 0]);
+    let mut a = Array3::zeros(l);
+    let h = halo as i64;
+    let w = (n + 2 * halo) as i64;
+    for k in 0..nk as i64 {
+        for j in -h..n as i64 + h {
+            for i in -h..n as i64 + h {
+                let idx = ((k * w + j + h) * w + i + h) as usize;
+                a.set(i, j, k, vals[idx % vals.len()]);
+            }
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ppm_flux_stays_within_cell_bounds_for_small_deviations(
+        q in 0.5f64..4.0,
+        bl in -0.2f64..0.2,
+        br in -0.2f64..0.2,
+        c in 0.01f64..1.0,
+    ) {
+        // For a monotone parabola (small edge deviations), the upwind
+        // flux mean must lie within the parabola's range over the cell,
+        // which is contained in [q - |bl|-|br|-..., q + ...]. We check a
+        // safe outer bound: min/max of edge values and the mean +- the
+        // q6 bulge.
+        let lo = (q + bl).min(q + br).min(q) - 1.5 * (bl.abs() + br.abs());
+        let hi = (q + bl).max(q + br).max(q) + 1.5 * (bl.abs() + br.abs());
+        let f_pos = flux_from_left(q, bl, br, c);
+        let f_neg = flux_from_right(q, bl, br, -c);
+        prop_assert!((lo..=hi).contains(&f_pos), "{f_pos} outside [{lo},{hi}]");
+        prop_assert!((lo..=hi).contains(&f_neg), "{f_neg} outside [{lo},{hi}]");
+    }
+
+    #[test]
+    fn ppm_preserves_constants_for_any_courant(
+        q in -5.0f64..5.0,
+        c in -1.0f64..1.0,
+    ) {
+        // bl = br = 0 (constant field): flux value is q regardless of c.
+        let f = if c > 0.0 {
+            flux_from_left(q, 0.0, 0.0, c)
+        } else {
+            flux_from_right(q, 0.0, 0.0, c)
+        };
+        prop_assert!((f - q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ppm_sweep_constant_field_invariance(
+        value in 0.1f64..10.0,
+        courants in proptest::collection::vec(-0.9f64..0.9, 64),
+    ) {
+        let n = 6;
+        let q = field_from(&[value], n, 1, 3);
+        let c = field_from(&courants, n, 1, 3);
+        let mut flux = Array3::zeros(q.layout().clone());
+        baseline_ppm(SweepAxis::X, &q, &c, &mut flux);
+        for j in 0..n as i64 {
+            for i in 0..=n as i64 {
+                prop_assert!((flux.get(i, j, 0) - value).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transport_update_conserves_tracer_mass_globally(
+        qs in proptest::collection::vec(0.2f64..2.0, 128),
+        winds in proptest::collection::vec(-0.4f64..0.4, 128),
+    ) {
+        // With rarea = 1 the update telescopes: interior mass change
+        // equals net boundary import, exactly.
+        let n = 6;
+        let mut q = field_from(&qs, n, 1, 4);
+        let mut delp = field_from(&[100.0], n, 1, 4);
+        let crx = field_from(&winds, n, 1, 4);
+        let cry = field_from(&winds[1..], n, 1, 4);
+        let xfx = field_from(&winds[2..], n, 1, 4);
+        let yfx = field_from(&winds[3..], n, 1, 4);
+        let rarea = field_from(&[1.0], n, 1, 4);
+        let mut fx = Array3::zeros(q.layout().clone());
+        let mut fy = Array3::zeros(q.layout().clone());
+        baseline_fv_tp_2d(&q, &crx, &cry, &xfx, &yfx, &mut fx, &mut fy);
+
+        let mass = |q: &Array3, delp: &Array3| -> f64 {
+            let mut s = 0.0;
+            for j in 0..n as i64 {
+                for i in 0..n as i64 {
+                    s += q.get(i, j, 0) * delp.get(i, j, 0);
+                }
+            }
+            s
+        };
+        let before = mass(&q, &delp);
+        let mut boundary = 0.0;
+        for j in 0..n as i64 {
+            boundary += fx.get(0, j, 0) - fx.get(n as i64, j, 0);
+        }
+        for i in 0..n as i64 {
+            boundary += fy.get(i, 0, 0) - fy.get(i, n as i64, 0);
+        }
+        baseline_transport_update(&mut q, &mut delp, &fx, &fy, &xfx, &yfx, &rarea);
+        let after = mass(&q, &delp);
+        prop_assert!(
+            (after - before - boundary).abs() < 1e-8 * before.abs().max(1.0),
+            "mass {} -> {} vs boundary {}", before, after, boundary
+        );
+    }
+
+    #[test]
+    fn riemann_solution_solves_the_dense_system(
+        delps in proptest::collection::vec(400.0f64..1600.0, 12),
+        pts in proptest::collection::vec(240.0f64..360.0, 12),
+        dzs in proptest::collection::vec(-900.0f64..-150.0, 12),
+        ws in proptest::collection::vec(-3.0f64..3.0, 12),
+        dt in 0.5f64..8.0,
+    ) {
+        let nk = delps.len();
+        let l = Layout::fv3_default([1, 1, nk], [0, 0, 1]);
+        let mut delp = Array3::zeros(l.clone());
+        let mut pt = Array3::zeros(l.clone());
+        let mut delz = Array3::zeros(l.clone());
+        let mut w = Array3::zeros(l);
+        for k in 0..nk {
+            delp.set(0, 0, k as i64, delps[k]);
+            pt.set(0, 0, k as i64, pts[k]);
+            delz.set(0, 0, k as i64, dzs[k]);
+            w.set(0, 0, k as i64, ws[k]);
+        }
+        // Vertical halo values (k = -1, nk) read by nothing here but
+        // must exist in the layout.
+        let w0 = w.clone();
+        baseline_riem_solver_c(&delp, &pt, &delz, &mut w, dt);
+
+        // Rebuild the dense tridiagonal system and check the residual.
+        let cs: Vec<f64> = pts.iter().map(|&p| sound_speed2::<f64>(p)).collect();
+        let mut aa = vec![0.0; nk];
+        for k in 1..nk {
+            aa[k] = couple::<f64>(cs[k - 1], cs[k], dzs[k - 1], dzs[k], dt * dt);
+        }
+        for k in 0..nk {
+            let ab = if k < nk - 1 { aa[k + 1] } else { 0.0 };
+            let b = delps[k] + aa[k] + ab;
+            let rhs = if k == 0 || k == nk - 1 {
+                delps[k] * w0.get(0, 0, k as i64)
+            } else {
+                rhs_forcing::<f64>(
+                    delps[k], w0.get(0, 0, k as i64), cs[k],
+                    pts[k - 1], pts[k], pts[k + 1], dt,
+                )
+            };
+            let mut lhs = b * w.get(0, 0, k as i64);
+            if k > 0 { lhs -= aa[k] * w.get(0, 0, k as i64 - 1); }
+            if k < nk - 1 { lhs -= aa[k + 1] * w.get(0, 0, k as i64 + 1); }
+            prop_assert!(
+                ((lhs - rhs) / rhs.abs().max(1.0)).abs() < 1e-9,
+                "residual at k={}: {} vs {}", k, lhs, rhs
+            );
+        }
+    }
+
+    #[test]
+    fn remap_conserves_and_bounds_any_partition(
+        src in proptest::collection::vec((0.3f64..2.0, -5.0f64..5.0), 3..14),
+        dst_raw in proptest::collection::vec(0.3f64..2.0, 3..14),
+    ) {
+        let src_dp: Vec<f64> = src.iter().map(|(d, _)| *d).collect();
+        let src_val: Vec<f64> = src.iter().map(|(_, v)| *v).collect();
+        let total: f64 = src_dp.iter().sum();
+        let draw: f64 = dst_raw.iter().sum();
+        let dst_dp: Vec<f64> = dst_raw.iter().map(|d| d * total / draw).collect();
+
+        let out = remap_column(&src_dp, &src_val, &dst_dp);
+        let m0: f64 = src_dp.iter().zip(&src_val).map(|(d, v)| d * v).sum();
+        let m1: f64 = dst_dp.iter().zip(&out).map(|(d, v)| d * v).sum();
+        prop_assert!((m0 - m1).abs() < 1e-9 * m0.abs().max(1.0), "{m0} vs {m1}");
+
+        let (lo, hi) = src_val
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
+        for v in &out {
+            prop_assert!((lo - 1e-12..=hi + 1e-12).contains(v), "{v} outside [{lo},{hi}]");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Real host-memory bandwidth probes, after McCalpin's STREAM.
+//!
+//! Section VIII-A of the paper measures peak attainable bandwidth with
+//! STREAM (CPU) and the CUDA bandwidth test (GPU), then verifies the
+//! toolchain reaches it with a one-input/one-output "copy stencil". This
+//! module provides the same probes for the *host* this reproduction runs
+//! on, so the `bandwidth` bench can report (a) the paper's modeled numbers
+//! and (b) a genuine measurement of the machine at hand.
+
+use std::time::Instant;
+
+/// Result of a bandwidth probe.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamResult {
+    /// Best observed bandwidth over all trials, bytes/second.
+    pub best_bandwidth: f64,
+    /// Bytes moved per trial (reads + writes).
+    pub bytes_per_trial: u64,
+    /// Number of timed trials.
+    pub trials: u32,
+}
+
+impl StreamResult {
+    /// Bandwidth in GiB/s, the unit the paper reports achieved numbers in.
+    pub fn gib_per_s(&self) -> f64 {
+        self.best_bandwidth / (1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+fn time_best<F: FnMut()>(trials: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// STREAM "copy": `b[i] = a[i]`. Moves 16 bytes per element.
+pub fn copy(elements: usize, trials: u32) -> StreamResult {
+    let a = vec![1.0f64; elements];
+    let mut b = vec![0.0f64; elements];
+    let secs = time_best(trials, || {
+        b.copy_from_slice(&a);
+        std::hint::black_box(&mut b);
+    });
+    let bytes = (elements * 16) as u64;
+    StreamResult {
+        best_bandwidth: bytes as f64 / secs,
+        bytes_per_trial: bytes,
+        trials,
+    }
+}
+
+/// STREAM "triad": `c[i] = a[i] + s * b[i]`. Moves 24 bytes per element.
+pub fn triad(elements: usize, trials: u32) -> StreamResult {
+    let a = vec![1.0f64; elements];
+    let b = vec![2.0f64; elements];
+    let mut c = vec![0.0f64; elements];
+    let s = 3.0f64;
+    let secs = time_best(trials, || {
+        for i in 0..elements {
+            c[i] = a[i] + s * b[i];
+        }
+        std::hint::black_box(&mut c);
+    });
+    let bytes = (elements * 24) as u64;
+    StreamResult {
+        best_bandwidth: bytes as f64 / secs,
+        bytes_per_trial: bytes,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_reports_positive_bandwidth() {
+        let r = copy(1 << 16, 3);
+        assert!(r.best_bandwidth > 0.0);
+        assert_eq!(r.bytes_per_trial, (1u64 << 16) * 16);
+        assert!(r.gib_per_s() > 0.0);
+    }
+
+    #[test]
+    fn triad_reports_positive_bandwidth() {
+        let r = triad(1 << 16, 3);
+        assert!(r.best_bandwidth > 0.0);
+        assert_eq!(r.trials, 3);
+    }
+
+    #[test]
+    fn gib_conversion() {
+        let r = StreamResult {
+            best_bandwidth: 1024.0 * 1024.0 * 1024.0,
+            bytes_per_trial: 0,
+            trials: 1,
+        };
+        assert!((r.gib_per_s() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! The debug backend: run one stencil directly on arrays, naively.
+//!
+//! Equivalent to GT4Py's pure-Python backend, "ideal for rapid
+//! prototyping, debugging and interactive visualization": no fusion, no
+//! scheduling, one full-field pass per stencil operation, with every
+//! temporary a real array. Used pervasively by tests as the semantic
+//! reference for optimized execution paths.
+
+use crate::ir::{Intent, StencilDef};
+use crate::lower::StencilInvocation;
+use dataflow::exec::{DataStore, Executor, NoHooks};
+use dataflow::graph::{DataflowNode, ExpansionAttrs, Sdfg, State};
+use dataflow::kernel::Domain;
+use dataflow::storage::{Array3, Layout};
+use std::sync::Arc;
+
+/// Run `def` on the given named arrays over `domain`.
+///
+/// `fields` must bind every non-temporary field; arrays must share the
+/// compute-domain shape and provide the halos the stencil requires.
+/// Temporaries are allocated internally. Outputs are written back into
+/// the bound arrays.
+pub fn run_stencil(
+    def: &Arc<StencilDef>,
+    fields: &mut [(&str, &mut Array3)],
+    params: &[(&str, f64)],
+    domain: Domain,
+) -> Result<(), String> {
+    let mut sdfg = Sdfg::new(format!("debug_{}", def.name));
+    let mut binding = Vec::with_capacity(def.fields.len());
+    let mut io_map: Vec<(usize, usize)> = Vec::new(); // (stencil field, fields slot)
+
+    // Use the first bound array's layout as the temp template.
+    let template: Layout = fields
+        .first()
+        .map(|(_, a)| a.layout().clone())
+        .ok_or("no fields bound")?;
+
+    for (fi, f) in def.fields.iter().enumerate() {
+        if f.intent == Intent::Temp {
+            let d = sdfg.add_container(format!("__{}", f.name), template.clone(), true);
+            binding.push(d);
+        } else {
+            let slot = fields
+                .iter()
+                .position(|(n, _)| *n == f.name)
+                .ok_or_else(|| format!("field '{}' not bound", f.name))?;
+            let d = sdfg.add_container(&f.name, fields[slot].1.layout().clone(), false);
+            binding.push(d);
+            io_map.push((fi, slot));
+        }
+    }
+    let mut param_values = Vec::with_capacity(def.params.len());
+    let mut param_binding = Vec::with_capacity(def.params.len());
+    for p in &def.params {
+        let v = params
+            .iter()
+            .find(|(n, _)| *n == p.as_str())
+            .ok_or_else(|| format!("param '{}' not bound", p))?
+            .1;
+        param_binding.push(sdfg.add_param(p.clone()));
+        param_values.push(v);
+    }
+
+    let inv = StencilInvocation::new(def.clone(), binding.clone(), param_binding, domain)?;
+    crate::extents::check_halos(def, &inv.analysis, &|fi| {
+        sdfg.containers[binding[fi].0].layout.halo
+    })?;
+    let mut state = State::new("debug");
+    state.nodes.push(DataflowNode::Library(Arc::new(inv)));
+    sdfg.add_state(state);
+    sdfg.expand_libraries(&ExpansionAttrs::naive());
+
+    let mut store = DataStore::for_sdfg(&sdfg);
+    for &(fi, slot) in &io_map {
+        store.get_mut(binding[fi]).copy_from(fields[slot].1);
+    }
+    Executor::serial().run(&sdfg, &mut store, &param_values, &mut NoHooks);
+    for &(fi, slot) in &io_map {
+        let intent = def.fields[fi].intent;
+        if matches!(intent, Intent::Out | Intent::InOut) {
+            fields[slot].1.copy_from(store.get(binding[fi]));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::fns::*;
+    use crate::builder::StencilBuilder;
+    use dataflow::kernel::{AxisInterval, KOrder};
+    use dataflow::storage::StorageOrder;
+
+    #[test]
+    fn debug_backend_runs_a_diffusion_step() {
+        let def = Arc::new(
+            StencilBuilder::new("diffuse", |b| {
+                let q = b.input("q");
+                let out = b.output("out");
+                let alpha = b.param("alpha");
+                b.computation(KOrder::Parallel, AxisInterval::FULL, |c| {
+                    c.assign(
+                        &out,
+                        q.c() + alpha.ex()
+                            * (q.at(-1, 0, 0) + q.at(1, 0, 0) + q.at(0, -1, 0) + q.at(0, 1, 0)
+                                - lit(4.0) * q.c()),
+                    );
+                });
+            })
+            .unwrap(),
+        );
+        let l = Layout::new([8, 8, 2], [1, 1, 0], StorageOrder::IContiguous, 1);
+        let mut q = Array3::filled(l.clone(), 1.0);
+        q.set(4, 4, 0, 2.0); // a bump
+        let mut out = Array3::zeros(l);
+        run_stencil(
+            &def,
+            &mut [("q", &mut q), ("out", &mut out)],
+            &[("alpha", 0.1)],
+            Domain::from_shape([8, 8, 2]),
+        )
+        .unwrap();
+        // Bump diffuses: centre decreases, neighbours increase.
+        assert!(out.get(4, 4, 0) < 2.0);
+        assert!(out.get(3, 4, 0) > 1.0);
+        // Away from the bump nothing changes.
+        assert_eq!(out.get(0, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn inout_fields_write_back() {
+        let def = Arc::new(
+            StencilBuilder::new("double", |b| {
+                let q = b.inout("q");
+                b.computation(KOrder::Parallel, AxisInterval::FULL, |c| {
+                    c.assign(&q, q.c() * lit(2.0));
+                });
+            })
+            .unwrap(),
+        );
+        let l = Layout::new([4, 4, 2], [0, 0, 0], StorageOrder::IContiguous, 1);
+        let mut q = Array3::filled(l, 3.0);
+        run_stencil(
+            &def,
+            &mut [("q", &mut q)],
+            &[],
+            Domain::from_shape([4, 4, 2]),
+        )
+        .unwrap();
+        assert_eq!(q.get(2, 2, 1), 6.0);
+    }
+
+    #[test]
+    fn unbound_field_is_reported() {
+        let def = Arc::new(
+            StencilBuilder::new("s", |b| {
+                let q = b.input("q");
+                let out = b.output("out");
+                b.computation(KOrder::Parallel, AxisInterval::FULL, |c| {
+                    c.assign(&out, q.c());
+                });
+            })
+            .unwrap(),
+        );
+        let l = Layout::new([4, 4, 2], [0, 0, 0], StorageOrder::IContiguous, 1);
+        let mut q = Array3::zeros(l);
+        let err = run_stencil(
+            &def,
+            &mut [("q", &mut q)],
+            &[],
+            Domain::from_shape([4, 4, 2]),
+        );
+        assert!(err.unwrap_err().contains("not bound"));
+    }
+
+    #[test]
+    fn min_max_and_select_work_end_to_end() {
+        let def = Arc::new(
+            StencilBuilder::new("clip", |b| {
+                let q = b.input("q");
+                let out = b.output("out");
+                b.computation(KOrder::Parallel, AxisInterval::FULL, |c| {
+                    // out = q clipped to [0, 1], via select(q < 0, 0, min(q, 1))
+                    c.assign(
+                        &out,
+                        select(
+                            dataflow::Expr::cmp(dataflow::CmpOp::Lt, q.c(), lit(0.0)),
+                            lit(0.0),
+                            min(q.c(), lit(1.0)),
+                        ),
+                    );
+                });
+            })
+            .unwrap(),
+        );
+        let l = Layout::new([3, 1, 1], [0, 0, 0], StorageOrder::IContiguous, 1);
+        let mut q = Array3::zeros(l.clone());
+        q.set(0, 0, 0, -5.0);
+        q.set(1, 0, 0, 0.5);
+        q.set(2, 0, 0, 7.0);
+        let mut out = Array3::zeros(l);
+        run_stencil(
+            &def,
+            &mut [("q", &mut q), ("out", &mut out)],
+            &[],
+            Domain::from_shape([3, 1, 1]),
+        )
+        .unwrap();
+        assert_eq!(out.get(0, 0, 0), 0.0);
+        assert_eq!(out.get(1, 0, 0), 0.5);
+        assert_eq!(out.get(2, 0, 0), 1.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! A declarative, Rust-embedded stencil DSL for Earth-system models — the
+//! GT4Py analog (Section III-A of the SC'22 paper).
+//!
+//! Stencils are declared with [`builder::StencilBuilder`]: fields with
+//! intents, scalar parameters, computation blocks (`PARALLEL` /
+//! `FORWARD` / `BACKWARD`) over pressure-level intervals, horizontal
+//! regions for cubed-sphere edge corrections, and NumPy-esque assignments
+//! over relative offsets. The DSL never mentions schedules, layouts, or
+//! hardware: those belong to the backend ([`lower`]) and the optimizer
+//! (`dataflow::transforms`).
+//!
+//! * [`ir`] — the parsed stencil definition and its validation rules;
+//! * [`builder`] — the user-facing embedded DSL;
+//! * [`extents`] — compute-extent and halo inference;
+//! * [`lower`] — `StencilComputation` library nodes + expansion;
+//! * [`program`] — whole-program assembly (orchestration entry);
+//! * [`debug`] — the naive reference backend.
+
+pub mod builder;
+pub mod debug;
+pub mod extents;
+pub mod ir;
+pub mod lower;
+pub mod program;
+
+pub use builder::{fns, ComputationCtx, FieldHandle, ParamHandle, StencilBuilder};
+pub use extents::{analyze, ExtentAnalysis};
+pub use ir::{Computation, FieldDecl, Intent, StencilDef, StencilStmt};
+pub use lower::StencilInvocation;
+pub use program::ProgramBuilder;
+
+/// Re-exports of the dataflow types stencil authors need.
+pub mod prelude {
+    pub use crate::builder::fns::*;
+    pub use crate::builder::{FieldHandle, ParamHandle, StencilBuilder};
+    pub use crate::ir::StencilDef;
+    pub use crate::program::ProgramBuilder;
+    pub use dataflow::kernel::{Anchor, AxisInterval, KOrder, Region2};
+    pub use dataflow::{Array3, DataId, Expr, Layout, StorageOrder};
+    pub use std::sync::Arc;
+}

@@ -1,0 +1,471 @@
+//! Lowering stencils into the dataflow IR (Section V-A "From GT4Py to
+//! SDFG").
+//!
+//! A [`StencilInvocation`] is the `StencilComputation` library node: a
+//! stencil definition bound to program containers and parameters over a
+//! concrete domain. Expansion turns it into kernels according to
+//! [`ExpansionAttrs`]:
+//!
+//! * naive: one kernel per stencil operation (assignment) — the
+//!   unoptimized default;
+//! * `fuse_intervals`: consecutive forward/backward interval blocks merge
+//!   into a single sweep kernel, "which allows to avoid flushing and
+//!   re-initialization of cached values to and from global memory between
+//!   loops" (Section VI-A1);
+//! * `fuse_statements`: consecutive operations with no cross-thread
+//!   dependency merge into one kernel ("kernel fusion is applied on the
+//!   thread level if no dependency between threads exists").
+
+use crate::extents::{analyze, ExtentAnalysis};
+use crate::ir::{Intent, StencilDef};
+use dataflow::exec::validate_kernel;
+use dataflow::graph::{ExpansionAttrs, LibraryNode};
+use dataflow::kernel::{Domain, KOrder, Kernel, LValue, Schedule, Stmt};
+use dataflow::{DataId, Expr, ParamId};
+use std::sync::Arc;
+
+/// A stencil bound to concrete containers/parameters over a domain — the
+/// library node inserted into the program graph.
+#[derive(Debug, Clone)]
+pub struct StencilInvocation {
+    pub def: Arc<StencilDef>,
+    /// Stencil-local field index → program container.
+    pub field_binding: Vec<DataId>,
+    /// Stencil-local parameter index → program parameter.
+    pub param_binding: Vec<ParamId>,
+    /// Compute domain of this call.
+    pub domain: Domain,
+    /// Extent analysis (computed once at construction).
+    pub analysis: ExtentAnalysis,
+}
+
+impl StencilInvocation {
+    /// Bind `def` to containers and parameters.
+    pub fn new(
+        def: Arc<StencilDef>,
+        field_binding: Vec<DataId>,
+        param_binding: Vec<ParamId>,
+        domain: Domain,
+    ) -> Result<Self, String> {
+        if field_binding.len() != def.fields.len() {
+            return Err(format!(
+                "stencil '{}' declares {} fields, {} bound",
+                def.name,
+                def.fields.len(),
+                field_binding.len()
+            ));
+        }
+        if param_binding.len() != def.params.len() {
+            return Err(format!(
+                "stencil '{}' declares {} params, {} bound",
+                def.name,
+                def.params.len(),
+                param_binding.len()
+            ));
+        }
+        def.validate()?;
+        let analysis = analyze(&def);
+        Ok(StencilInvocation {
+            def,
+            field_binding,
+            param_binding,
+            domain,
+            analysis,
+        })
+    }
+
+    /// Remap a stencil-local expression to program ids.
+    fn remap(&self, e: &Expr) -> Expr {
+        e.clone().rewrite(&|e| match e {
+            Expr::Load(d, o) => Expr::Load(self.field_binding[d.0], o),
+            Expr::Param(p) => Expr::Param(self.param_binding[p.0]),
+            other => other,
+        })
+    }
+
+    /// Lower one computation block's statements to dataflow [`Stmt`]s,
+    /// with extents from the analysis. `flat_base` is the index of the
+    /// block's first statement in `all_stmts` order.
+    fn lower_stmts(&self, ci: usize, flat_base: usize) -> Vec<Stmt> {
+        let comp = &self.def.computations[ci];
+        comp.stmts
+            .iter()
+            .enumerate()
+            .map(|(si, s)| Stmt {
+                lvalue: LValue::Field(self.field_binding[s.target]),
+                expr: self.remap(&s.expr),
+                k_range: comp.interval,
+                region: s.region,
+                extent: self.analysis.stmt_extents[flat_base + si],
+            })
+            .collect()
+    }
+
+    fn schedule_for(&self, order: KOrder, attrs: &ExpansionAttrs) -> Schedule {
+        if order == KOrder::Parallel {
+            attrs.horizontal.clone()
+        } else {
+            attrs.vertical.clone()
+        }
+    }
+
+    /// Can `stmt` join a kernel that already writes `written` fields?
+    /// (zero horizontal offset on intra-kernel dependencies; vertical
+    /// offsets are re-checked by [`validate_kernel`].)
+    fn can_join(stmt: &Stmt, written: &[DataId]) -> bool {
+        stmt.expr
+            .loads()
+            .iter()
+            .all(|(d, o)| !written.contains(d) || (o.i == 0 && o.j == 0))
+    }
+}
+
+impl LibraryNode for StencilInvocation {
+    fn label(&self) -> &str {
+        &self.def.name
+    }
+
+    fn expand(&self, attrs: &ExpansionAttrs) -> Vec<Kernel> {
+        // Pass 1: lower each computation block.
+        let mut blocks: Vec<(KOrder, Vec<Stmt>)> = Vec::new();
+        let mut flat = 0usize;
+        for (ci, comp) in self.def.computations.iter().enumerate() {
+            let stmts = self.lower_stmts(ci, flat);
+            flat += comp.stmts.len();
+            blocks.push((comp.order, stmts));
+        }
+
+        // Pass 2 (fuse_intervals): merge consecutive solver blocks of the
+        // same order whose resolved K intervals are pairwise disjoint.
+        let blocks = if attrs.fuse_intervals {
+            let mut merged: Vec<(KOrder, Vec<Stmt>)> = Vec::new();
+            for (order, stmts) in blocks {
+                if let Some((prev_order, prev_stmts)) = merged.last_mut() {
+                    let solver = order != KOrder::Parallel && *prev_order == order;
+                    if solver && intervals_disjoint(prev_stmts, &stmts, &self.domain) {
+                        prev_stmts.extend(stmts);
+                        continue;
+                    }
+                }
+                merged.push((order, stmts));
+            }
+            merged
+        } else {
+            blocks
+        };
+
+        // Pass 3: emit kernels, optionally fusing consecutive statements.
+        let mut kernels = Vec::new();
+        let mut op = 0usize;
+        for (order, stmts) in blocks {
+            let schedule = self.schedule_for(order, attrs);
+            if attrs.fuse_statements {
+                let mut current: Option<Kernel> = None;
+                for stmt in stmts {
+                    let joinable = current
+                        .as_ref()
+                        .map(|k| Self::can_join(&stmt, &k.writes()))
+                        .unwrap_or(false);
+                    if joinable {
+                        let k = current.as_mut().unwrap();
+                        k.stmts.push(stmt);
+                        if validate_kernel(k).is_err() {
+                            // Vertical-direction conflict: undo and split.
+                            let bad = k.stmts.pop().unwrap();
+                            kernels.push(current.take().unwrap());
+                            let mut k = Kernel::new(
+                                format!("{}#{}", self.def.name, op),
+                                self.domain,
+                                order,
+                                schedule.clone(),
+                            );
+                            op += 1;
+                            k.stmts.push(bad);
+                            current = Some(k);
+                        }
+                    } else {
+                        if let Some(k) = current.take() {
+                            kernels.push(k);
+                        }
+                        let mut k = Kernel::new(
+                            format!("{}#{}", self.def.name, op),
+                            self.domain,
+                            order,
+                            schedule.clone(),
+                        );
+                        op += 1;
+                        k.stmts.push(stmt);
+                        current = Some(k);
+                    }
+                }
+                if let Some(k) = current.take() {
+                    kernels.push(k);
+                }
+            } else {
+                for stmt in stmts {
+                    let mut k = Kernel::new(
+                        format!("{}#{}", self.def.name, op),
+                        self.domain,
+                        order,
+                        schedule.clone(),
+                    );
+                    op += 1;
+                    k.stmts.push(stmt);
+                    kernels.push(k);
+                }
+            }
+        }
+        for k in &kernels {
+            debug_assert!(validate_kernel(k).is_ok(), "{:?}", validate_kernel(k));
+        }
+        kernels
+    }
+
+    fn reads(&self) -> Vec<DataId> {
+        let mut out = Vec::new();
+        for (fi, f) in self.def.fields.iter().enumerate() {
+            if matches!(f.intent, Intent::In | Intent::InOut | Intent::Temp) {
+                let d = self.field_binding[fi];
+                if !out.contains(&d) {
+                    out.push(d);
+                }
+            }
+        }
+        out
+    }
+
+    fn writes(&self) -> Vec<DataId> {
+        let mut out = Vec::new();
+        for (fi, f) in self.def.fields.iter().enumerate() {
+            if matches!(f.intent, Intent::Out | Intent::InOut | Intent::Temp) {
+                let d = self.field_binding[fi];
+                if !out.contains(&d) {
+                    out.push(d);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// True when every k-interval in `a` is disjoint from every k-interval in
+/// `b` once resolved on `domain` (the merge-safety condition for interval
+/// fusion).
+fn intervals_disjoint(a: &[Stmt], b: &[Stmt], domain: &Domain) -> bool {
+    let (ks, ke) = (domain.start[2], domain.end[2]);
+    for sa in a {
+        let (al, ah) = sa.k_range.resolve(ks, ke);
+        for sb in b {
+            let (bl, bh) = sb.k_range.resolve(ks, ke);
+            if al < bh && bl < ah {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::StencilBuilder;
+    use dataflow::kernel::{Anchor, AxisInterval};
+
+    fn bindings(n: usize) -> Vec<DataId> {
+        (0..n).map(DataId).collect()
+    }
+
+    fn chain_def() -> Arc<StencilDef> {
+        Arc::new(
+            StencilBuilder::new("chain", |b| {
+                let inp = b.input("inp");
+                let tmp = b.temp("tmp");
+                let out = b.output("out");
+                b.computation(KOrder::Parallel, AxisInterval::FULL, |c| {
+                    c.assign(&tmp, inp.c() * Expr::c(2.0));
+                    c.assign(&out, tmp.at(-1, 0, 0) + tmp.at(1, 0, 0));
+                });
+            })
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn naive_expansion_is_one_kernel_per_operation() {
+        let inv = StencilInvocation::new(
+            chain_def(),
+            bindings(3),
+            vec![],
+            Domain::from_shape([8, 8, 4]),
+        )
+        .unwrap();
+        let ks = inv.expand(&ExpansionAttrs::naive());
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].name, "chain#0");
+        // Producer carries the extent from the analysis.
+        assert_eq!(ks[0].stmts[0].extent.i_lo, 1);
+        assert_eq!(ks[0].stmts[0].extent.i_hi, 1);
+    }
+
+    #[test]
+    fn statement_fusion_respects_offset_dependencies() {
+        let inv = StencilInvocation::new(
+            chain_def(),
+            bindings(3),
+            vec![],
+            Domain::from_shape([8, 8, 4]),
+        )
+        .unwrap();
+        // tmp is read at +-1 by the second op: cannot fuse on the thread
+        // level, stays two kernels even with fusion enabled.
+        let ks = inv.expand(&ExpansionAttrs::tuned());
+        assert_eq!(ks.len(), 2);
+
+        // A pointwise chain fuses to one kernel.
+        let pointwise = Arc::new(
+            StencilBuilder::new("pw", |b| {
+                let inp = b.input("inp");
+                let tmp = b.temp("tmp");
+                let out = b.output("out");
+                b.computation(KOrder::Parallel, AxisInterval::FULL, |c| {
+                    c.assign(&tmp, inp.c() + Expr::c(1.0));
+                    c.assign(&out, tmp.c() * Expr::c(3.0));
+                });
+            })
+            .unwrap(),
+        );
+        let inv2 = StencilInvocation::new(
+            pointwise,
+            bindings(3),
+            vec![],
+            Domain::from_shape([8, 8, 4]),
+        )
+        .unwrap();
+        assert_eq!(inv2.expand(&ExpansionAttrs::tuned()).len(), 1);
+        assert_eq!(inv2.expand(&ExpansionAttrs::naive()).len(), 2);
+    }
+
+    fn solver_def() -> Arc<StencilDef> {
+        Arc::new(
+            StencilBuilder::new("solver", |b| {
+                let q = b.inout("q");
+                b.computation(
+                    KOrder::Forward,
+                    AxisInterval::new(Anchor::Start(0), Anchor::Start(1)),
+                    |c| {
+                        c.assign(&q, q.c() * Expr::c(2.0));
+                    },
+                );
+                b.computation(
+                    KOrder::Forward,
+                    AxisInterval::new(Anchor::Start(1), Anchor::End(0)),
+                    |c| {
+                        c.assign(&q, q.at(0, 0, -1) + q.c());
+                    },
+                );
+            })
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn interval_fusion_merges_solver_blocks() {
+        let inv = StencilInvocation::new(
+            solver_def(),
+            bindings(1),
+            vec![],
+            Domain::from_shape([4, 4, 8]),
+        )
+        .unwrap();
+        let naive = inv.expand(&ExpansionAttrs::naive());
+        assert_eq!(naive.len(), 2);
+        let tuned = inv.expand(&ExpansionAttrs::tuned());
+        assert_eq!(tuned.len(), 1, "intervals fuse into one sweep");
+        assert_eq!(tuned[0].k_order, KOrder::Forward);
+        assert!(tuned[0].schedule.k_as_loop);
+        assert_eq!(tuned[0].stmts.len(), 2);
+        // Statements keep their own intervals inside the sweep.
+        let (l0, h0) = tuned[0].stmts[0].k_range.resolve(0, 8);
+        let (l1, h1) = tuned[0].stmts[1].k_range.resolve(0, 8);
+        assert_eq!((l0, h0), (0, 1));
+        assert_eq!((l1, h1), (1, 8));
+    }
+
+    #[test]
+    fn overlapping_intervals_do_not_merge() {
+        let def = Arc::new(
+            StencilBuilder::new("overlap", |b| {
+                let q = b.inout("q");
+                b.computation(KOrder::Forward, AxisInterval::FULL, |c| {
+                    c.assign(&q, q.c() + Expr::c(1.0));
+                });
+                b.computation(KOrder::Forward, AxisInterval::FULL, |c| {
+                    c.assign(&q, q.c() * Expr::c(2.0));
+                });
+            })
+            .unwrap(),
+        );
+        let inv =
+            StencilInvocation::new(def, bindings(1), vec![], Domain::from_shape([4, 4, 8]))
+                .unwrap();
+        let ks = inv.expand(&ExpansionAttrs::tuned());
+        assert_eq!(ks.len(), 2, "overlapping intervals must stay separate");
+    }
+
+    #[test]
+    fn binding_arity_is_checked() {
+        assert!(StencilInvocation::new(
+            chain_def(),
+            bindings(2),
+            vec![],
+            Domain::from_shape([4, 4, 4])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn library_reads_writes_reflect_intents() {
+        let inv = StencilInvocation::new(
+            chain_def(),
+            vec![DataId(10), DataId(11), DataId(12)],
+            vec![],
+            Domain::from_shape([4, 4, 4]),
+        )
+        .unwrap();
+        assert!(inv.reads().contains(&DataId(10)));
+        assert!(inv.writes().contains(&DataId(12)));
+        assert!(inv.writes().contains(&DataId(11))); // temp
+        assert!(!inv.writes().contains(&DataId(10)));
+        assert_eq!(inv.label(), "chain");
+    }
+
+    #[test]
+    fn params_are_remapped() {
+        let def = Arc::new(
+            StencilBuilder::new("scaled", |b| {
+                let inp = b.input("inp");
+                let out = b.output("out");
+                let w = b.param("w");
+                b.computation(KOrder::Parallel, AxisInterval::FULL, |c| {
+                    c.assign(&out, inp.c() * w.ex());
+                });
+            })
+            .unwrap(),
+        );
+        let inv = StencilInvocation::new(
+            def,
+            vec![DataId(4), DataId(5)],
+            vec![ParamId(7)],
+            Domain::from_shape([4, 4, 4]),
+        )
+        .unwrap();
+        let ks = inv.expand(&ExpansionAttrs::naive());
+        let mut found = false;
+        ks[0].stmts[0].expr.visit(&mut |e| {
+            if matches!(e, Expr::Param(ParamId(7))) {
+                found = true;
+            }
+        });
+        assert!(found, "param must be remapped to program id 7");
+    }
+}

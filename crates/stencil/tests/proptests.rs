@@ -1,0 +1,144 @@
+//! Property-based tests on the stencil frontend: extent-analysis
+//! soundness (executing with the inferred extents never reads
+//! out-of-bounds and matches a reference with oversized halos), and
+//! expansion-mode equivalence on randomized stencil chains.
+
+use dataflow::kernel::{AxisInterval, Domain, KOrder};
+use dataflow::{Array3, Expr, Layout};
+use proptest::prelude::*;
+use stencil::debug::run_stencil;
+use stencil::StencilBuilder;
+use std::sync::Arc;
+
+/// Build a random chain stencil: t_0 = f(in), t_i = f(t_{i-1}), out =
+/// f(t_last), where each stage reads at a random small offset.
+fn chain_def(offsets: &[(i32, i32)]) -> Arc<stencil::StencilDef> {
+    let offsets = offsets.to_vec();
+    Arc::new(
+        StencilBuilder::new("chain", |b| {
+            let input = b.input("input");
+            let out = b.output("out");
+            let mut handles = vec![input];
+            for i in 0..offsets.len().saturating_sub(1) {
+                handles.push(b.temp(&format!("t{i}")));
+            }
+            handles.push(out);
+            b.computation(KOrder::Parallel, AxisInterval::FULL, |c| {
+                for (idx, (oi, oj)) in offsets.iter().enumerate() {
+                    let src = handles[idx];
+                    let dst = handles[idx + 1];
+                    c.assign(
+                        &dst,
+                        src.at(*oi, *oj, 0) * Expr::c(0.5) + Expr::c(1.0),
+                    );
+                }
+            });
+        })
+        .expect("chain builds"),
+    )
+}
+
+fn filled(n: usize, halo: usize, seed: i64) -> Array3 {
+    let l = Layout::fv3_default([n, n, 2], [halo, halo, 0]);
+    let h = halo as i64;
+    let mut a = Array3::zeros(l);
+    for k in 0..2i64 {
+        for j in -h..(n as i64 + h) {
+            for i in -h..(n as i64 + h) {
+                a.set(i, j, k, ((i * 3 + j * 7 + k * 11 + seed).rem_euclid(23)) as f64 * 0.125);
+            }
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn inferred_extents_reproduce_oversized_halo_reference(
+        offsets in proptest::collection::vec((-1i32..2, -1i32..2), 1..4),
+        seed in 0i64..50,
+    ) {
+        let def = chain_def(&offsets);
+        let analysis = stencil::analyze(&def);
+        let need = analysis.field_halo(0);
+        let n = 8usize;
+
+        // Reference: huge halo (8), definitely enough.
+        let mut q_ref = filled(n, 8, seed);
+        let mut out_ref = Array3::zeros(Layout::fv3_default([n, n, 2], [8, 8, 0]));
+        run_stencil(
+            &def,
+            &mut [("input", &mut q_ref), ("out", &mut out_ref)],
+            &[],
+            Domain::from_shape([n, n, 2]),
+        ).unwrap();
+
+        // Tight: exactly the inferred halo.
+        let tight = need[0].max(need[1]);
+        let mut q = filled(n, tight.max(1), seed);
+        let mut out = Array3::zeros(Layout::fv3_default([n, n, 2], [tight.max(1), tight.max(1), 0]));
+        run_stencil(
+            &def,
+            &mut [("input", &mut q), ("out", &mut out)],
+            &[],
+            Domain::from_shape([n, n, 2]),
+        ).unwrap();
+
+        for k in 0..2i64 {
+            for j in 0..n as i64 {
+                for i in 0..n as i64 {
+                    prop_assert!(
+                        (out.get(i, j, k) - out_ref.get(i, j, k)).abs() < 1e-12,
+                        "mismatch at ({}, {}, {}) with offsets {:?}", i, j, k, offsets
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_and_fused_expansions_agree_on_random_chains(
+        offsets in proptest::collection::vec((-1i32..2, -1i32..2), 1..4),
+        seed in 0i64..50,
+    ) {
+        use dataflow::exec::{DataStore, Executor, NoHooks};
+        use dataflow::graph::ExpansionAttrs;
+        use stencil::ProgramBuilder;
+
+        let def = chain_def(&offsets);
+        let n = 8usize;
+        let mut results: Vec<Array3> = Vec::new();
+        for attrs in [ExpansionAttrs::naive(), ExpansionAttrs::tuned(), ExpansionAttrs::tuned_cpu()] {
+            let mut b = ProgramBuilder::new("p", [n, n, 2], [4, 4, 0]);
+            let input = b.field("input");
+            let out = b.field("out");
+            b.call(&def, &[("input", input), ("out", out)], &[]).unwrap();
+            let mut g = b.build();
+            g.expand_libraries(&attrs);
+            dataflow::exec::validate_sdfg(&g).unwrap();
+            let mut store = DataStore::for_sdfg(&g);
+            *store.get_mut(input) = filled(n, 4, seed);
+            Executor::serial().run(&g, &mut store, &[], &mut NoHooks);
+            results.push(store.get(out).clone());
+        }
+        prop_assert!(results[0].max_abs_diff(&results[1]) < 1e-12, "naive vs tuned");
+        prop_assert!(results[0].max_abs_diff(&results[2]) < 1e-12, "naive vs cpu");
+    }
+
+    #[test]
+    fn extent_analysis_is_monotone_in_offsets(
+        oi in 0i32..3,
+        oj in 0i32..3,
+    ) {
+        // Wider offsets can only demand wider (or equal) halos.
+        let small = chain_def(&[(oi, oj), (0, 0)]);
+        let big = chain_def(&[(oi + 1, oj + 1), (0, 0)]);
+        let hs = stencil::analyze(&small).field_halo(0);
+        let hb = stencil::analyze(&big).field_halo(0);
+        prop_assert!(hb[0] >= hs[0] && hb[1] >= hs[1]);
+        prop_assert_eq!(hs[0], oi as usize);
+        prop_assert_eq!(hs[1], oj as usize);
+    }
+}

@@ -1,0 +1,111 @@
+//! Cutout extraction — phase one's unit of work.
+//!
+//! "The SDFG of the full program is divided into a set of 'cutout'
+//! subgraphs, each of which is tuned individually." Following the FVT
+//! case study, a cutout is one dataflow state (the paper tuned the 127
+//! states of the FVT module); configurations within a cutout are the
+//! weakly-connected kernel subgraphs with at least two maps.
+
+use dataflow::graph::DataflowNode;
+use dataflow::Sdfg;
+
+/// One tunable subgraph: a state index plus its kernel node indices.
+#[derive(Debug, Clone)]
+pub struct Cutout {
+    pub state: usize,
+    pub kernels: Vec<usize>,
+}
+
+impl Cutout {
+    /// Number of candidate maps in the cutout.
+    pub fn size(&self) -> usize {
+        self.kernels.len()
+    }
+}
+
+/// Extract the cutouts of the given states (or of every state when
+/// `states` is empty). States with fewer than two kernels have no
+/// configurations and are skipped.
+pub fn extract_cutouts(sdfg: &Sdfg, states: &[usize]) -> Vec<Cutout> {
+    let all: Vec<usize> = if states.is_empty() {
+        (0..sdfg.states.len()).collect()
+    } else {
+        states.to_vec()
+    };
+    let mut out = Vec::new();
+    for s in all {
+        let kernels: Vec<usize> = sdfg.states[s]
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n {
+                DataflowNode::Kernel(_) => Some(i),
+                _ => None,
+            })
+            .collect();
+        if kernels.len() >= 2 {
+            out.push(Cutout { state: s, kernels });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::graph::State;
+    use dataflow::kernel::{Domain, KOrder, Kernel, LValue, Schedule, Stmt};
+    use dataflow::storage::{Layout, StorageOrder};
+    use dataflow::Expr;
+
+    fn program() -> Sdfg {
+        let mut g = Sdfg::new("c");
+        let l = Layout::new([4, 4, 2], [0, 0, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let b = g.add_container("b", l, false);
+        let mk = |name: &str| {
+            let mut k = Kernel::new(
+                name,
+                Domain::from_shape([4, 4, 2]),
+                KOrder::Parallel,
+                Schedule::gpu_horizontal(),
+            );
+            k.stmts
+                .push(Stmt::full(LValue::Field(b), Expr::load(a, 0, 0, 0)));
+            DataflowNode::Kernel(k)
+        };
+        let mut s0 = State::new("two");
+        s0.nodes.push(mk("k0"));
+        s0.nodes.push(mk("k1"));
+        g.add_state(s0);
+        let mut s1 = State::new("one");
+        s1.nodes.push(mk("k2"));
+        g.add_state(s1);
+        let mut s2 = State::new("mixed");
+        s2.nodes.push(mk("k3"));
+        s2.nodes.push(DataflowNode::HaloExchange { fields: vec![a] });
+        s2.nodes.push(mk("k4"));
+        g.add_state(s2);
+        g
+    }
+
+    #[test]
+    fn single_kernel_states_are_skipped() {
+        let g = program();
+        let cs = extract_cutouts(&g, &[]);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].state, 0);
+        assert_eq!(cs[0].kernels, vec![0, 1]);
+        assert_eq!(cs[1].state, 2);
+        assert_eq!(cs[1].kernels, vec![0, 2], "halo node excluded");
+    }
+
+    #[test]
+    fn explicit_state_selection() {
+        let g = program();
+        let cs = extract_cutouts(&g, &[2]);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].state, 2);
+        assert_eq!(cs[0].size(), 2);
+    }
+}

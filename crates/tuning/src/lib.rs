@@ -1,0 +1,128 @@
+//! Transfer tuning (Section VI-B) — the paper's novel auto-tuning method.
+//!
+//! "Exploring the configuration space of transformations for the entire
+//! dynamical core is infeasible"; but "certain motifs recur often in
+//! weather and climate codes". Transfer tuning therefore runs in two
+//! phases:
+//!
+//! 1. **Cutout tuning** ([`search`]): the program is divided into cutout
+//!    subgraphs (we use dataflow states, as the paper does for FVT's 127
+//!    states); each cutout's transformation configurations are searched
+//!    exhaustively against the machine model, keeping the best `M`.
+//! 2. **Transfer** ([`transfer`]): the winning configurations are
+//!    described as *patterns* — "a set of labels of the candidates and
+//!    which transformations were applied" (stencil kernels are named) —
+//!    and matched throughout the full graph, applying each match only if
+//!    it also improves the local modeled cost.
+//!
+//! The hierarchy follows the paper: on-the-fly fusion (OTF) first, then
+//! subgraph fusion (SGF) on the OTF-optimized cutouts.
+
+pub mod cutout;
+pub mod pattern;
+pub mod search;
+pub mod transfer;
+
+pub use cutout::{extract_cutouts, Cutout};
+pub use pattern::Pattern;
+pub use search::{tune_cutouts, SearchReport};
+pub use transfer::{transfer_patterns, TransferReport};
+
+use dataflow::model::CostModel;
+use dataflow::Sdfg;
+
+/// Full hierarchical transfer tuning: tune OTF then SGF on the cutouts of
+/// `source_states` (e.g. the FVT module), then transfer the best `m_otf`
+/// OTF and the single best SGF configuration of each cutout to the whole
+/// graph. Returns the reports and mutates `sdfg` in place.
+pub fn transfer_tune(
+    sdfg: &mut Sdfg,
+    source_states: &[usize],
+    model: &CostModel,
+    m_otf: usize,
+) -> (SearchReport, TransferReport) {
+    let cutouts = extract_cutouts(sdfg, source_states);
+    let search = tune_cutouts(sdfg, &cutouts, model, m_otf);
+    let transfer = transfer_patterns(sdfg, &search.patterns, model);
+    (search, transfer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::graph::{DataflowNode, State};
+    use dataflow::kernel::{Domain, KOrder, Kernel, LValue, Schedule, Stmt};
+    use dataflow::model::model_sdfg;
+    use dataflow::storage::{Layout, StorageOrder};
+    use dataflow::{DataId, Expr};
+    use machine::{GpuModel, GpuSpec};
+
+    /// A program with a repeated pointwise-chain motif in several states:
+    /// the first state is tuned, the rest receive the pattern.
+    fn motif_program(states: usize) -> Sdfg {
+        let mut g = Sdfg::new("motif");
+        let l = Layout::new([48, 48, 16], [1, 1, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let out = g.add_container("out", l.clone(), false);
+        for s in 0..states {
+            let t = g.add_container(format!("t{s}"), l.clone(), true);
+            let dom = Domain::from_shape([48, 48, 16]);
+            let mut k1 = Kernel::new("scale#0", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+            k1.stmts.push(Stmt::full(
+                LValue::Field(t),
+                Expr::load(a, 0, 0, 0) * Expr::c(2.0),
+            ));
+            let mut k2 = Kernel::new("shift#0", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+            k2.stmts.push(Stmt::full(
+                LValue::Field(out),
+                Expr::load(t, 0, 0, 0) + Expr::c(1.0),
+            ));
+            let mut st = State::new(format!("s{s}"));
+            st.nodes.push(DataflowNode::Kernel(k1));
+            st.nodes.push(DataflowNode::Kernel(k2));
+            g.add_state(st);
+        }
+        g
+    }
+
+    #[test]
+    fn transfer_tuning_improves_whole_program() {
+        let mut g = motif_program(5);
+        let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+        let before = model_sdfg(&g, &model, &|_| 0.0).total_time;
+
+        let (search, transfer) = transfer_tune(&mut g, &[0], &model, 2);
+        assert!(
+            !search.patterns.is_empty(),
+            "tuning the cutout must find a fusion"
+        );
+        assert!(
+            transfer.applied.len() >= 4,
+            "pattern must transfer to the other states: {:?}",
+            transfer.applied
+        );
+        let after = model_sdfg(&g, &model, &|_| 0.0).total_time;
+        assert!(after < before, "modeled time must improve: {after} vs {before}");
+    }
+
+    #[test]
+    fn transfer_preserves_semantics() {
+        use dataflow::exec::{DataStore, Executor, NoHooks};
+        let mut g = motif_program(3);
+        let a = DataId(0);
+        let out = DataId(1);
+        let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+
+        let run = |g: &Sdfg| {
+            let mut store = DataStore::for_sdfg(g);
+            *store.get_mut(a) =
+                dataflow::Array3::from_fn(g.layout_of(a), |i, j, k| (i + j * 2 + k * 3) as f64);
+            Executor::serial().run(g, &mut store, &[], &mut NoHooks);
+            store.get(out).clone()
+        };
+        let before = run(&g);
+        transfer_tune(&mut g, &[0], &model, 2);
+        let after = run(&g);
+        assert_eq!(before.max_abs_diff(&after), 0.0);
+    }
+}

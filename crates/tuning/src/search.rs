@@ -1,0 +1,216 @@
+//! Phase one: exhaustive configuration search per cutout.
+//!
+//! For each cutout, every (producer, consumer) pair is a candidate OTF
+//! configuration and every adjacent pair a candidate SGF configuration.
+//! Each candidate is applied to a *clone* of the cutout's state, scored
+//! with the machine model, and the best `M` OTF plus the single best SGF
+//! configurations per cutout become transferable patterns ("the best
+//! (M=2) configurations of each cutout for OTF and the single best for
+//! SGF"). The searched cutouts themselves keep their best transformation
+//! — they are part of the program being optimized.
+
+use crate::cutout::Cutout;
+use crate::pattern::{Pattern, PatternKind};
+use dataflow::model::CostModel;
+use dataflow::transforms::fusion::{fuse_otf, fuse_subgraph};
+use dataflow::Sdfg;
+
+/// Outcome of phase one.
+#[derive(Debug, Clone, Default)]
+pub struct SearchReport {
+    /// Transferable patterns, best first.
+    pub patterns: Vec<Pattern>,
+    /// Configurations evaluated (the paper reports 1,272 for FVT).
+    pub configurations: usize,
+    /// Cutouts tuned.
+    pub cutouts: usize,
+}
+
+/// Modeled time of one state.
+fn state_time(sdfg: &Sdfg, state: usize, model: &CostModel) -> f64 {
+    sdfg.states[state]
+        .kernels()
+        .map(|k| model.kernel_cost(k, sdfg).time)
+        .sum()
+}
+
+/// Labels of the kernel nodes at `a` and `b` in `state` (panics if not
+/// kernels — callers pass kernel indices from cutouts).
+fn labels(sdfg: &Sdfg, state: usize, a: usize, b: usize) -> [String; 2] {
+    use dataflow::graph::DataflowNode;
+    let get = |i: usize| match &sdfg.states[state].nodes[i] {
+        DataflowNode::Kernel(k) => k.name.clone(),
+        other => panic!("not a kernel: {other:?}"),
+    };
+    [get(a), get(b)]
+}
+
+/// Tune the cutouts: try every candidate, record patterns, and apply the
+/// single best transformation per cutout in place.
+pub fn tune_cutouts(
+    sdfg: &mut Sdfg,
+    cutouts: &[Cutout],
+    model: &CostModel,
+    m_otf: usize,
+) -> SearchReport {
+    let mut report = SearchReport {
+        cutouts: cutouts.len(),
+        ..Default::default()
+    };
+
+    for cutout in cutouts {
+        let base = state_time(sdfg, cutout.state, model);
+        let mut found: Vec<(Pattern, Box<dyn Fn(&mut Sdfg) -> bool>)> = Vec::new();
+
+        // OTF candidates: every ordered kernel pair.
+        for (pi, &p) in cutout.kernels.iter().enumerate() {
+            for &c in cutout.kernels.iter().skip(pi + 1) {
+                report.configurations += 1;
+                let mut trial = sdfg.clone();
+                if fuse_otf(&mut trial, cutout.state, p, c).is_ok() {
+                    let t = state_time(&trial, cutout.state, model);
+                    if t < base {
+                        let lbl = labels(sdfg, cutout.state, p, c);
+                        let (state, p2, c2) = (cutout.state, p, c);
+                        found.push((
+                            Pattern {
+                                kind: PatternKind::Otf,
+                                labels: lbl,
+                                gain: base - t,
+                            },
+                            Box::new(move |g: &mut Sdfg| fuse_otf(g, state, p2, c2).is_ok()),
+                        ));
+                    }
+                }
+            }
+        }
+        // SGF candidates: adjacent pairs.
+        for w in cutout.kernels.windows(2) {
+            if w[1] != w[0] + 1 {
+                continue; // not adjacent in the state
+            }
+            report.configurations += 1;
+            let mut trial = sdfg.clone();
+            if fuse_subgraph(&mut trial, cutout.state, w[0]).is_ok() {
+                let t = state_time(&trial, cutout.state, model);
+                if t < base {
+                    let lbl = labels(sdfg, cutout.state, w[0], w[1]);
+                    let (state, first) = (cutout.state, w[0]);
+                    found.push((
+                        Pattern {
+                            kind: PatternKind::Sgf,
+                            labels: lbl,
+                            gain: base - t,
+                        },
+                        Box::new(move |g: &mut Sdfg| fuse_subgraph(g, state, first).is_ok()),
+                    ));
+                }
+            }
+        }
+
+        // Keep top-M OTF + top-1 SGF as patterns; apply the overall best
+        // to the source cutout itself.
+        found.sort_by(|a, b| b.0.gain.partial_cmp(&a.0.gain).unwrap());
+        if let Some((_, apply)) = found.first() {
+            apply(sdfg);
+        }
+        let mut otf_kept = 0;
+        let mut sgf_kept = 0;
+        for (pat, _) in found {
+            match pat.kind {
+                PatternKind::Otf if otf_kept < m_otf => {
+                    otf_kept += 1;
+                    report.patterns.push(pat);
+                }
+                PatternKind::Sgf if sgf_kept < 1 => {
+                    sgf_kept += 1;
+                    report.patterns.push(pat);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    report
+        .patterns
+        .sort_by(|a, b| b.gain.partial_cmp(&a.gain).unwrap());
+    report.patterns.dedup_by(|a, b| a.kind == b.kind && a.labels == b.labels);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutout::extract_cutouts;
+    use dataflow::graph::{DataflowNode, State};
+    use dataflow::kernel::{Domain, KOrder, Kernel, LValue, Schedule, Stmt};
+    use dataflow::storage::{Layout, StorageOrder};
+    use dataflow::Expr;
+    use machine::{GpuModel, GpuSpec};
+
+    fn chain_state() -> Sdfg {
+        let mut g = Sdfg::new("s");
+        let l = Layout::new([32, 32, 8], [1, 1, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let t = g.add_container("t", l.clone(), true);
+        let out = g.add_container("out", l, false);
+        let dom = Domain::from_shape([32, 32, 8]);
+        let mut k1 = Kernel::new("prod#0", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        k1.stmts.push(Stmt::full(
+            LValue::Field(t),
+            Expr::load(a, 0, 0, 0) * Expr::c(3.0),
+        ));
+        let mut k2 = Kernel::new("cons#0", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        k2.stmts.push(Stmt::full(
+            LValue::Field(out),
+            Expr::load(t, 0, 0, 0) - Expr::c(1.0),
+        ));
+        let mut s = State::new("s0");
+        s.nodes.push(DataflowNode::Kernel(k1));
+        s.nodes.push(DataflowNode::Kernel(k2));
+        g.add_state(s);
+        g
+    }
+
+    #[test]
+    fn search_finds_and_applies_best_fusion() {
+        let mut g = chain_state();
+        let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+        let cutouts = extract_cutouts(&g, &[]);
+        let before = state_time(&g, 0, &model);
+        let report = tune_cutouts(&mut g, &cutouts, &model, 2);
+        assert!(report.configurations >= 2, "OTF pair + SGF pair");
+        assert!(!report.patterns.is_empty());
+        let after = state_time(&g, 0, &model);
+        assert!(after < before);
+        assert_eq!(g.states[0].kernel_count(), 1, "pair fused in the cutout");
+    }
+
+    #[test]
+    fn patterns_are_sorted_by_gain() {
+        let mut g = chain_state();
+        let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+        let cutouts = extract_cutouts(&g, &[]);
+        let report = tune_cutouts(&mut g, &cutouts, &model, 2);
+        for w in report.patterns.windows(2) {
+            assert!(w[0].gain >= w[1].gain);
+        }
+    }
+
+    #[test]
+    fn unfusable_cutouts_produce_no_patterns() {
+        let mut g = chain_state();
+        // Make the intermediate non-transient and read it twice: OTF
+        // rejected; SGF still applies, so break domains too.
+        let t = g.find_container("t").unwrap();
+        g.containers[t.0].transient = false;
+        if let DataflowNode::Kernel(k) = &mut g.states[0].nodes[1] {
+            k.domain = Domain::from_shape([16, 16, 8]);
+        }
+        let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+        let cutouts = extract_cutouts(&g, &[]);
+        let report = tune_cutouts(&mut g, &cutouts, &model, 2);
+        assert!(report.patterns.is_empty());
+        assert_eq!(g.states[0].kernel_count(), 2);
+    }
+}

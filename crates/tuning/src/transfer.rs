@@ -1,0 +1,195 @@
+//! Phase two: transfer the learned patterns across the whole program.
+//!
+//! Patterns are matched by kernel label throughout every state. To prune
+//! the match space, "we only consider the first match for each pattern in
+//! each state, and only match the most performance-improving pattern";
+//! a match is committed only when it "also provide[s] a local performance
+//! improvement" under the machine model.
+
+use crate::pattern::{Pattern, PatternKind};
+use dataflow::graph::DataflowNode;
+use dataflow::model::CostModel;
+use dataflow::transforms::fusion::{fuse_otf, fuse_subgraph};
+use dataflow::Sdfg;
+
+/// One committed transfer.
+#[derive(Debug, Clone)]
+pub struct TransferredMatch {
+    pub kind: PatternKind,
+    pub state: usize,
+    pub labels: [String; 2],
+    /// Local modeled improvement in seconds.
+    pub gain: f64,
+}
+
+/// Outcome of phase two.
+#[derive(Debug, Clone, Default)]
+pub struct TransferReport {
+    pub applied: Vec<TransferredMatch>,
+    /// Matches tested (including rejected ones).
+    pub tested: usize,
+}
+
+fn state_time(sdfg: &Sdfg, state: usize, model: &CostModel) -> f64 {
+    sdfg.states[state]
+        .kernels()
+        .map(|k| model.kernel_cost(k, sdfg).time)
+        .sum()
+}
+
+/// Apply `patterns` (already sorted most-improving first) to every state.
+pub fn transfer_patterns(
+    sdfg: &mut Sdfg,
+    patterns: &[Pattern],
+    model: &CostModel,
+) -> TransferReport {
+    let mut report = TransferReport::default();
+    for state in 0..sdfg.states.len() {
+        // Repeat until no pattern matches this state anymore; each round
+        // applies the best pattern's first match.
+        loop {
+            let mut committed = false;
+            'patterns: for pat in patterns {
+                // Find the first label match in this state.
+                let nodes = &sdfg.states[state].nodes;
+                let kernel_name = |i: usize| match &nodes[i] {
+                    DataflowNode::Kernel(k) => Some(k.name.clone()),
+                    _ => None,
+                };
+                let n = nodes.len();
+                for a in 0..n {
+                    let Some(first) = kernel_name(a) else { continue };
+                    let candidates: Vec<usize> = match pat.kind {
+                        PatternKind::Otf => (a + 1..n).collect(),
+                        PatternKind::Sgf => {
+                            if a + 1 < n {
+                                vec![a + 1]
+                            } else {
+                                vec![]
+                            }
+                        }
+                    };
+                    for b in candidates {
+                        let Some(second) = kernel_name(b) else { continue };
+                        if !pat.matches(&first, &second) {
+                            continue;
+                        }
+                        report.tested += 1;
+                        let before = state_time(sdfg, state, model);
+                        let mut trial = sdfg.clone();
+                        let ok = match pat.kind {
+                            PatternKind::Otf => fuse_otf(&mut trial, state, a, b).is_ok(),
+                            PatternKind::Sgf => fuse_subgraph(&mut trial, state, a).is_ok(),
+                        };
+                        if !ok {
+                            continue;
+                        }
+                        let after = state_time(&trial, state, model);
+                        if after < before {
+                            *sdfg = trial;
+                            report.applied.push(TransferredMatch {
+                                kind: pat.kind,
+                                state,
+                                labels: [first, second],
+                                gain: before - after,
+                            });
+                            committed = true;
+                            break 'patterns;
+                        }
+                    }
+                }
+            }
+            if !committed {
+                break;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::graph::State;
+    use dataflow::kernel::{Domain, KOrder, Kernel, LValue, Schedule, Stmt};
+    use dataflow::storage::{Layout, StorageOrder};
+    use dataflow::Expr;
+    use machine::{GpuModel, GpuSpec};
+
+    fn two_state_program() -> Sdfg {
+        let mut g = Sdfg::new("t");
+        let l = Layout::new([32, 32, 8], [1, 1, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let out = g.add_container("out", l.clone(), false);
+        for s in 0..2 {
+            let t = g.add_container(format!("t{s}"), l.clone(), true);
+            let dom = Domain::from_shape([32, 32, 8]);
+            let mut k1 =
+                Kernel::new("scale#0", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+            k1.stmts.push(Stmt::full(
+                LValue::Field(t),
+                Expr::load(a, 0, 0, 0) * Expr::c(2.0),
+            ));
+            let mut k2 =
+                Kernel::new("shift#0", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+            k2.stmts.push(Stmt::full(
+                LValue::Field(out),
+                Expr::load(t, 0, 0, 0) + Expr::c(1.0),
+            ));
+            let mut st = State::new(format!("s{s}"));
+            st.nodes.push(DataflowNode::Kernel(k1));
+            st.nodes.push(DataflowNode::Kernel(k2));
+            g.add_state(st);
+        }
+        g
+    }
+
+    fn sgf_pattern() -> Pattern {
+        Pattern {
+            kind: PatternKind::Sgf,
+            labels: ["scale#0".into(), "shift#0".into()],
+            gain: 1.0,
+        }
+    }
+
+    #[test]
+    fn pattern_transfers_to_every_matching_state() {
+        let mut g = two_state_program();
+        let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+        let report = transfer_patterns(&mut g, &[sgf_pattern()], &model);
+        assert_eq!(report.applied.len(), 2);
+        assert_eq!(g.states[0].kernel_count(), 1);
+        assert_eq!(g.states[1].kernel_count(), 1);
+        assert!(report.applied.iter().all(|m| m.gain > 0.0));
+    }
+
+    #[test]
+    fn non_matching_pattern_does_nothing() {
+        let mut g = two_state_program();
+        let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+        let pat = Pattern {
+            kind: PatternKind::Sgf,
+            labels: ["other#0".into(), "shift#0".into()],
+            gain: 1.0,
+        };
+        let report = transfer_patterns(&mut g, &[pat], &model);
+        assert!(report.applied.is_empty());
+        assert_eq!(g.states[0].kernel_count(), 2);
+    }
+
+    #[test]
+    fn non_improving_match_is_rejected() {
+        let mut g = two_state_program();
+        // Make the second kernel's domain differ: SGF precondition fails,
+        // so the match is tested but never committed.
+        if let DataflowNode::Kernel(k) = &mut g.states[0].nodes[1] {
+            k.domain = Domain::from_shape([16, 16, 8]);
+        }
+        let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+        let report = transfer_patterns(&mut g, &[sgf_pattern()], &model);
+        // State 0 rejected, state 1 applied.
+        assert_eq!(report.applied.len(), 1);
+        assert_eq!(report.applied[0].state, 1);
+        assert_eq!(g.states[0].kernel_count(), 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! The paper's distributed test case (Section IX): a baroclinic-wave
+//! initial state on the 6-tile cubed sphere, integrated with the full
+//! orchestrated dycore and real halo exchanges between simulated ranks.
+//!
+//! ```bash
+//! cargo run --release --example baroclinic_wave
+//! ```
+
+use dataflow::graph::ExpansionAttrs;
+use fv3::dyn_core::DycoreConfig;
+use fv3core::driver::{DistributedDycore, DriverConfig};
+
+fn main() {
+    let config = DriverConfig::six_rank(
+        16, // cells per tile edge (c16 — tiny but fully global)
+        8,  // vertical levels
+        DycoreConfig {
+            n_split: 2,
+            k_split: 1,
+            dt: 4.0,
+            dddmp: 0.05,
+            nord4_damp: None,
+        },
+    );
+    println!("setting up 6-rank cubed-sphere dycore (c16L8)...");
+    let mut dycore = DistributedDycore::new(config, &ExpansionAttrs::tuned());
+    println!(
+        "program: {} states, {} kernels per substep",
+        dycore.program_graph().states.len(),
+        dycore.program_graph().kernel_count()
+    );
+
+    let mass0 = dycore.global_air_mass();
+    let tracer0 = dycore.global_tracer_mass();
+    println!("initial global air mass   {mass0:.6e}");
+    println!("initial global tracer mass {tracer0:.6e}");
+
+    for step in 1..=5 {
+        dycore.step();
+        let mass = dycore.global_air_mass();
+        let tracer = dycore.global_tracer_mass();
+        // Max |w| as an activity diagnostic.
+        let mut wmax = 0.0f64;
+        for s in &dycore.states {
+            for k in 0..s.nk as i64 {
+                for j in 0..s.n as i64 {
+                    for i in 0..s.n as i64 {
+                        wmax = wmax.max(s.w.get(i, j, k).abs());
+                    }
+                }
+            }
+        }
+        println!(
+            "step {step}: mass drift {:+.3e}, tracer drift {:+.3e}, max|w| {:.3e} m/s, finite: {}",
+            mass / mass0 - 1.0,
+            tracer / tracer0 - 1.0,
+            wmax,
+            !dycore.any_nonfinite()
+        );
+    }
+    println!("\nthe baroclinic jet + perturbation evolves stably across all six tiles.");
+}

@@ -1,0 +1,39 @@
+//! The full Fig. 7 optimization pipeline on the orchestrated dycore,
+//! printing the Table III-style trajectory and the Fig. 10 bounds table
+//! before and after the power-operator fix.
+//!
+//! ```bash
+//! cargo run --release --example optimization_pipeline
+//! ```
+
+use fv3::dyn_core::{build_dycore_program, DycoreConfig};
+use fv3core::bounds::{bounds_report, render};
+use fv3core::experiments::p100;
+use fv3core::pipeline::{run_pipeline, PipelineStage};
+
+fn main() {
+    let program = build_dycore_program(96, 32, DycoreConfig::default());
+
+    println!("== optimization pipeline (Fig. 7 / Table III shape) ==");
+    let report = run_pipeline(&program.sdfg, &p100(), &|_| 0.0, PipelineStage::TransferTuning);
+    let t0 = report.stages[0].step_time;
+    for s in &report.stages {
+        println!(
+            "{:<36} {:>10.3} ms   {:>6.2}x   ({} launches, {} transforms)",
+            s.stage.label(),
+            s.step_time * 1e3,
+            t0 / s.step_time,
+            s.launches,
+            s.applied
+        );
+    }
+
+    println!("\n== bounds analysis (Fig. 10 shape), post-pipeline ==");
+    let (rows, m) = bounds_report(&report.optimized, &p100(), &|_| 0.0);
+    print!("{}", render(&rows, 10));
+    println!(
+        "total modeled kernel time: {:.3} ms over {} launches",
+        m.total_time * 1e3,
+        m.launches
+    );
+}

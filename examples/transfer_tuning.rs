@@ -1,0 +1,69 @@
+//! Transfer tuning demo (Section VI-B): tune the finite-volume-transport
+//! cutouts, extract name-based patterns, and transfer them across the
+//! whole dycore, printing every committed match.
+//!
+//! ```bash
+//! cargo run --release --example transfer_tuning
+//! ```
+
+use dataflow::graph::ExpansionAttrs;
+use dataflow::model::{model_sdfg, CostModel};
+use fv3::dyn_core::{build_dycore_program, DycoreConfig};
+use machine::{GpuModel, GpuSpec};
+use tuning::transfer_tune;
+
+fn main() {
+    let mut g = build_dycore_program(
+        64,
+        16,
+        DycoreConfig {
+            n_split: 3,
+            k_split: 1,
+            dt: 5.0,
+            dddmp: 0.05,
+            nord4_damp: None,
+        },
+    )
+    .sdfg;
+    g.expand_libraries(&ExpansionAttrs::tuned());
+    let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+
+    let sources: Vec<usize> = g
+        .states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.name.contains("tracer"))
+        .map(|(i, _)| i)
+        .collect();
+    println!("tuning {} FVT cutout state(s) of {} total states", sources.len(), g.states.len());
+
+    let before = model_sdfg(&g, &model, &|_| 0.0).total_time;
+    let (search, transfer) = transfer_tune(&mut g, &sources, &model, 2);
+    let after = model_sdfg(&g, &model, &|_| 0.0).total_time;
+
+    println!("configurations searched: {}", search.configurations);
+    println!("patterns extracted:");
+    for p in &search.patterns {
+        println!(
+            "  {:?}: {} -> {}  (gain {:.1} us on the cutout)",
+            p.kind, p.labels[0], p.labels[1], p.gain * 1e6
+        );
+    }
+    println!("transferred matches:");
+    for m in &transfer.applied {
+        println!(
+            "  state {} [{}]: {} + {}  (local gain {:.1} us)",
+            m.state,
+            g.states[m.state].name,
+            m.labels[0],
+            m.labels[1],
+            m.gain * 1e6
+        );
+    }
+    println!(
+        "modeled step: {:.3} ms -> {:.3} ms ({:+.2}%)",
+        before * 1e3,
+        after * 1e3,
+        (after / before - 1.0) * 100.0
+    );
+}
