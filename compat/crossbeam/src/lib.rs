@@ -1,0 +1,103 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API used by `machine::pool` is provided,
+//! implemented directly on `std::thread::scope` (stable since 1.63).
+//! Semantics difference vs real crossbeam: a panic in an unjoined
+//! spawned thread propagates as a panic out of [`scope`] rather than an
+//! `Err` — callers here immediately `.expect()` the result either way.
+
+use std::any::Any;
+
+/// Scope handle passed to [`scope`]'s closure; spawn scoped threads off it.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish; `Err` carries the panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to this scope. As in crossbeam, the closure
+    /// receives the scope again so workers can spawn more workers.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before
+/// this returns. Mirrors `crossbeam::scope`'s `Result` signature.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_run_and_join() {
+        let count = AtomicUsize::new(0);
+        let r = super::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::SeqCst);
+                        7usize
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(r, 28);
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn unjoined_threads_complete_before_scope_returns() {
+        let count = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn workers_can_spawn_from_the_scope_argument() {
+        let count = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+use std::ops::Range;
+
+/// Element-count specification for [`vec`]: a fixed length or a
+/// half-open range of lengths.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+/// Strategy producing `Vec`s of `element` values.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.hi - self.size.lo <= 1 {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let fixed = vec(0i32..3, 7usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 7);
+        let ranged = vec(0i32..3, 2usize..5);
+        for _ in 0..50 {
+            let v = ranged.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+}

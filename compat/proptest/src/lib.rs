@@ -1,0 +1,134 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! subset of proptest this workspace uses: the [`proptest!`] macro,
+//! range/tuple/`Just`/`prop_oneof!`/`prop_map`/`prop_recursive`
+//! strategies, `collection::vec`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **Fully deterministic.** Case seeds derive from the test name and
+//!   case index, so a failure reproduces on every run — no flakiness,
+//!   no shrinking needed to re-trigger.
+//! - **Seed persistence** uses `proptest-regressions/<file>.txt` next to
+//!   the crate manifest, with lines of the form
+//!   `cc <16-hex-digit-seed> <test_name>`. Persisted seeds replay
+//!   *before* the deterministic sweep; on failure the harness appends
+//!   the failing seed (best-effort) and names it in the panic message.
+//! - **No shrinking.** Failures report the seed and the generated
+//!   values instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// Re-export so `prop::collection::vec` style paths resolve.
+    pub use crate as prop;
+}
+
+/// Generate one value uniformly from a list of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fail the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)*), l, r),
+            ));
+        }
+    }};
+}
+
+/// Fail the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(..)]` inner
+/// attribute followed by `#[test] fn name(arg in strategy, ..) { body }`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_proptest(
+                &__config,
+                stringify!($name),
+                file!(),
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)*
+                    let __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                },
+            );
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}

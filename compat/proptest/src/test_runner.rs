@@ -1,0 +1,237 @@
+//! The deterministic property-test runner and seed persistence.
+//!
+//! Every case seed is a pure function of the test name and case index,
+//! so a red property reproduces identically on every run and machine.
+//! Additional seeds can be pinned in `proptest-regressions/<file>.txt`
+//! (relative to the crate manifest): lines of the form
+//!
+//! ```text
+//! cc 00c0ffee00c0ffee test_name
+//! ```
+//!
+//! are replayed for `test_name` *before* the regular sweep (omit the
+//! name to replay a seed for every property in the file). On failure
+//! the runner appends the failing seed so the repro is pinned forever.
+
+use crate::strategy::TestRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::io::Write;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+
+/// Runner knobs (subset of real proptest's config).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case (from `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Real-proptest API compatibility: a rejected (filtered) case. We
+    /// have no filtering, so treat it as a failure with a clear label.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: format!("rejected: {}", message.into()),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// FNV-1a, used to derive the per-test base seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Where the regression file for `source_file` lives. `source_file` is
+/// what `file!()` produced at the test's expansion site, e.g.
+/// `crates/fv3/tests/proptests.rs`; the regression file sits at
+/// `<CARGO_MANIFEST_DIR>/proptest-regressions/<stem>.txt`.
+fn regression_path(source_file: &str) -> Option<PathBuf> {
+    let manifest = std::env::var_os("CARGO_MANIFEST_DIR")?;
+    let stem = std::path::Path::new(source_file).file_stem()?;
+    let mut p = PathBuf::from(manifest);
+    p.push("proptest-regressions");
+    p.push(stem);
+    p.set_extension("txt");
+    Some(p)
+}
+
+/// Parse pinned seeds for `test_name` out of a regression file body.
+fn parse_seeds(body: &str, test_name: &str) -> Vec<u64> {
+    let mut seeds = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") {
+            continue;
+        }
+        let Some(hex) = parts.next() else { continue };
+        let Ok(seed) = u64::from_str_radix(hex, 16) else {
+            continue;
+        };
+        match parts.next() {
+            // Unnamed entries replay for every property in the file.
+            None => seeds.push(seed),
+            Some(name) if name == test_name => seeds.push(seed),
+            Some(_) => {}
+        }
+    }
+    seeds
+}
+
+/// Append the failing seed to the regression file (best-effort).
+fn persist_seed(source_file: &str, test_name: &str, seed: u64) {
+    let Some(path) = regression_path(source_file) else {
+        return;
+    };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let fresh = !path.exists();
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        if fresh {
+            let _ = writeln!(
+                f,
+                "# Seeds for failure cases proptest has generated. It is\n\
+                 # automatically read and these cases re-run before the sweep.\n\
+                 # Format: `cc <16-hex-seed> <test_name>`."
+            );
+        }
+        let _ = writeln!(f, "cc {seed:016x} {test_name}");
+    }
+}
+
+/// Drive one property: replay pinned seeds, then sweep `config.cases`
+/// deterministic cases. Panics (like `#[test]` expects) on the first
+/// failing case, printing its seed and persisting it.
+pub fn run_proptest<F>(config: &ProptestConfig, test_name: &str, source_file: &str, body: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let pinned = regression_path(source_file)
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .map(|s| parse_seeds(&s, test_name))
+        .unwrap_or_default();
+
+    let base = fnv1a(test_name.as_bytes());
+    let sweep = (0..config.cases as u64).map(|i| base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+
+    for (kind, seed) in pinned
+        .into_iter()
+        .map(|s| ("pinned", s))
+        .chain(sweep.map(|s| ("sweep", s)))
+    {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        let failure = match outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e.to_string()),
+            Err(payload) => Some(panic_message(payload)),
+        };
+        if let Some(msg) = failure {
+            if kind == "sweep" {
+                persist_seed(source_file, test_name, seed);
+            }
+            panic!(
+                "proptest property '{test_name}' failed ({kind} seed {seed:016x}): {msg}\n\
+                 Re-run reproduces deterministically; the seed is pinned in \
+                 proptest-regressions/ as `cc {seed:016x} {test_name}`."
+            );
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_parse_with_and_without_names() {
+        let body = "# comment\n\
+                    cc 00000000000000ff alpha\n\
+                    cc 0000000000000001\n\
+                    cc 00000000000000aa beta\n\
+                    bogus line\n";
+        assert_eq!(parse_seeds(body, "alpha"), vec![0xff, 0x1]);
+        assert_eq!(parse_seeds(body, "beta"), vec![0x1, 0xaa]);
+        assert_eq!(parse_seeds(body, "gamma"), vec![0x1]);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let run = || {
+            let draws = std::cell::RefCell::new(Vec::new());
+            run_proptest(
+                &ProptestConfig::with_cases(5),
+                "det_check",
+                "nonexistent.rs",
+                |rng| {
+                    use rand::Rng;
+                    draws.borrow_mut().push(rng.gen_range(0u64..1_000_000));
+                    Ok(())
+                },
+            );
+            draws.into_inner()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest property")]
+    fn failures_panic_with_seed() {
+        run_proptest(
+            &ProptestConfig::with_cases(3),
+            "always_fails",
+            "nonexistent.rs",
+            |_rng| Err(TestCaseError::fail("nope")),
+        );
+    }
+}

@@ -189,14 +189,14 @@ impl CubeGeometry {
                 let p0 = faces[f].corner(a0, b0);
                 let p1 = faces[f].corner(a1, b1);
                 let mut found = false;
-                for g in 0..6 {
+                for (g, face_g) in faces.iter().enumerate() {
                     if g == f {
                         continue;
                     }
                     for e2 in Edge::ALL {
                         let ((c0, d0), (c1, d1)) = e2.corners(nn);
-                        let q0 = faces[g].corner(c0, d0);
-                        let q1 = faces[g].corner(c1, d1);
+                        let q0 = face_g.corner(c0, d0);
+                        let q1 = face_g.corner(c1, d1);
                         if p0 == q0 && p1 == q1 {
                             links[f][e.idx()] = EdgeLink {
                                 face: g,

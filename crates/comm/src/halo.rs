@@ -202,7 +202,7 @@ impl HaloUpdater {
 
         // Phase 3: corner policy.
         if self.corner == CornerPolicy::Fold {
-            for r in 0..p.ranks() {
+            for (r, arr) in arrays.iter_mut().enumerate() {
                 for di in 1..=w {
                     for dj in 1..=w {
                         for (ci, cj) in [
@@ -220,8 +220,8 @@ impl HaloUpdater {
                                     (ci.clamp(0, s - 1), cj)
                                 };
                                 for k in 0..nk {
-                                    let v = arrays[r].get(fi, fj, k);
-                                    arrays[r].set(ci, cj, k, v);
+                                    let v = arr.get(fi, fj, k);
+                                    arr.set(ci, cj, k, v);
                                 }
                             }
                         }
@@ -269,7 +269,7 @@ mod tests {
     fn fill_global(part: &Partition, arrays: &mut [Array3], f: impl Fn([f64; 3], i64) -> f64) {
         let s = part.sub_n as i64;
         let nk = arrays[0].layout().domain[2] as i64;
-        for r in 0..part.ranks() {
+        for (r, arr) in arrays.iter_mut().enumerate() {
             let (tile, rx, ry) = part.coords(RankId(r));
             for k in 0..nk {
                 for j in 0..s {
@@ -277,7 +277,7 @@ mod tests {
                         let gi = rx as i64 * s + i;
                         let gj = ry as i64 * s + j;
                         let pos = part.geom.faces[tile].cell_center(gi as f64, gj as f64);
-                        arrays[r].set(i, j, k, f(pos, k));
+                        arr.set(i, j, k, f(pos, k));
                     }
                 }
             }
@@ -352,7 +352,7 @@ mod tests {
         fill_global(&part, &mut arrays, |p, _| p[0] + 2.0 * p[1] + 3.0 * p[2]);
         up.exchange_scalar(&mut arrays);
         let s = 8i64;
-        for r in 0..part.ranks() {
+        for (r, arr) in arrays.iter().enumerate() {
             for t in 0..s {
                 for (hi, hj, ii, ij) in [
                     (-1, t, 0, t),
@@ -360,8 +360,8 @@ mod tests {
                     (t, -1, t, 0),
                     (t, s, t, s - 1),
                 ] {
-                    let h = arrays[r].get(hi, hj, 0);
-                    let int = arrays[r].get(ii, ij, 0);
+                    let h = arr.get(hi, hj, 0);
+                    let int = arr.get(ii, ij, 0);
                     assert!(
                         (h - int).abs() <= 6.0 + 1e-9,
                         "discontinuity at rank {r} ({hi},{hj}): {h} vs {int}"
@@ -378,14 +378,14 @@ mod tests {
         let mut arrays = rank_arrays(&part, 1, 3);
         fill_global(&part, &mut arrays, |p, _| p[0] + p[1] + p[2]);
         // Poison corners to detect fills.
-        for r in 0..6 {
-            arrays[r].set(-1, -1, 0, f64::NAN);
-            arrays[r].set(6, 6, 0, f64::NAN);
+        for arr in arrays.iter_mut() {
+            arr.set(-1, -1, 0, f64::NAN);
+            arr.set(6, 6, 0, f64::NAN);
         }
         up.exchange_scalar(&mut arrays);
-        for r in 0..6 {
-            assert!(!arrays[r].get(-1, -1, 0).is_nan(), "corner not filled");
-            assert!(!arrays[r].get(6, 6, 0).is_nan());
+        for arr in arrays.iter() {
+            assert!(!arr.get(-1, -1, 0).is_nan(), "corner not filled");
+            assert!(!arr.get(6, 6, 0).is_nan());
         }
     }
 

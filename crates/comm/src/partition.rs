@@ -46,7 +46,7 @@ impl Partition {
     /// Decompose a cube of `tile_n` cells per tile edge into `rt x rt`
     /// ranks per tile.
     pub fn new(tile_n: usize, rt: usize) -> Self {
-        assert!(rt >= 1 && tile_n % rt == 0, "tile size must divide evenly");
+        assert!(rt >= 1 && tile_n.is_multiple_of(rt), "tile size must divide evenly");
         Partition {
             geom: CubeGeometry::new(tile_n),
             rt,

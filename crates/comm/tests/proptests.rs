@@ -78,11 +78,11 @@ proptest! {
         let up = HaloUpdater::new(part.clone(), width, CornerPolicy::Leave);
         let mut arrays = rank_arrays(&part, 2, width);
         // Unique global values per (rank, i, j, k).
-        for r in 0..part.ranks() {
+        for (r, arr) in arrays.iter_mut().enumerate() {
             for k in 0..2i64 {
                 for j in 0..sub as i64 {
                     for i in 0..sub as i64 {
-                        arrays[r].set(i, j, k,
+                        arr.set(i, j, k,
                             seed as f64 + (r as i64 * 1000 + k * 300 + j * 17 + i) as f64);
                     }
                 }

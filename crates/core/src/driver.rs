@@ -137,7 +137,7 @@ impl DistributedDycore {
             let mut us: Vec<Array3> = self.states.iter().map(|s| s.u.clone()).collect();
             let mut vs: Vec<Array3> = self.states.iter().map(|s| s.v.clone()).collect();
             self.updater.exchange_vector(&mut us, &mut vs);
-            for (r, (u, v)) in us.into_iter().zip(vs.into_iter()).enumerate() {
+            for (r, (u, v)) in us.into_iter().zip(vs).enumerate() {
                 self.states[r].u = u;
                 self.states[r].v = v;
             }

@@ -6,9 +6,13 @@
 //! schedule heuristics → local caching → power operator → region split →
 //! (cycle 2) reschedule/cleanup → region pruning → transfer tuning.
 //!
-//! Every stage also re-validates the graph, and the test suite checks
-//! numerics are bit-identical across stages — "all performance
-//! engineering was accomplished without modifying the user-code".
+//! Every stage also re-validates the graph, and bit identity across
+//! stages is an enforced property, not an informal claim:
+//! `validate::stages::check_pipeline_bit_identity` executes the dycore
+//! through every [`PipelineStage`] cutoff and requires bitwise-equal
+//! prognostic output (see `tests/integration_pipeline.rs` and
+//! `crates/validate`) — "all performance engineering was accomplished
+//! without modifying the user-code".
 
 use dataflow::graph::{ExpansionAttrs, Sdfg};
 use dataflow::kernel::Schedule;

@@ -286,7 +286,7 @@ mod tests {
                 0 => Expr::Const(rng.gen_range(0.5..3.0)),
                 1 => Expr::Param(ParamId(rng.gen_range(0..4))),
                 2 => Expr::Local(LocalId(rng.gen_range(0..4))),
-                3 => Expr::Index(*[Axis::I, Axis::J, Axis::K].iter().nth(rng.gen_range(0..3)).unwrap()),
+                3 => Expr::Index([Axis::I, Axis::J, Axis::K][rng.gen_range(0..3)]),
                 _ => Expr::Load(
                     DataId(rng.gen_range(0..3)),
                     Offset3::new(

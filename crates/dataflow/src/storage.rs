@@ -128,8 +128,8 @@ impl Layout {
         debug_assert!(self.contains(i, j, k), "({i},{j},{k}) outside layout");
         let p = [i, j, k];
         let mut off = self.base as i64;
-        for d in 0..3 {
-            off += p[d] * self.strides[d] as i64;
+        for (x, s) in p.iter().zip(self.strides.iter()) {
+            off += x * *s as i64;
         }
         off as usize
     }
@@ -248,6 +248,49 @@ impl Array3 {
         m
     }
 
+    /// Export every element (halo included) in canonical *logical* order:
+    /// k outermost, then j, then i innermost, each spanning
+    /// `[-halo, domain + halo)`. The result is independent of the storage
+    /// order, alignment, and padding of this array's [`Layout`], so two
+    /// arrays holding the same logical values export identical vectors —
+    /// the property savepoint serialization relies on.
+    pub fn export_logical(&self) -> Vec<f64> {
+        let [ni, nj, nk] = self.layout.domain;
+        let [hi, hj, hk] = self.layout.halo;
+        let mut out = Vec::with_capacity((ni + 2 * hi) * (nj + 2 * hj) * (nk + 2 * hk));
+        for k in -(hk as i64)..(nk + hk) as i64 {
+            for j in -(hj as i64)..(nj + hj) as i64 {
+                for i in -(hi as i64)..(ni + hi) as i64 {
+                    out.push(self.get(i, j, k));
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Array3::export_logical`]: fill every element (halo
+    /// included) from `values` in canonical logical order. `values` must
+    /// have exactly one element per logical coordinate.
+    pub fn import_logical(&mut self, values: &[f64]) {
+        let [ni, nj, nk] = self.layout.domain;
+        let [hi, hj, hk] = self.layout.halo;
+        let expect = (ni + 2 * hi) * (nj + 2 * hj) * (nk + 2 * hk);
+        assert_eq!(
+            values.len(),
+            expect,
+            "import_logical: {} values for a {expect}-element logical extent",
+            values.len()
+        );
+        let mut it = values.iter();
+        for k in -(hk as i64)..(nk + hk) as i64 {
+            for j in -(hj as i64)..(nj + hj) as i64 {
+                for i in -(hi as i64)..(ni + hi) as i64 {
+                    self.set(i, j, k, *it.next().unwrap());
+                }
+            }
+        }
+    }
+
     /// Sum over the compute domain (for conservation checks).
     pub fn domain_sum(&self) -> f64 {
         let [ni, nj, nk] = self.layout.domain;
@@ -353,6 +396,50 @@ mod tests {
         assert_eq!(a.max_abs_diff(&b), 0.0);
         b.set(2, 3, 1, 100.0);
         assert!((a.max_abs_diff(&b) - 98.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_import_roundtrips_across_storage_orders() {
+        // Logical export must not depend on the memory layout, and
+        // import must restore every element (halo included) bitwise.
+        let f = |i: i64, j: i64, k: i64| 0.1 + i as f64 * 1.25 - j as f64 * 0.75 + k as f64;
+        let fill = |a: &mut Array3| {
+            let [ni, nj, nk] = a.layout().domain;
+            let [hi, hj, hk] = a.layout().halo;
+            for k in -(hk as i64)..(nk + hk) as i64 {
+                for j in -(hj as i64)..(nj + hj) as i64 {
+                    for i in -(hi as i64)..(ni + hi) as i64 {
+                        a.set(i, j, k, f(i, j, k));
+                    }
+                }
+            }
+        };
+        let li = Layout::new([5, 4, 3], [2, 1, 0], StorageOrder::IContiguous, 32);
+        let lk = Layout::new([5, 4, 3], [2, 1, 0], StorageOrder::KContiguous, 1);
+        let mut a = Array3::zeros(li.clone());
+        let mut b = Array3::zeros(lk);
+        fill(&mut a);
+        fill(&mut b);
+        let ea = a.export_logical();
+        assert_eq!(ea.len(), (5 + 4) * (4 + 2) * 3);
+        assert_eq!(ea, b.export_logical(), "export is layout-independent");
+
+        let mut c = Array3::zeros(li);
+        c.import_logical(&ea);
+        for k in 0..3i64 {
+            for j in -1..5i64 {
+                for i in -2..7i64 {
+                    assert_eq!(c.get(i, j, k).to_bits(), f(i, j, k).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "import_logical")]
+    fn import_rejects_wrong_length() {
+        let mut a = Array3::zeros(Layout::fv3_default([4, 4, 2], [1, 1, 0]));
+        a.import_logical(&[0.0; 3]);
     }
 
     #[test]

@@ -19,12 +19,12 @@ use crate::transforms::{touches_between, Applied, UsageMap};
 /// Error type for rejected transformations.
 pub type TransformResult = Result<Applied, String>;
 
-fn kernels_at<'a>(
-    sdfg: &'a Sdfg,
+fn kernels_at(
+    sdfg: &Sdfg,
     state: usize,
     a: usize,
     b: usize,
-) -> Result<(&'a Kernel, &'a Kernel), String> {
+) -> Result<(&Kernel, &Kernel), String> {
     let get = |i: usize| match sdfg.states[state].nodes.get(i) {
         Some(DataflowNode::Kernel(k)) => Ok(k),
         Some(other) => Err(format!("node {i} is not a kernel: {other:?}")),

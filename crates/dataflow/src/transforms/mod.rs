@@ -89,7 +89,7 @@ pub fn touches_between(sdfg: &Sdfg, state: usize, a: usize, b: usize, fields: &[
 }
 
 /// Fetch a kernel by reference (panics if the node is not a kernel).
-pub fn kernel_at<'a>(sdfg: &'a Sdfg, r: NodeRef) -> &'a crate::kernel::Kernel {
+pub fn kernel_at(sdfg: &Sdfg, r: NodeRef) -> &crate::kernel::Kernel {
     match &sdfg.states[r.state].nodes[r.node] {
         DataflowNode::Kernel(k) => k,
         other => panic!("expected kernel at {r:?}, found {other:?}"),

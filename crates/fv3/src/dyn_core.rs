@@ -16,6 +16,7 @@ use crate::c_sw::{baseline_c_sw, c_sw_domain, c_sw_stencil};
 use crate::d_sw::{baseline_d_sw, d_sw_stencil};
 use crate::fv_tp_2d::{baseline_fv_tp_2d, baseline_transport_update, flux_domain, fv_tp_2d_stencil, transport_update_stencil};
 use crate::grid::Grid;
+use crate::recorder::{NoRecorder, StateRecorder};
 use crate::remapping::remap_state;
 use crate::riem_solver_c::{baseline_riem_solver_c, riem_solver_c_stencil};
 use crate::state::DycoreState;
@@ -346,9 +347,25 @@ pub fn baseline_step(
     config: &DycoreConfig,
     halo: &mut impl FnMut(&mut DycoreState),
 ) {
+    baseline_step_recorded(state, grid, scratch, config, halo, &mut NoRecorder);
+}
+
+/// [`baseline_step`] with savepoint instrumentation: after each dycore
+/// module, `recorder` receives the fields that module just produced,
+/// labelled `"k{ks}.s{ns}.{module}"` (and `"k{ks}.remap"` after the
+/// vertical remap). The arithmetic is byte-for-byte that of
+/// [`baseline_step`]; [`NoRecorder`] makes the two paths identical.
+pub fn baseline_step_recorded(
+    state: &mut DycoreState,
+    grid: &Grid,
+    scratch: &mut BaselineScratch,
+    config: &DycoreConfig,
+    halo: &mut impl FnMut(&mut DycoreState),
+    recorder: &mut impl StateRecorder,
+) {
     let dt2 = 0.5 * config.dt;
-    for _ in 0..config.k_split {
-        for _ in 0..config.n_split {
+    for ks in 0..config.k_split {
+        for ns in 0..config.n_split {
             halo(state);
             baseline_c_sw(
                 &state.u,
@@ -369,6 +386,19 @@ pub fn baseline_step(
                 &mut scratch.vc,
                 dt2,
             );
+            recorder.record(
+                &format!("k{ks}.s{ns}.c_sw"),
+                &[
+                    ("delpc", &scratch.delpc),
+                    ("ptc", &scratch.ptc),
+                    ("uc", &scratch.uc),
+                    ("vc", &scratch.vc),
+                    ("crx", &scratch.crx),
+                    ("cry", &scratch.cry),
+                    ("xfx", &scratch.xfx),
+                    ("yfx", &scratch.yfx),
+                ],
+            );
             baseline_riem_solver_c(
                 &state.delp,
                 &state.pt,
@@ -376,6 +406,7 @@ pub fn baseline_step(
                 &mut state.w,
                 config.dt,
             );
+            recorder.record(&format!("k{ks}.s{ns}.riem_solver_c"), &[("w", &state.w)]);
             baseline_d_sw(
                 &scratch.uc,
                 &scratch.vc,
@@ -388,6 +419,10 @@ pub fn baseline_step(
                 &mut state.w,
                 dt2,
                 config.dddmp,
+            );
+            recorder.record(
+                &format!("k{ks}.s{ns}.d_sw"),
+                &[("u", &state.u), ("v", &state.v), ("w", &state.w)],
             );
             baseline_fv_tp_2d(
                 &state.q,
@@ -406,6 +441,15 @@ pub fn baseline_step(
                 &scratch.xfx,
                 &scratch.yfx,
                 &grid.rarea,
+            );
+            recorder.record(
+                &format!("k{ks}.s{ns}.transport"),
+                &[
+                    ("q", &state.q),
+                    ("delp", &state.delp),
+                    ("fx", &scratch.fx),
+                    ("fy", &scratch.fy),
+                ],
             );
             if let Some(damp) = config.nord4_damp {
                 crate::delnflux::baseline_delnflux(
@@ -426,6 +470,7 @@ pub fn baseline_step(
                 &mut state.v,
             ],
         );
+        recorder.record(&format!("k{ks}.remap"), &state.fields());
     }
 }
 

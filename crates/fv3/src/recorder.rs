@@ -1,0 +1,67 @@
+//! Savepoint instrumentation for the baseline dycore step.
+//!
+//! The production Python port is validated against the FORTRAN model with
+//! *translate tests*: the reference model is instrumented with savepoints
+//! that dump named fields mid-timestep, and the port replays each module
+//! against the dumps. This module provides the capture side for our
+//! reproduction: [`StateRecorder`] is a sink invoked at fixed points of
+//! [`baseline_step_recorded`](crate::dyn_core::baseline_step_recorded)
+//! with the fields each dycore module just produced. `crates/validate`
+//! implements recorders that serialize the snapshots to golden files and
+//! that accumulate conservation diagnostics; [`NoRecorder`] keeps the
+//! uninstrumented path zero-cost.
+
+use dataflow::Array3;
+
+/// Sink for mid-step field snapshots.
+///
+/// `label` identifies the savepoint: `"k{ks}.s{ns}.{module}"` for a
+/// module inside acoustic substep `ns` of remapping substep `ks`, or
+/// `"k{ks}.remap"` after the vertical remap. Within one label, fields
+/// arrive in a fixed, documented order, so captures are comparable
+/// position-by-position across runs.
+pub trait StateRecorder {
+    /// Record one savepoint: named field views at a fixed point of the
+    /// step. Implementations must copy out what they want to keep — the
+    /// references do not outlive the call.
+    fn record(&mut self, label: &str, fields: &[(&str, &Array3)]);
+}
+
+/// The zero-cost recorder: drops every savepoint.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoRecorder;
+
+impl StateRecorder for NoRecorder {
+    #[inline]
+    fn record(&mut self, _label: &str, _fields: &[(&str, &Array3)]) {}
+}
+
+impl<R: StateRecorder + ?Sized> StateRecorder for &mut R {
+    fn record(&mut self, label: &str, fields: &[(&str, &Array3)]) {
+        (**self).record(label, fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::Layout;
+
+    struct Counting(Vec<String>);
+    impl StateRecorder for Counting {
+        fn record(&mut self, label: &str, fields: &[(&str, &Array3)]) {
+            self.0.push(format!("{label}:{}", fields.len()));
+        }
+    }
+
+    #[test]
+    fn recorder_receives_labels_and_fields() {
+        let a = Array3::zeros(Layout::fv3_default([2, 2, 1], [0, 0, 0]));
+        let mut r = Counting(Vec::new());
+        r.record("k0.s0.c_sw", &[("xfx", &a), ("yfx", &a)]);
+        // Through a &mut reference too (the baseline-step calling shape).
+        let mut rr: &mut dyn StateRecorder = &mut r;
+        StateRecorder::record(&mut rr, "k0.remap", &[("delp", &a)]);
+        assert_eq!(r.0, vec!["k0.s0.c_sw:2", "k0.remap:1"]);
+    }
+}

@@ -76,22 +76,22 @@ pub fn remap_state(delp: &mut Array3, fields: &mut [&mut Array3]) {
     let mut src_val = vec![0.0f64; nk];
     for j in 0..nj as i64 {
         for i in 0..ni as i64 {
-            for k in 0..nk {
-                src_dp[k] = delp.get(i, j, k as i64);
+            for (k, v) in src_dp.iter_mut().enumerate() {
+                *v = delp.get(i, j, k as i64);
             }
             let mass: f64 = src_dp.iter().sum();
             let dst_dp = target_thicknesses(nk, PTOP, mass);
             for f in fields.iter_mut() {
-                for k in 0..nk {
-                    src_val[k] = f.get(i, j, k as i64);
+                for (k, v) in src_val.iter_mut().enumerate() {
+                    *v = f.get(i, j, k as i64);
                 }
                 let new = remap_column(&src_dp, &src_val, &dst_dp);
-                for k in 0..nk {
-                    f.set(i, j, k as i64, new[k]);
+                for (k, v) in new.iter().enumerate() {
+                    f.set(i, j, k as i64, *v);
                 }
             }
-            for k in 0..nk {
-                delp.set(i, j, k as i64, dst_dp[k]);
+            for (k, v) in dst_dp.iter().enumerate() {
+                delp.set(i, j, k as i64, *v);
             }
         }
     }

@@ -227,8 +227,8 @@ pub fn baseline_riem_solver_c(
     let mut dpv = vec![0.0f64; nk];
     for j in 0..nj {
         for i in 0..ni {
-            for k in 0..nk {
-                cs[k] = sound_speed2::<f64>(pt.get(i, j, k as i64));
+            for (k, c) in cs.iter_mut().enumerate() {
+                *c = sound_speed2::<f64>(pt.get(i, j, k as i64));
             }
             aa[0] = 0.0;
             for k in 1..nk {
@@ -368,9 +368,7 @@ mod tests {
                         dt * dt,
                     );
                 }
-                for k in 0..nk - 1 {
-                    ab[k] = aa[k + 1];
-                }
+                ab[..nk - 1].copy_from_slice(&aa[1..nk]);
                 for k in 0..nk {
                     let b = delp.get(i, j, k as i64) + aa[k] + ab[k];
                     let rhs = if k == 0 || k == nk - 1 {

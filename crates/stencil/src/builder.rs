@@ -71,6 +71,8 @@ pub struct StencilBuilder {
 impl StencilBuilder {
     /// Construct a stencil: `f` declares fields/params and adds
     /// computation blocks; the result is validated before being returned.
+    /// Deliberately returns the finished [`StencilDef`], not the builder.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(name: impl Into<String>, f: impl FnOnce(&StencilBuilder)) -> Result<StencilDef, String> {
         let b = StencilBuilder {
             name: name.into(),

@@ -45,6 +45,9 @@ fn labels(sdfg: &Sdfg, state: usize, a: usize, b: usize) -> [String; 2] {
     [get(a), get(b)]
 }
 
+/// A deferred candidate rewrite; returns whether it applied cleanly.
+type Rewrite = Box<dyn Fn(&mut Sdfg) -> bool>;
+
 /// Tune the cutouts: try every candidate, record patterns, and apply the
 /// single best transformation per cutout in place.
 pub fn tune_cutouts(
@@ -60,7 +63,7 @@ pub fn tune_cutouts(
 
     for cutout in cutouts {
         let base = state_time(sdfg, cutout.state, model);
-        let mut found: Vec<(Pattern, Box<dyn Fn(&mut Sdfg) -> bool>)> = Vec::new();
+        let mut found: Vec<(Pattern, Rewrite)> = Vec::new();
 
         // OTF candidates: every ordered kernel pair.
         for (pi, &p) in cutout.kernels.iter().enumerate() {

@@ -1,0 +1,33 @@
+//! Regenerate the checked-in golden capture for the seed reference case.
+//!
+//! ```bash
+//! cargo run -p validate --bin capture_golden
+//! ```
+//!
+//! Runs the FORTRAN-style baseline dycore step on the deterministic seed
+//! case (`validate::reference`) with full savepoint instrumentation and
+//! writes `crates/validate/testdata/golden/baseline_seed.fv3gold`.
+//! Commit the result whenever the reference numerics intentionally
+//! change; the replay tests in `tests/golden_replay.rs` will fail with a
+//! divergence report until the file matches the code again.
+
+use validate::reference::{capture_reference, golden_path, SEED_N, SEED_NK, SEED_STEPS};
+
+fn main() {
+    let capture = capture_reference(SEED_STEPS);
+    let path = golden_path();
+    let n_fields: usize = capture.savepoints.iter().map(|s| s.fields.len()).sum();
+    capture
+        .save(&path)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "captured {} savepoints / {} fields over {} step(s) of the c{}L{} seed case",
+        capture.savepoints.len(),
+        n_fields,
+        SEED_STEPS,
+        SEED_N,
+        SEED_NK,
+    );
+    println!("wrote {} ({bytes} bytes)", path.display());
+}

@@ -1,0 +1,93 @@
+//! The seed reference case: the fixed grid, initial state, and step
+//! configuration every golden capture and invariant test agrees on, plus
+//! the capture routine `capture_golden` and the replay tests share.
+//!
+//! Changing anything here changes what the checked-in golden files mean
+//! — regenerate them with `cargo run -p validate --bin capture_golden`
+//! and commit the result (see `crates/validate/README.md`).
+
+use crate::savepoint::{Capture, CaptureRecorder};
+use fv3::dyn_core::{baseline_step_recorded, BaselineScratch, DycoreConfig};
+use fv3::grid::Grid;
+use fv3::init::{init_baroclinic, BaroclinicConfig};
+use fv3::state::{DycoreState, HALO};
+use std::path::PathBuf;
+
+/// Horizontal cells per edge of the seed subdomain.
+pub const SEED_N: usize = 8;
+/// Vertical levels of the seed subdomain.
+pub const SEED_NK: usize = 6;
+/// Timesteps the golden capture integrates.
+pub const SEED_STEPS: usize = 2;
+
+/// The seed dycore configuration (matches the dyn_core validation tests).
+pub fn seed_config() -> DycoreConfig {
+    DycoreConfig {
+        n_split: 2,
+        k_split: 1,
+        dt: 5.0,
+        dddmp: 0.02,
+        nord4_damp: None,
+    }
+}
+
+/// Baroclinic-wave initial state on tile 1 of the cubed sphere at seed
+/// resolution — fully deterministic.
+pub fn seed_case() -> (DycoreState, Grid) {
+    let geom = comm::CubeGeometry::new(SEED_N);
+    let grid = Grid::compute(&geom.faces[1], SEED_N, 0, 0, SEED_N, HALO, SEED_NK);
+    let mut state = DycoreState::zeros(SEED_N, SEED_NK);
+    init_baroclinic(&mut state, &grid, &BaroclinicConfig::default());
+    (state, grid)
+}
+
+/// Run the reference (baseline FORTRAN-style) path for `steps` timesteps
+/// with full savepoint instrumentation and return the capture. This is
+/// the generator behind `testdata/golden/` — reproducible because the
+/// initial state, grid, and arithmetic are all deterministic.
+pub fn capture_reference(steps: usize) -> Capture {
+    let (mut state, grid) = seed_case();
+    let config = seed_config();
+    let mut scratch = BaselineScratch::for_state(&state);
+    let mut rec = CaptureRecorder::default();
+    for step in 0..steps {
+        // Prefix the per-step labels so multi-step captures stay unique.
+        let before = rec.capture.savepoints.len();
+        baseline_step_recorded(&mut state, &grid, &mut scratch, &config, &mut |_| {}, &mut rec);
+        for sp in &mut rec.capture.savepoints[before..] {
+            sp.label = format!("t{step}.{}", sp.label);
+        }
+    }
+    rec.capture
+}
+
+/// Where the checked-in golden capture for the seed case lives.
+pub fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join("golden")
+        .join("baseline_seed.fv3gold")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_is_deterministic() {
+        let a = capture_reference(1);
+        let b = capture_reference(1);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        // 2 substeps × 4 module savepoints + 1 remap per step.
+        assert_eq!(a.savepoints.len(), 9);
+        assert_eq!(a.savepoints[0].label, "t0.k0.s0.c_sw");
+        assert_eq!(a.savepoints.last().unwrap().label, "t0.k0.remap");
+    }
+
+    #[test]
+    fn seed_case_is_nontrivial() {
+        let (state, grid) = seed_case();
+        assert!(state.air_mass(&grid.area) > 0.0);
+        assert!(state.u.max_abs_diff(&fv3::state::DycoreState::zeros(SEED_N, SEED_NK).u) > 1.0);
+    }
+}

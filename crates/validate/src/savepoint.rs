@@ -1,0 +1,356 @@
+//! Savepoint capture/replay: named field snapshots and the golden-file
+//! binary format.
+//!
+//! A [`Savepoint`] is what one instrumentation point of the reference
+//! step produces: a label plus an ordered list of [`FieldSnapshot`]s. A
+//! [`Capture`] is a whole run's worth of savepoints, serializable to a
+//! compact self-describing binary file under `testdata/golden/` (see
+//! `crates/validate/README.md` for the workflow).
+//!
+//! Snapshots store values in *canonical logical order* (k outer, j, i
+//! inner, halo included — [`Array3::export_logical`]), so a capture is
+//! independent of the storage order / alignment of the arrays it came
+//! from: a run with K-contiguous storage replays bit-identically against
+//! a capture taken with the FORTRAN I-contiguous layout.
+
+use dataflow::{Array3, Layout};
+use fv3::recorder::StateRecorder;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// File magic for the golden binary format, version 1.
+pub const MAGIC: [u8; 8] = *b"FV3GOLD1";
+
+/// One field at one savepoint: name, logical shape, and values in
+/// canonical logical order (halo included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldSnapshot {
+    /// Field name (`"delp"`, `"xfx"`, ...).
+    pub name: String,
+    /// Compute-domain extent `[ni, nj, nk]`.
+    pub domain: [usize; 3],
+    /// Halo width per axis.
+    pub halo: [usize; 3],
+    /// `(ni + 2hi)(nj + 2hj)(nk + 2hk)` values, k outermost / i innermost.
+    pub values: Vec<f64>,
+}
+
+impl FieldSnapshot {
+    /// Snapshot an array (halo included).
+    pub fn capture(name: &str, array: &Array3) -> Self {
+        let l = array.layout();
+        FieldSnapshot {
+            name: name.to_string(),
+            domain: l.domain,
+            halo: l.halo,
+            values: array.export_logical(),
+        }
+    }
+
+    /// Rebuild an array (default FV3 layout) holding the snapshot values.
+    pub fn to_array(&self) -> Array3 {
+        let mut a = Array3::zeros(Layout::fv3_default(self.domain, self.halo));
+        a.import_logical(&self.values);
+        a
+    }
+
+    /// Logical coordinates of flat element `idx` of `values`.
+    pub fn index_of(&self, idx: usize) -> (i64, i64, i64) {
+        let wi = self.domain[0] + 2 * self.halo[0];
+        let wj = self.domain[1] + 2 * self.halo[1];
+        let i = (idx % wi) as i64 - self.halo[0] as i64;
+        let j = ((idx / wi) % wj) as i64 - self.halo[1] as i64;
+        let k = (idx / (wi * wj)) as i64 - self.halo[2] as i64;
+        (i, j, k)
+    }
+
+    /// Whether flat element `idx` lies in the compute domain (not halo).
+    pub fn in_domain(&self, idx: usize) -> bool {
+        let (i, j, k) = self.index_of(idx);
+        let d = self.domain;
+        (0..d[0] as i64).contains(&i)
+            && (0..d[1] as i64).contains(&j)
+            && (0..d[2] as i64).contains(&k)
+    }
+}
+
+/// One instrumentation point: label + ordered fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Savepoint {
+    /// `"k{ks}.s{ns}.{module}"` / `"k{ks}.remap"` (see `fv3::recorder`).
+    pub label: String,
+    pub fields: Vec<FieldSnapshot>,
+}
+
+impl Savepoint {
+    /// Capture the fields a recorder callback was handed.
+    pub fn capture(label: &str, fields: &[(&str, &Array3)]) -> Self {
+        Savepoint {
+            label: label.to_string(),
+            fields: fields
+                .iter()
+                .map(|(n, a)| FieldSnapshot::capture(n, a))
+                .collect(),
+        }
+    }
+
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldSnapshot> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A whole run's savepoints, in capture order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Capture {
+    pub savepoints: Vec<Savepoint>,
+}
+
+impl Capture {
+    /// Look up a savepoint by label.
+    pub fn savepoint(&self, label: &str) -> Option<&Savepoint> {
+        self.savepoints.iter().find(|s| s.label == label)
+    }
+
+    /// Serialize to the `FV3GOLD1` binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, self.savepoints.len() as u32);
+        for sp in &self.savepoints {
+            put_str(&mut out, &sp.label);
+            put_u32(&mut out, sp.fields.len() as u32);
+            for f in &sp.fields {
+                put_str(&mut out, &f.name);
+                for d in 0..3 {
+                    put_u32(&mut out, f.domain[d] as u32);
+                }
+                for d in 0..3 {
+                    put_u32(&mut out, f.halo[d] as u32);
+                }
+                put_u32(&mut out, f.values.len() as u32);
+                for v in &f.values {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the `FV3GOLD1` binary format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Capture, String> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(format!("bad magic {magic:?}: not an FV3GOLD1 file"));
+        }
+        let n_sp = r.u32()? as usize;
+        let mut savepoints = Vec::with_capacity(n_sp);
+        for _ in 0..n_sp {
+            let label = r.string()?;
+            let n_fields = r.u32()? as usize;
+            let mut fields = Vec::with_capacity(n_fields);
+            for _ in 0..n_fields {
+                let name = r.string()?;
+                let mut domain = [0usize; 3];
+                let mut halo = [0usize; 3];
+                for d in &mut domain {
+                    *d = r.u32()? as usize;
+                }
+                for h in &mut halo {
+                    *h = r.u32()? as usize;
+                }
+                let n_vals = r.u32()? as usize;
+                let expect: usize = (0..3)
+                    .map(|d| domain[d] + 2 * halo[d])
+                    .product();
+                if n_vals != expect {
+                    return Err(format!(
+                        "field '{name}': {n_vals} values for logical extent {expect}"
+                    ));
+                }
+                let mut values = Vec::with_capacity(n_vals);
+                for _ in 0..n_vals {
+                    values.push(f64::from_bits(r.u64()?));
+                }
+                fields.push(FieldSnapshot {
+                    name,
+                    domain,
+                    halo,
+                    values,
+                });
+            }
+            savepoints.push(Savepoint { label, fields });
+        }
+        if r.pos != bytes.len() {
+            return Err(format!("{} trailing bytes", bytes.len() - r.pos));
+        }
+        Ok(Capture { savepoints })
+    }
+
+    /// Write to a file (creating parent directories).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())
+    }
+
+    /// Read from a file.
+    pub fn load(path: &Path) -> std::io::Result<Capture> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Capture::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// A [`StateRecorder`] that appends every savepoint to a [`Capture`] —
+/// the capture side of the translate-test harness.
+#[derive(Debug, Default)]
+pub struct CaptureRecorder {
+    pub capture: Capture,
+}
+
+impl StateRecorder for CaptureRecorder {
+    fn record(&mut self, label: &str, fields: &[(&str, &Array3)]) {
+        self.capture.savepoints.push(Savepoint::capture(label, fields));
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err(format!(
+                "truncated file: need {n} bytes at offset {}",
+                self.pos
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|e| format!("bad utf-8 string: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_capture() -> Capture {
+        let l = Layout::fv3_default([3, 2, 2], [1, 1, 0]);
+        let a = Array3::from_fn(l.clone(), |i, j, k| i as f64 + 10.0 * j as f64 + 0.5 * k as f64);
+        let b = Array3::from_fn(l, |i, _, _| -(i as f64) * 1e-300);
+        let mut rec = CaptureRecorder::default();
+        rec.record("k0.s0.c_sw", &[("xfx", &a), ("yfx", &b)]);
+        rec.record("k0.remap", &[("delp", &a)]);
+        rec.capture
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bit_identical() {
+        let c = sample_capture();
+        let bytes = c.to_bytes();
+        let c2 = Capture::from_bytes(&bytes).unwrap();
+        assert_eq!(c, c2);
+        // PartialEq on f64 treats -0.0 == 0.0; check bits too.
+        for (s1, s2) in c.savepoints.iter().zip(&c2.savepoints) {
+            for (f1, f2) in s1.fields.iter().zip(&s2.fields) {
+                for (v1, v2) in f1.values.iter().zip(&f2.values) {
+                    assert_eq!(v1.to_bits(), v2.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonfinite_values_survive_the_roundtrip() {
+        let l = Layout::fv3_default([2, 1, 1], [0, 0, 0]);
+        let mut a = Array3::zeros(l);
+        a.set(0, 0, 0, f64::NAN);
+        a.set(1, 0, 0, f64::NEG_INFINITY);
+        let mut c = Capture::default();
+        c.savepoints.push(Savepoint::capture("x", &[("w", &a)]));
+        let c2 = Capture::from_bytes(&c.to_bytes()).unwrap();
+        let f = &c2.savepoints[0].fields[0];
+        assert!(f.values[0].is_nan());
+        assert_eq!(f.values[1], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn snapshot_array_roundtrip() {
+        let l = Layout::fv3_default([4, 4, 3], [2, 2, 0]);
+        let a = Array3::from_fn(l, |i, j, k| (i * 100 + j * 10 + k) as f64 + 0.25);
+        let s = FieldSnapshot::capture("pt", &a);
+        let b = s.to_array();
+        assert_eq!(a.export_logical(), b.export_logical());
+    }
+
+    #[test]
+    fn index_of_inverts_flat_order() {
+        let l = Layout::fv3_default([3, 2, 2], [1, 1, 0]);
+        let a = Array3::zeros(l);
+        let s = FieldSnapshot::capture("q", &a);
+        let mut flat = 0usize;
+        for k in 0..2i64 {
+            for j in -1..3i64 {
+                for i in -1..4i64 {
+                    assert_eq!(s.index_of(flat), (i, j, k));
+                    let interior =
+                        (0..3).contains(&i) && (0..2).contains(&j) && (0..2).contains(&k);
+                    assert_eq!(s.in_domain(flat), interior);
+                    flat += 1;
+                }
+            }
+        }
+        assert_eq!(flat, s.values.len());
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let c = sample_capture();
+        let mut bytes = c.to_bytes();
+        assert!(Capture::from_bytes(&bytes[..7]).is_err(), "truncated magic");
+        bytes[0] = b'X';
+        assert!(Capture::from_bytes(&bytes).is_err(), "bad magic");
+        let mut ok = c.to_bytes();
+        ok.push(0);
+        assert!(Capture::from_bytes(&ok).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn lookup_by_label_and_name() {
+        let c = sample_capture();
+        let sp = c.savepoint("k0.s0.c_sw").unwrap();
+        assert!(sp.field("yfx").is_some());
+        assert!(sp.field("nope").is_none());
+        assert!(c.savepoint("k9.remap").is_none());
+    }
+}

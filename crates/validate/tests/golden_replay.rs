@@ -1,0 +1,110 @@
+//! Replay the reference path against the checked-in golden capture.
+//!
+//! The acceptance bar for the harness itself: capture → replay
+//! round-trips bit-identically in process, the checked-in file matches a
+//! fresh capture (a few ULPs of cross-platform libm slack), and a
+//! deliberately perturbed field is flagged with the correct
+//! first-divergence report.
+
+use validate::reference::{capture_reference, golden_path, SEED_STEPS};
+use validate::{compare_capture, compare_savepoint, Capture, Tolerance, Tolerances};
+
+/// Tolerance for comparisons against the checked-in file: a handful of
+/// ULPs absorbs libm differences between the platform that generated the
+/// golden data and the one replaying it, while still catching any real
+/// change to the numerics.
+fn golden_tolerances() -> Tolerances {
+    Tolerances::all(Tolerance::ulps(8))
+}
+
+#[test]
+fn in_process_capture_replay_roundtrips_bit_identically() {
+    let capture = capture_reference(SEED_STEPS);
+    let replay = Capture::from_bytes(&capture.to_bytes()).expect("roundtrip parses");
+    // Bit identity, not approximate match: serialization must be exact.
+    compare_capture(&capture, &replay, &Tolerances::exact())
+        .unwrap_or_else(|d| panic!("serialization changed a value: {d}"));
+    // And recapturing from scratch is deterministic to the bit.
+    let again = capture_reference(SEED_STEPS);
+    compare_capture(&capture, &again, &Tolerances::exact())
+        .unwrap_or_else(|d| panic!("reference path is nondeterministic: {d}"));
+}
+
+#[test]
+fn checked_in_golden_data_matches_a_fresh_capture() {
+    let path = golden_path();
+    let golden = Capture::load(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot load {} — regenerate with `cargo run -p validate --bin capture_golden`: {e}",
+            path.display()
+        )
+    });
+    let fresh = capture_reference(SEED_STEPS);
+    compare_capture(&golden, &fresh, &golden_tolerances()).unwrap_or_else(|d| {
+        panic!(
+            "reference numerics diverged from testdata/golden \
+             (regenerate deliberately if intended): {d}"
+        )
+    });
+}
+
+#[test]
+fn perturbed_field_is_flagged_with_a_correct_divergence_report() {
+    let golden = Capture::load(&golden_path()).expect("golden data present");
+    let mut bad = golden.clone();
+    // Perturb one known compute-domain element of `w` at the first
+    // riem_solver_c savepoint by ~1 part in 1e9.
+    let sp_idx = bad
+        .savepoints
+        .iter()
+        .position(|s| s.label == "t0.k0.s0.riem_solver_c")
+        .expect("riem savepoint exists");
+    let f = &mut bad.savepoints[sp_idx].fields[0];
+    assert_eq!(f.name, "w");
+    let idx = (0..f.values.len())
+        .find(|&i| f.in_domain(i) && f.values[i].abs() > 1e-12)
+        .expect("w has a nonzero domain value after the first substep");
+    let expect_index = f.index_of(idx);
+    let expected_val = f.values[idx];
+    f.values[idx] *= 1.0 + 1e-9;
+    let actual_val = f.values[idx];
+
+    let d = compare_capture(&golden, &bad, &golden_tolerances())
+        .expect_err("perturbation must be detected");
+    assert_eq!(d.savepoint, "t0.k0.s0.riem_solver_c");
+    assert_eq!(d.field, "w");
+    assert_eq!(d.index, expect_index);
+    assert_eq!(d.expected.to_bits(), expected_val.to_bits());
+    assert_eq!(d.actual.to_bits(), actual_val.to_bits());
+    assert_eq!(d.failing, 1);
+    assert!(d.ulps > 8, "{} ulps should exceed the golden slack", d.ulps);
+
+    // A per-field relative tolerance wide enough for the perturbation
+    // accepts it again — the translate-test "near" mode.
+    let loose = golden_tolerances().with_field("w", Tolerance::rel(1e-6));
+    compare_capture(&golden, &bad, &loose).expect("loose tolerance absorbs the perturbation");
+}
+
+#[test]
+fn savepoint_labels_cover_every_instrumented_module() {
+    let golden = Capture::load(&golden_path()).expect("golden data present");
+    for module in ["c_sw", "riem_solver_c", "d_sw", "transport"] {
+        for step in 0..SEED_STEPS {
+            for substep in 0..2 {
+                let label = format!("t{step}.k0.s{substep}.{module}");
+                assert!(
+                    golden.savepoint(&label).is_some(),
+                    "missing savepoint {label}"
+                );
+            }
+        }
+    }
+    for step in 0..SEED_STEPS {
+        let sp = golden
+            .savepoint(&format!("t{step}.k0.remap"))
+            .expect("remap savepoint");
+        // The remap savepoint carries all seven prognostics.
+        assert_eq!(sp.fields.len(), 7);
+        compare_savepoint(sp, sp, &Tolerances::exact()).expect("self-compare is clean");
+    }
+}

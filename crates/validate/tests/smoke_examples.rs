@@ -1,0 +1,148 @@
+//! Smoke tests mirroring the shipped examples: run each one's core logic
+//! for one coarse step and assert the resulting state is finite via the
+//! invariant checks, so a broken example fails `cargo test` instead of
+//! only failing whoever runs `cargo run --example` next.
+
+use dataflow::graph::ExpansionAttrs;
+use dataflow::kernel::{AxisInterval, Domain, KOrder};
+use dataflow::model::{model_sdfg, CostModel};
+use dataflow::{Array3, Layout};
+use fv3::dyn_core::DycoreConfig;
+use fv3core::bounds::bounds_report;
+use fv3core::driver::{DistributedDycore, DriverConfig};
+use fv3core::experiments::p100;
+use fv3core::pipeline::{run_pipeline, PipelineStage};
+use machine::{GpuModel, GpuSpec};
+use std::sync::Arc;
+use stencil::fns::lit;
+use stencil::StencilBuilder;
+use validate::reference::{seed_case, seed_config};
+use validate::{check_finite, check_invariants, run_stage_on, ConservationLedger};
+
+/// `examples/quickstart.rs`: declare the diffusion stencil, run it
+/// through the debug backend, and fuse the two-stencil program.
+#[test]
+fn quickstart_smoke() {
+    let diffuse = Arc::new(
+        StencilBuilder::new("diffuse", |b| {
+            let q = b.input("q");
+            let out = b.output("out");
+            let alpha = b.param("alpha");
+            b.computation(KOrder::Parallel, AxisInterval::FULL, |c| {
+                c.assign(
+                    &out,
+                    q.c() + alpha.ex()
+                        * (q.at(-1, 0, 0) + q.at(1, 0, 0) + q.at(0, -1, 0) + q.at(0, 1, 0)
+                            - lit(4.0) * q.c()),
+                );
+            });
+        })
+        .expect("valid stencil"),
+    );
+    let n = 16;
+    let layout = Layout::fv3_default([n, n, 2], [1, 1, 0]);
+    let mut q = Array3::filled(layout.clone(), 1.0);
+    q.set(8, 8, 0, 2.0);
+    let mut out = Array3::zeros(layout);
+    stencil::debug::run_stencil(
+        &diffuse,
+        &mut [("q", &mut q), ("out", &mut out)],
+        &[("alpha", 0.1)],
+        Domain::from_shape([n, n, 2]),
+    )
+    .expect("debug run");
+    // The bump diffused and every output value is finite.
+    assert!(out.get(8, 8, 0) < 2.0 && out.get(8, 8, 0) > 1.0);
+    assert!(out.get(7, 8, 0) > 1.0);
+    assert!(out.raw().iter().all(|v| v.is_finite()));
+
+    let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+    let mut prog = stencil::ProgramBuilder::new("quickstart", [n, n, 2], [1, 1, 0]);
+    let a = prog.field("a");
+    let b = prog.field("b");
+    prog.param("alpha");
+    prog.call(&diffuse, &[("q", a), ("out", b)], &[("alpha", "alpha")])
+        .unwrap();
+    let mut sdfg = prog.build();
+    sdfg.expand_libraries(&ExpansionAttrs::tuned());
+    let m = model_sdfg(&sdfg, &model, &|_| 0.0);
+    assert!(m.total_time.is_finite() && m.total_time > 0.0);
+}
+
+/// `examples/baroclinic_wave.rs`: one coarse step of the 6-rank
+/// cubed-sphere dycore, checked finite rank by rank.
+#[test]
+fn baroclinic_wave_smoke() {
+    let config = DriverConfig::six_rank(
+        8,
+        4,
+        DycoreConfig {
+            n_split: 2,
+            k_split: 1,
+            dt: 4.0,
+            dddmp: 0.05,
+            nord4_damp: None,
+        },
+    );
+    let mut dycore = DistributedDycore::new(config, &ExpansionAttrs::tuned());
+    let mass0 = dycore.global_air_mass();
+    dycore.step();
+    for (rank, state) in dycore.states.iter().enumerate() {
+        check_finite(state).unwrap_or_else(|e| panic!("rank {rank}: {e}"));
+    }
+    let mass1 = dycore.global_air_mass();
+    // With real halo exchanges the *global* air mass is conserved far
+    // more tightly than any single open subdomain's.
+    assert!(
+        (mass1 / mass0 - 1.0).abs() < 1e-6,
+        "global mass drift {mass0} -> {mass1}"
+    );
+}
+
+/// `examples/optimization_pipeline.rs`: the full Table III pipeline plus
+/// the bounds report, then one coarse step of the final optimized graph
+/// with the invariant checks on the result.
+#[test]
+fn optimization_pipeline_smoke() {
+    let program = fv3::dyn_core::build_dycore_program(16, 8, DycoreConfig::default());
+    let report = run_pipeline(&program.sdfg, &p100(), &|_| 0.0, PipelineStage::TransferTuning);
+    assert_eq!(report.stages.len(), 8);
+    assert!(report.final_time() > 0.0 && report.final_time().is_finite());
+    let (rows, m) = bounds_report(&report.optimized, &p100(), &|_| 0.0);
+    assert!(!rows.is_empty());
+    assert!(m.total_time.is_finite());
+
+    // Execute the fully-optimized graph for one step on the seed case.
+    let (state0, grid) = seed_case();
+    let stepped = run_stage_on(
+        &state0,
+        &grid,
+        seed_config(),
+        &p100(),
+        PipelineStage::TransferTuning,
+    );
+    check_finite(&stepped).expect("optimized graph keeps the state finite");
+    assert!(stepped.max_abs_diff(&state0) > 0.0, "it actually integrated");
+}
+
+/// The invariant checks themselves ride a recorded coarse step — the
+/// shape every smoke test above can fall back to when diagnosing drift.
+#[test]
+fn recorded_step_invariants_smoke() {
+    use fv3::dyn_core::{baseline_step_recorded, BaselineScratch};
+    let (mut state, grid) = seed_case();
+    let before = state.clone();
+    let mut scratch = BaselineScratch::for_state(&state);
+    let mut ledger = ConservationLedger::new(&grid);
+    baseline_step_recorded(
+        &mut state,
+        &grid,
+        &mut scratch,
+        &seed_config(),
+        &mut |_| {},
+        &mut ledger,
+    );
+    check_finite(&state).expect("finite after one step");
+    let report = check_invariants(&before, &state, &grid, &ledger);
+    report.assert_within(1e-12, 1e-12, 1e-2);
+}

@@ -76,3 +76,16 @@ fn table2_full_shape() {
         .fold(0.0, f64::max);
     assert!(worst > 1.3, "cache cliff factor {worst}");
 }
+
+#[test]
+fn pipeline_stages_preserve_bit_identity_end_to_end() {
+    // The module doc's bit-identity claim, enforced: every stage cutoff
+    // executes the dycore to bitwise-equal prognostics (the harness
+    // lives in crates/validate; see its README for the methodology).
+    use validate::reference::{seed_case, seed_config};
+    let (state0, grid) = seed_case();
+    let stages =
+        validate::check_pipeline_bit_identity(&state0, &grid, seed_config(), &p100())
+            .unwrap_or_else(|d| panic!("a pipeline stage changed the numerics: {d}"));
+    assert_eq!(stages.len(), PipelineStage::ALL.len());
+}
