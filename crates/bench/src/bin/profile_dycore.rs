@@ -1,0 +1,176 @@
+//! Measured dycore profile: run the c8L6 baroclinic case under the
+//! kernel profiler and emit `BENCH_dycore.json` — per-module timings,
+//! per-kernel achieved bytes/s, and roofline %-of-bound against the
+//! host's measured STREAM bandwidth (the Fig. 7 "model-driven fine
+//! tuning" inputs, as machine-readable data).
+//!
+//! Exits nonzero if any kernel reports zero iterations or a non-finite
+//! timing, so CI can use it as a smoke check. Also writes the chrome
+//! trace (`BENCH_dycore_trace.json`) for `chrome://tracing`.
+
+use comm::CubeGeometry;
+use dataflow::exec::{DataStore, Executor};
+use dataflow::graph::ExpansionAttrs;
+use dataflow::profile::{json_string, Profiler};
+use dataflow::report::roofline_table;
+use fv3::dyn_core::{build_dycore_program, load_state, DycoreConfig};
+use fv3::grid::Grid;
+use fv3::init::{init_baroclinic, BaroclinicConfig};
+use fv3::profiling::{rollup_modules, RemapHooks};
+use fv3::state::DycoreState;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+const N: usize = 8;
+const NK: usize = 6;
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+fn main() -> ExitCode {
+    // The c8L6 seed case: one tile face, baroclinic initial condition.
+    let geom = CubeGeometry::new(N);
+    let grid = Grid::compute(&geom.faces[1], N, 0, 0, N, fv3::state::HALO, NK);
+    let mut state0 = DycoreState::zeros(N, NK);
+    init_baroclinic(&mut state0, &grid, &BaroclinicConfig::default());
+    let config = DycoreConfig {
+        n_split: 2,
+        k_split: 1,
+        dt: 5.0,
+        dddmp: 0.02,
+        nord4_damp: None,
+    };
+    let prog = build_dycore_program(N, NK, config);
+    let mut g = prog.sdfg.clone();
+    g.expand_libraries(&ExpansionAttrs::tuned());
+
+    let mut store = DataStore::for_sdfg(&g);
+    load_state(&mut store, &prog.ids, &state0, &grid);
+    let mut hooks = RemapHooks { ids: &prog.ids };
+    let mut prof = Profiler::new();
+    Executor::serial().run_profiled(&g, &mut store, &prog.params, &mut hooks, &mut prof);
+    let report = prof.report();
+
+    // Roofline denominator: measured host STREAM copy bandwidth.
+    let stream = machine::stream::copy(4 << 20, 5);
+    let attainable = stream.gib_per_s() * GIB;
+
+    println!("profile_dycore: c{N}L{NK} baroclinic, tuned expansion, serial host executor");
+    println!("host STREAM copy: {:.2} GiB/s\n", stream.gib_per_s());
+    print!("{}", roofline_table(&report, attainable, 20));
+
+    let rollup = rollup_modules(&report);
+    println!("\n{:<16} {:>8} {:>12} {:>10}", "module", "inv", "time[us]", "GiB/s");
+    for m in &rollup {
+        println!(
+            "{:<16} {:>8} {:>12.2} {:>10.2}",
+            m.module,
+            m.invocations,
+            m.wall_seconds * 1e6,
+            m.achieved_bandwidth() / GIB
+        );
+    }
+
+    // Self-validation: a profile with dead kernels or broken clocks is
+    // worse than no profile.
+    let mut bad = Vec::new();
+    if report.launches == 0 {
+        bad.push("no kernel launches recorded".to_string());
+    }
+    for k in &report.kernels {
+        if k.invocations == 0 {
+            bad.push(format!("kernel '{}' reports zero iterations", k.name));
+        }
+        if !k.wall_seconds.is_finite() || k.wall_seconds < 0.0 {
+            bad.push(format!("kernel '{}' has non-finite timing", k.name));
+        }
+    }
+    for m in &rollup {
+        if !m.wall_seconds.is_finite() {
+            bad.push(format!("module '{}' has non-finite timing", m.module));
+        }
+    }
+    if !attainable.is_finite() || attainable <= 0.0 {
+        bad.push("host STREAM bandwidth is not positive/finite".to_string());
+    }
+
+    let json = summary_json(&report, &rollup, attainable, stream.gib_per_s());
+    if let Err(e) = std::fs::write("BENCH_dycore.json", &json) {
+        eprintln!("error: cannot write BENCH_dycore.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write("BENCH_dycore_trace.json", prof.to_chrome_trace()) {
+        eprintln!("error: cannot write BENCH_dycore_trace.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote BENCH_dycore.json and BENCH_dycore_trace.json");
+
+    if !bad.is_empty() {
+        for b in &bad {
+            eprintln!("error: {b}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn summary_json(
+    report: &dataflow::ProfileReport,
+    rollup: &[fv3::profiling::ModuleRollup],
+    attainable: f64,
+    stream_gib: f64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"case\": \"c{N}L{NK}_baroclinic\",");
+    let _ = writeln!(out, "  \"executor\": \"serial_host\",");
+    let _ = writeln!(out, "  \"stream_copy_gib_per_s\": {stream_gib},");
+    let _ = writeln!(out, "  \"attainable_bandwidth_bytes_per_s\": {attainable},");
+    let _ = writeln!(out, "  \"launches\": {},", report.launches);
+    let _ = writeln!(out, "  \"kernel_seconds\": {},", report.kernel_seconds);
+    let _ = writeln!(out, "  \"copy_seconds\": {},", report.copy_seconds);
+    let _ = writeln!(out, "  \"halo_seconds\": {},", report.halo_seconds);
+    let _ = writeln!(out, "  \"callback_seconds\": {},", report.callback_seconds);
+    let _ = writeln!(
+        out,
+        "  \"roofline_fraction\": {},",
+        report.roofline_fraction(attainable)
+    );
+    let _ = writeln!(out, "  \"modules\": [");
+    for (i, m) in rollup.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"module\": {}, \"kernels\": {}, \"invocations\": {}, \"points\": {}, \
+             \"wall_seconds\": {}, \"modeled_bytes\": {}, \"bytes_per_s\": {}}}{}",
+            json_string(&m.module),
+            m.kernels,
+            m.invocations,
+            m.points,
+            m.wall_seconds,
+            m.modeled_bytes,
+            m.achieved_bandwidth(),
+            if i + 1 < rollup.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"kernels\": [");
+    let ranked = report.ranked();
+    for (i, k) in ranked.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"invocations\": {}, \"points\": {}, \"wall_seconds\": {}, \
+             \"modeled_bytes\": {}, \"modeled_flops\": {}, \"bytes_per_s\": {}, \
+             \"roofline_fraction\": {}}}{}",
+            json_string(&k.name),
+            k.invocations,
+            k.points,
+            k.wall_seconds,
+            k.modeled_bytes,
+            k.modeled_flops,
+            k.achieved_bandwidth(),
+            k.roofline_fraction(attainable),
+            if i + 1 < ranked.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}

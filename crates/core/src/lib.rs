@@ -16,7 +16,9 @@ pub mod bounds;
 pub mod driver;
 pub mod experiments;
 pub mod pipeline;
+pub mod profiling;
 
 pub use bounds::{bounds_report, BoundsRow};
 pub use driver::{DistributedDycore, DriverConfig};
 pub use pipeline::{run_pipeline, PipelineReport, PipelineStage};
+pub use profiling::{profile_pipeline_stages, StageProfile};

@@ -1,0 +1,130 @@
+//! Measured per-[`PipelineStage`] rollups: execute the optimized graph of
+//! each stage cutoff under the kernel profiler.
+//!
+//! The modeled Table III trajectory ([`run_pipeline`]) says what each
+//! stage *should* buy; this module measures what it *does* buy on the
+//! host executor, giving every stage a [`ProfileReport`] (per-kernel wall
+//! time, iteration counts, modeled bytes) alongside its modeled step
+//! time. This is the observability the paper's "model-driven fine
+//! tuning" loop (Fig. 7) closes on: compare measured against
+//! bandwidth-bound, find the outlier kernels, pick the next transform.
+
+use crate::pipeline::{run_pipeline, PipelineStage};
+use dataflow::exec::{validate_sdfg, DataStore, ExecHooks, Executor};
+use dataflow::model::CostModel;
+use dataflow::profile::{ProfileReport, Profiler};
+use dataflow::{DataId, Sdfg};
+
+/// Modeled and measured outcome of one pipeline-stage cutoff.
+#[derive(Debug, Clone)]
+pub struct StageProfile {
+    pub stage: PipelineStage,
+    /// Modeled step time after this stage (seconds).
+    pub modeled_step_time: f64,
+    /// Measured execution profile of the stage's optimized graph.
+    pub measured: ProfileReport,
+}
+
+impl StageProfile {
+    /// Measured wall seconds across kernels, copies, halos and callbacks.
+    pub fn measured_seconds(&self) -> f64 {
+        self.measured.total_seconds()
+    }
+}
+
+/// Run the optimization pipeline to every stage cutoff up to `through`
+/// (inclusive) and execute each cutoff's optimized graph under the
+/// profiler.
+///
+/// `init_store` fills a freshly allocated store before each measured run
+/// (every stage starts from identical inputs); `hooks` supplies halo
+/// exchanges and host callbacks (e.g.
+/// [`fv3::profiling::RemapHooks`](../../fv3/profiling/struct.RemapHooks.html)).
+/// The executor is serial so per-kernel times are deterministic and
+/// comparable across stages.
+pub fn profile_pipeline_stages(
+    program: &Sdfg,
+    model: &CostModel,
+    halo_cost: &impl Fn(&[DataId]) -> f64,
+    through: PipelineStage,
+    params: &[f64],
+    init_store: &mut dyn FnMut(&Sdfg, &mut DataStore),
+    hooks: &mut dyn ExecHooks,
+) -> Vec<StageProfile> {
+    let exec = Executor::serial();
+    let mut out = Vec::new();
+    for stage in PipelineStage::ALL {
+        let report = run_pipeline(program, model, halo_cost, stage);
+        let g = &report.optimized;
+        validate_sdfg(g).expect("stage graph validates");
+        let mut store = DataStore::for_sdfg(g);
+        init_store(g, &mut store);
+        let mut prof = Profiler::new();
+        exec.run_profiled(g, &mut store, params, hooks, &mut prof);
+        out.push(StageProfile {
+            stage,
+            modeled_step_time: report.final_time(),
+            measured: prof.report(),
+        });
+        if stage == through {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm::CubeGeometry;
+    use fv3::dyn_core::{build_dycore_program, load_state, DycoreConfig};
+    use fv3::grid::Grid;
+    use fv3::init::{init_baroclinic, BaroclinicConfig};
+    use fv3::profiling::RemapHooks;
+    use fv3::state::DycoreState;
+    use machine::{GpuModel, GpuSpec};
+
+    #[test]
+    fn stage_profiles_measure_every_cutoff() {
+        let (n, nk) = (8, 6);
+        let geom = CubeGeometry::new(n);
+        let grid = Grid::compute(&geom.faces[1], n, 0, 0, n, fv3::state::HALO, nk);
+        let mut state0 = DycoreState::zeros(n, nk);
+        init_baroclinic(&mut state0, &grid, &BaroclinicConfig::default());
+        let config = DycoreConfig {
+            n_split: 2,
+            k_split: 1,
+            dt: 5.0,
+            dddmp: 0.02,
+            nord4_damp: None,
+        };
+        let prog = build_dycore_program(n, nk, config);
+        let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+
+        let mut hooks = RemapHooks { ids: &prog.ids };
+        let stages = profile_pipeline_stages(
+            &prog.sdfg,
+            &model,
+            &|_| 0.0,
+            PipelineStage::PowerOperator,
+            &prog.params,
+            &mut |_g, store| load_state(store, &prog.ids, &state0, &grid),
+            &mut hooks,
+        );
+
+        assert_eq!(stages.len(), 4);
+        assert_eq!(stages[0].stage, PipelineStage::Default);
+        assert_eq!(stages[3].stage, PipelineStage::PowerOperator);
+        for s in &stages {
+            assert!(s.modeled_step_time > 0.0 && s.modeled_step_time.is_finite());
+            assert!(s.measured.launches > 0, "{:?} executed no kernels", s.stage);
+            assert!(s.measured.kernel_seconds > 0.0);
+            assert!(s.measured_seconds().is_finite());
+            for k in &s.measured.kernels {
+                assert!(k.invocations > 0 && k.wall_seconds.is_finite());
+            }
+        }
+        // Fused/tuned stages launch no more kernels than the naive one.
+        assert!(stages[1].measured.launches <= stages[0].measured.launches);
+    }
+}

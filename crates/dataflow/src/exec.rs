@@ -14,6 +14,7 @@ use crate::bytecode::{self, Program, VmCtx};
 use crate::expr::{DataId, Offset3};
 use crate::graph::{ControlNode, DataflowNode, Sdfg};
 use crate::kernel::{KOrder, Kernel, LValue};
+use crate::profile::Profiler;
 use crate::storage::{Array3, Axis, Layout};
 use machine::Pool;
 use std::time::Instant;
@@ -452,6 +453,33 @@ impl Executor {
         params: &[f64],
         hooks: &mut dyn ExecHooks,
     ) -> ExecReport {
+        self.run_inner(sdfg, store, params, hooks, &mut None)
+    }
+
+    /// Run the whole program with observability: every executed node is
+    /// recorded as a span in `profiler`, kernels annotated with points and
+    /// modeled bytes from their access sets. Numerical results are
+    /// identical to [`Executor::run`] — the profiler never touches the
+    /// data plane.
+    pub fn run_profiled(
+        &self,
+        sdfg: &Sdfg,
+        store: &mut DataStore,
+        params: &[f64],
+        hooks: &mut dyn ExecHooks,
+        profiler: &mut Profiler,
+    ) -> ExecReport {
+        self.run_inner(sdfg, store, params, hooks, &mut Some(profiler))
+    }
+
+    fn run_inner(
+        &self,
+        sdfg: &Sdfg,
+        store: &mut DataStore,
+        params: &[f64],
+        hooks: &mut dyn ExecHooks,
+        prof: &mut Option<&mut Profiler>,
+    ) -> ExecReport {
         assert!(
             params.len() >= sdfg.params.len(),
             "expected {} params, got {}",
@@ -459,10 +487,11 @@ impl Executor {
             params.len()
         );
         let mut report = ExecReport::default();
-        self.run_control(&sdfg.control, sdfg, store, params, hooks, &mut report);
+        self.run_control(&sdfg.control, sdfg, store, params, hooks, &mut report, prof);
         report
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_control(
         &self,
         nodes: &[ControlNode],
@@ -471,35 +500,45 @@ impl Executor {
         params: &[f64],
         hooks: &mut dyn ExecHooks,
         report: &mut ExecReport,
+        prof: &mut Option<&mut Profiler>,
     ) {
         for node in nodes {
             match node {
                 ControlNode::State(s) => {
-                    self.run_state(&sdfg.states[*s], store, params, hooks, report)
+                    self.run_state(*s, sdfg, store, params, hooks, report, prof)
                 }
                 ControlNode::Loop { trips, body } => {
                     for _ in 0..*trips {
-                        self.run_control(body, sdfg, store, params, hooks, report);
+                        self.run_control(body, sdfg, store, params, hooks, report, prof);
                     }
                 }
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_state(
         &self,
-        state: &crate::graph::State,
+        state_idx: usize,
+        sdfg: &Sdfg,
         store: &mut DataStore,
         params: &[f64],
         hooks: &mut dyn ExecHooks,
         report: &mut ExecReport,
+        prof: &mut Option<&mut Profiler>,
     ) {
-        for node in &state.nodes {
+        let state = &sdfg.states[state_idx];
+        for (node_idx, node) in state.nodes.iter().enumerate() {
             match node {
                 DataflowNode::Kernel(k) => {
+                    let ts = prof.as_ref().map(|p| p.now_us());
                     let t0 = Instant::now();
                     let points = run_kernel(k, store, params, &self.pool);
                     report.record(&k.name, points, t0.elapsed().as_secs_f64());
+                    if let Some(p) = prof.as_mut() {
+                        let (bytes, _flops) = p.modeled_cost((state_idx, node_idx), k, sdfg);
+                        p.record_span("kernel", &k.name, ts.unwrap(), points, bytes);
+                    }
                 }
                 DataflowNode::Library(l) => {
                     panic!(
@@ -508,17 +547,31 @@ impl Executor {
                     );
                 }
                 DataflowNode::Copy { src, dst } => {
+                    let ts = prof.as_ref().map(|p| p.now_us());
                     let (s, d) = (*src, *dst);
                     let src_arr = store.get(s).clone();
                     store.get_mut(d).copy_from(&src_arr);
+                    if let Some(p) = prof.as_mut() {
+                        // Copy traffic: every stored element read + written.
+                        let bytes = 2 * 8 * src_arr.raw().len() as u64;
+                        p.record_span("copy", "copy", ts.unwrap(), 0, bytes);
+                    }
                 }
                 DataflowNode::HaloExchange { fields } => {
+                    let ts = prof.as_ref().map(|p| p.now_us());
                     hooks.halo_exchange(fields, store);
                     report.halo_exchanges += 1;
+                    if let Some(p) = prof.as_mut() {
+                        p.record_span("halo", "halo", ts.unwrap(), 0, 0);
+                    }
                 }
                 DataflowNode::Callback { name, .. } => {
+                    let ts = prof.as_ref().map(|p| p.now_us());
                     hooks.callback(name, store);
                     report.callbacks += 1;
+                    if let Some(p) = prof.as_mut() {
+                        p.record_span("callback", name, ts.unwrap(), 0, 0);
+                    }
                 }
             }
         }

@@ -16,6 +16,7 @@ pub mod graph;
 pub mod kernel;
 pub mod model;
 pub mod passes;
+pub mod profile;
 pub mod report;
 pub mod storage;
 pub mod transforms;
@@ -30,4 +31,5 @@ pub use kernel::{
     RegionStrategy, Schedule, Stmt,
 };
 pub use model::{CostModel, KernelModel, ModelReport};
+pub use profile::{KernelProfileStat, ProfileReport, Profiler, TraceEvent};
 pub use storage::{Array3, Axis, Layout, StorageOrder};

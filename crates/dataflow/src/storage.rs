@@ -291,6 +291,27 @@ impl Array3 {
         }
     }
 
+    /// True when every *logical* element (halo included) is finite.
+    ///
+    /// Scanning `raw()` instead is layout-dependent: alignment padding
+    /// and storage-order striding put physical elements in the slice
+    /// that no logical coordinate maps to, so the answer would change
+    /// with the array's [`Layout`] rather than its contents.
+    pub fn all_finite(&self) -> bool {
+        let [ni, nj, nk] = self.layout.domain;
+        let [hi, hj, hk] = self.layout.halo;
+        for k in -(hk as i64)..(nk + hk) as i64 {
+            for j in -(hj as i64)..(nj + hj) as i64 {
+                for i in -(hi as i64)..(ni + hi) as i64 {
+                    if !self.get(i, j, k).is_finite() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
     /// Sum over the compute domain (for conservation checks).
     pub fn domain_sum(&self) -> f64 {
         let [ni, nj, nk] = self.layout.domain;
@@ -355,6 +376,45 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn all_finite_ignores_physical_padding() {
+        // Regression: finiteness checks must scan logical coordinates,
+        // not `raw()`. With alignment padding, physical slots exist that
+        // no logical coordinate maps to; poisoning every such slot with
+        // NaN must not change the answer for any storage order.
+        for order in [
+            StorageOrder::IContiguous,
+            StorageOrder::KContiguous,
+            StorageOrder::JContiguous,
+        ] {
+            let l = Layout::new([5, 4, 3], [2, 1, 0], order, 32);
+            let mut a = Array3::filled(l.clone(), 1.0);
+            let logical: std::collections::HashSet<usize> = {
+                let mut s = std::collections::HashSet::new();
+                for k in 0..3i64 {
+                    for j in -1..5i64 {
+                        for i in -2..7i64 {
+                            s.insert(l.offset(i, j, k));
+                        }
+                    }
+                }
+                s
+            };
+            assert!(
+                logical.len() < a.raw().len(),
+                "layout must actually have padding for this test to bite"
+            );
+            for (off, v) in a.raw_mut().iter_mut().enumerate() {
+                if !logical.contains(&off) {
+                    *v = f64::NAN;
+                }
+            }
+            assert!(a.all_finite(), "{order:?}: padding NaNs leaked");
+            a.set(2, 2, 1, f64::INFINITY);
+            assert!(!a.all_finite(), "{order:?}: real non-finite missed");
         }
     }
 

@@ -9,6 +9,7 @@ pub mod c_sw;
 pub mod d_sw;
 pub mod fv_tp_2d;
 pub mod ppm;
+pub mod profiling;
 pub mod recorder;
 pub mod remapping;
 pub mod riem_solver_c;

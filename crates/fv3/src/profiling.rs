@@ -1,0 +1,253 @@
+//! Per-dycore-module rollups of profiled executions.
+//!
+//! The paper's measurement loop groups kernel timings by the dycore
+//! module they came from ("sort by summarized runtimes grouped by kernel
+//! type", Section VI-C) — that is the granularity at which tuning
+//! decisions are made (Fig. 7's "model-driven fine tuning"). This module
+//! maps the kernel-level [`ProfileReport`] of
+//! [`Executor::run_profiled`](dataflow::exec::Executor::run_profiled)
+//! back onto dycore modules (`c_sw`, `riem_solver_c`, `d_sw`, the tracer
+//! transport, …), and provides [`ModuleTimer`] — a [`StateRecorder`] that
+//! times the *baseline* step's modules at its savepoints, so the FORTRAN
+//! analog and the orchestrated program are measured on the same axis.
+
+use crate::dyn_core::{remap_callback, DycoreIds, REMAP_CALLBACK};
+use crate::recorder::StateRecorder;
+use dataflow::exec::{DataStore, ExecHooks};
+use dataflow::profile::ProfileReport;
+use dataflow::Array3;
+use std::time::Instant;
+
+/// The dycore module a kernel name belongs to.
+///
+/// Expanded kernels are named `"{stencil}#{op}"`; the stencil name maps
+/// onto the Fig. 2 module structure (the tracer state runs both the
+/// `fv_tp_2d` flux stencil and the `transport_update` stencil).
+pub fn module_of(kernel_name: &str) -> &str {
+    let stem = kernel_name.split('#').next().unwrap_or(kernel_name);
+    match stem {
+        "fv_tp_2d" | "transport_update" => "tracer",
+        s if s.starts_with("delnflux") => "delnflux",
+        s => s,
+    }
+}
+
+/// Aggregated execution statistics for one dycore module.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleRollup {
+    pub module: String,
+    /// Distinct kernel names contributing (0 for non-kernel rows).
+    pub kernels: usize,
+    pub invocations: u64,
+    pub points: u64,
+    pub wall_seconds: f64,
+    pub modeled_bytes: u64,
+}
+
+impl ModuleRollup {
+    /// Achieved bandwidth in bytes/s (0 when untimed or byte-free).
+    pub fn achieved_bandwidth(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.modeled_bytes as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Group a kernel-level profile into per-module rollups, sorted by wall
+/// time descending. Halo exchanges, copies and host callbacks appear as
+/// their own rows (`"halo"`, `"pt_update"` — the copy node — and
+/// `"remap"`), so the rollup accounts for the entire step.
+pub fn rollup_modules(report: &ProfileReport) -> Vec<ModuleRollup> {
+    fn entry<'a>(out: &'a mut Vec<ModuleRollup>, module: &str) -> &'a mut ModuleRollup {
+        if let Some(i) = out.iter().position(|r| r.module == module) {
+            &mut out[i]
+        } else {
+            out.push(ModuleRollup {
+                module: module.to_string(),
+                ..Default::default()
+            });
+            out.last_mut().unwrap()
+        }
+    }
+    let mut out: Vec<ModuleRollup> = Vec::new();
+    for k in &report.kernels {
+        let r = entry(&mut out, module_of(&k.name));
+        r.kernels += 1;
+        r.invocations += k.invocations;
+        r.points += k.points;
+        r.wall_seconds += k.wall_seconds;
+        r.modeled_bytes += k.modeled_bytes;
+    }
+    for (module, secs) in [
+        ("halo", report.halo_seconds),
+        ("pt_update", report.copy_seconds),
+        ("remap", report.callback_seconds),
+    ] {
+        if secs > 0.0 {
+            entry(&mut out, module).wall_seconds += secs;
+        }
+    }
+    out.sort_by(|a, b| b.wall_seconds.partial_cmp(&a.wall_seconds).unwrap());
+    out
+}
+
+/// Execution hooks wiring the vertical-remap callback into a profiled (or
+/// plain) run of the orchestrated dycore program.
+pub struct RemapHooks<'a> {
+    pub ids: &'a DycoreIds,
+}
+
+impl ExecHooks for RemapHooks<'_> {
+    fn callback(&mut self, name: &str, store: &mut DataStore) {
+        assert_eq!(name, REMAP_CALLBACK);
+        remap_callback(store, self.ids);
+    }
+}
+
+/// A [`StateRecorder`] that rolls wall time between consecutive
+/// savepoints up by module — timing the *baseline* step through the same
+/// instrumentation points `crates/validate` uses for golden capture.
+///
+/// Each `record("k{ks}.s{ns}.{module}", ..)` call attributes the time
+/// since the previous savepoint (or construction) to `{module}`.
+#[derive(Debug)]
+pub struct ModuleTimer {
+    last: Instant,
+    totals: Vec<(String, f64)>,
+}
+
+impl Default for ModuleTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModuleTimer {
+    /// Start timing now.
+    pub fn new() -> Self {
+        ModuleTimer {
+            last: Instant::now(),
+            totals: Vec::new(),
+        }
+    }
+
+    /// Accumulated seconds per module, insertion-ordered.
+    pub fn totals(&self) -> &[(String, f64)] {
+        &self.totals
+    }
+
+    /// Total timed seconds across all modules.
+    pub fn total_seconds(&self) -> f64 {
+        self.totals.iter().map(|(_, s)| s).sum()
+    }
+}
+
+impl StateRecorder for ModuleTimer {
+    fn record(&mut self, label: &str, _fields: &[(&str, &Array3)]) {
+        let secs = self.last.elapsed().as_secs_f64();
+        self.last = Instant::now();
+        let module = label.rsplit('.').next().unwrap_or(label);
+        if let Some(e) = self.totals.iter_mut().find(|(m, _)| m == module) {
+            e.1 += secs;
+        } else {
+            self.totals.push((module.to_string(), secs));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dyn_core::{
+        baseline_step_recorded, build_dycore_program, load_state, BaselineScratch, DycoreConfig,
+    };
+    use crate::grid::Grid;
+    use crate::init::{init_baroclinic, BaroclinicConfig};
+    use crate::state::DycoreState;
+    use comm::CubeGeometry;
+    use dataflow::exec::Executor;
+    use dataflow::graph::ExpansionAttrs;
+    use dataflow::profile::Profiler;
+
+    #[test]
+    fn module_of_maps_stencil_names() {
+        assert_eq!(module_of("c_sw#3"), "c_sw");
+        assert_eq!(module_of("riem_solver_c#0"), "riem_solver_c");
+        assert_eq!(module_of("d_sw#12"), "d_sw");
+        assert_eq!(module_of("fv_tp_2d#1"), "tracer");
+        assert_eq!(module_of("transport_update#0"), "tracer");
+        assert_eq!(module_of("delnflux_del4#2"), "delnflux");
+        assert_eq!(module_of("unknown_thing"), "unknown_thing");
+    }
+
+    fn setup(n: usize, nk: usize) -> (DycoreState, Grid) {
+        let geom = CubeGeometry::new(n);
+        let grid = Grid::compute(&geom.faces[1], n, 0, 0, n, crate::state::HALO, nk);
+        let mut s = DycoreState::zeros(n, nk);
+        init_baroclinic(&mut s, &grid, &BaroclinicConfig::default());
+        (s, grid)
+    }
+
+    fn c8l6_config() -> DycoreConfig {
+        DycoreConfig {
+            n_split: 2,
+            k_split: 1,
+            dt: 5.0,
+            dddmp: 0.02,
+            nord4_damp: None,
+        }
+    }
+
+    #[test]
+    fn rollup_covers_every_dycore_module() {
+        let (n, nk) = (8, 6);
+        let (state0, grid) = setup(n, nk);
+        let prog = build_dycore_program(n, nk, c8l6_config());
+        let mut g = prog.sdfg.clone();
+        g.expand_libraries(&ExpansionAttrs::tuned());
+        let mut store = DataStore::for_sdfg(&g);
+        load_state(&mut store, &prog.ids, &state0, &grid);
+        let mut hooks = RemapHooks { ids: &prog.ids };
+        let mut prof = Profiler::new();
+        Executor::serial().run_profiled(&g, &mut store, &prog.params, &mut hooks, &mut prof);
+
+        let report = prof.report();
+        let rollup = rollup_modules(&report);
+        for want in ["c_sw", "riem_solver_c", "d_sw", "tracer", "remap", "halo"] {
+            let r = rollup
+                .iter()
+                .find(|r| r.module == want)
+                .unwrap_or_else(|| panic!("module '{want}' missing from rollup"));
+            assert!(r.wall_seconds.is_finite() && r.wall_seconds >= 0.0);
+            if !matches!(want, "remap" | "halo") {
+                assert!(r.invocations > 0, "module '{want}' has zero invocations");
+                assert!(r.points > 0, "module '{want}' has zero points");
+                assert!(r.modeled_bytes > 0, "module '{want}' has zero bytes");
+            }
+        }
+        // The rollup accounts for the whole report.
+        let total: f64 = rollup.iter().map(|r| r.wall_seconds).sum();
+        assert!((total - report.total_seconds()).abs() < 1e-9);
+        let launches: u64 = rollup.iter().map(|r| r.invocations).sum();
+        assert_eq!(launches, report.launches);
+    }
+
+    #[test]
+    fn module_timer_attributes_baseline_savepoints() {
+        let (n, nk) = (8, 6);
+        let (mut state, grid) = setup(n, nk);
+        let config = c8l6_config();
+        let mut scratch = BaselineScratch::for_state(&state);
+        let mut timer = ModuleTimer::new();
+        baseline_step_recorded(&mut state, &grid, &mut scratch, &config, &mut |_| {}, &mut timer);
+
+        let modules: Vec<&str> = timer.totals().iter().map(|(m, _)| m.as_str()).collect();
+        for want in ["c_sw", "riem_solver_c", "d_sw", "transport", "remap"] {
+            assert!(modules.contains(&want), "module '{want}' missing: {modules:?}");
+        }
+        assert!(timer.totals().iter().all(|(_, s)| s.is_finite() && *s >= 0.0));
+        assert!(timer.total_seconds() > 0.0);
+    }
+}

@@ -19,14 +19,16 @@
 //! subgraph fusion (SGF) on the OTF-optimized cutouts.
 
 pub mod cutout;
+pub mod measure;
 pub mod pattern;
 pub mod search;
 pub mod transfer;
 
 pub use cutout::{extract_cutouts, Cutout};
+pub use measure::{MeasuredScorer, ModelScorer, StateScorer};
 pub use pattern::Pattern;
-pub use search::{tune_cutouts, SearchReport};
-pub use transfer::{transfer_patterns, TransferReport};
+pub use search::{tune_cutouts, tune_cutouts_scored, SearchReport};
+pub use transfer::{transfer_patterns, transfer_patterns_scored, TransferReport};
 
 use dataflow::model::CostModel;
 use dataflow::Sdfg;
@@ -45,6 +47,36 @@ pub fn transfer_tune(
     let search = tune_cutouts(sdfg, &cutouts, model, m_otf);
     let transfer = transfer_patterns(sdfg, &search.patterns, model);
     (search, transfer)
+}
+
+/// [`transfer_tune`] with a caller-supplied scorer — the measured-mode
+/// entry point. With a [`MeasuredScorer`], candidates are ranked by
+/// profiled cutout execution time instead of the static model (the
+/// Fig. 7 "model-driven fine tuning" closing of the loop).
+pub fn transfer_tune_scored(
+    sdfg: &mut Sdfg,
+    source_states: &[usize],
+    scorer: &mut dyn StateScorer,
+    m_otf: usize,
+) -> (SearchReport, TransferReport) {
+    let cutouts = extract_cutouts(sdfg, source_states);
+    let search = tune_cutouts_scored(sdfg, &cutouts, scorer, m_otf);
+    let transfer = transfer_patterns_scored(sdfg, &search.patterns, scorer);
+    (search, transfer)
+}
+
+/// Measured-mode transfer tuning: rank every candidate by the minimum of
+/// `repeats` profiled serial executions of its cutout. `params` must
+/// supply a value for each program parameter.
+pub fn transfer_tune_measured(
+    sdfg: &mut Sdfg,
+    source_states: &[usize],
+    params: Vec<f64>,
+    repeats: usize,
+    m_otf: usize,
+) -> (SearchReport, TransferReport) {
+    let mut scorer = MeasuredScorer::new(repeats, params);
+    transfer_tune_scored(sdfg, source_states, &mut scorer, m_otf)
 }
 
 #[cfg(test)]
@@ -122,6 +154,30 @@ mod tests {
         };
         let before = run(&g);
         transfer_tune(&mut g, &[0], &model, 2);
+        let after = run(&g);
+        assert_eq!(before.max_abs_diff(&after), 0.0);
+    }
+
+    #[test]
+    fn measured_mode_fuses_and_preserves_semantics() {
+        use dataflow::exec::{DataStore, Executor, NoHooks};
+        let mut g = motif_program(3);
+        let a = DataId(0);
+        let out = DataId(1);
+
+        let run = |g: &Sdfg| {
+            let mut store = DataStore::for_sdfg(g);
+            *store.get_mut(a) =
+                dataflow::Array3::from_fn(g.layout_of(a), |i, j, k| (i + j * 2 + k * 3) as f64);
+            Executor::serial().run(g, &mut store, &[], &mut NoHooks);
+            store.get(out).clone()
+        };
+        let before = run(&g);
+        let (search, _transfer) = transfer_tune_measured(&mut g, &[0], vec![], 3, 2);
+        assert!(
+            !search.patterns.is_empty(),
+            "measured scorer must still find the profitable fusion"
+        );
         let after = run(&g);
         assert_eq!(before.max_abs_diff(&after), 0.0);
     }

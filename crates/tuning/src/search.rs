@@ -10,6 +10,7 @@
 //! — they are part of the program being optimized.
 
 use crate::cutout::Cutout;
+use crate::measure::{ModelScorer, StateScorer};
 use crate::pattern::{Pattern, PatternKind};
 use dataflow::model::CostModel;
 use dataflow::transforms::fusion::{fuse_otf, fuse_subgraph};
@@ -27,11 +28,9 @@ pub struct SearchReport {
 }
 
 /// Modeled time of one state.
+#[cfg(test)]
 fn state_time(sdfg: &Sdfg, state: usize, model: &CostModel) -> f64 {
-    sdfg.states[state]
-        .kernels()
-        .map(|k| model.kernel_cost(k, sdfg).time)
-        .sum()
+    ModelScorer { model }.state_time(sdfg, state)
 }
 
 /// Labels of the kernel nodes at `a` and `b` in `state` (panics if not
@@ -48,12 +47,25 @@ fn labels(sdfg: &Sdfg, state: usize, a: usize, b: usize) -> [String; 2] {
 /// A deferred candidate rewrite; returns whether it applied cleanly.
 type Rewrite = Box<dyn Fn(&mut Sdfg) -> bool>;
 
-/// Tune the cutouts: try every candidate, record patterns, and apply the
-/// single best transformation per cutout in place.
+/// Tune the cutouts against the static machine model: try every
+/// candidate, record patterns, and apply the single best transformation
+/// per cutout in place.
 pub fn tune_cutouts(
     sdfg: &mut Sdfg,
     cutouts: &[Cutout],
     model: &CostModel,
+    m_otf: usize,
+) -> SearchReport {
+    tune_cutouts_scored(sdfg, cutouts, &mut ModelScorer { model }, m_otf)
+}
+
+/// [`tune_cutouts`] generalized over the candidate scorer — pass a
+/// [`MeasuredScorer`](crate::measure::MeasuredScorer) to rank candidates
+/// by measured cutout time instead of the static model.
+pub fn tune_cutouts_scored(
+    sdfg: &mut Sdfg,
+    cutouts: &[Cutout],
+    scorer: &mut dyn StateScorer,
     m_otf: usize,
 ) -> SearchReport {
     let mut report = SearchReport {
@@ -62,7 +74,7 @@ pub fn tune_cutouts(
     };
 
     for cutout in cutouts {
-        let base = state_time(sdfg, cutout.state, model);
+        let base = scorer.state_time(sdfg, cutout.state);
         let mut found: Vec<(Pattern, Rewrite)> = Vec::new();
 
         // OTF candidates: every ordered kernel pair.
@@ -71,7 +83,7 @@ pub fn tune_cutouts(
                 report.configurations += 1;
                 let mut trial = sdfg.clone();
                 if fuse_otf(&mut trial, cutout.state, p, c).is_ok() {
-                    let t = state_time(&trial, cutout.state, model);
+                    let t = scorer.state_time(&trial, cutout.state);
                     if t < base {
                         let lbl = labels(sdfg, cutout.state, p, c);
                         let (state, p2, c2) = (cutout.state, p, c);
@@ -95,7 +107,7 @@ pub fn tune_cutouts(
             report.configurations += 1;
             let mut trial = sdfg.clone();
             if fuse_subgraph(&mut trial, cutout.state, w[0]).is_ok() {
-                let t = state_time(&trial, cutout.state, model);
+                let t = scorer.state_time(&trial, cutout.state);
                 if t < base {
                     let lbl = labels(sdfg, cutout.state, w[0], w[1]);
                     let (state, first) = (cutout.state, w[0]);

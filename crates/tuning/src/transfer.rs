@@ -6,6 +6,7 @@
 //! a match is committed only when it "also provide[s] a local performance
 //! improvement" under the machine model.
 
+use crate::measure::{ModelScorer, StateScorer};
 use crate::pattern::{Pattern, PatternKind};
 use dataflow::graph::DataflowNode;
 use dataflow::model::CostModel;
@@ -30,18 +31,23 @@ pub struct TransferReport {
     pub tested: usize,
 }
 
-fn state_time(sdfg: &Sdfg, state: usize, model: &CostModel) -> f64 {
-    sdfg.states[state]
-        .kernels()
-        .map(|k| model.kernel_cost(k, sdfg).time)
-        .sum()
-}
-
-/// Apply `patterns` (already sorted most-improving first) to every state.
+/// Apply `patterns` (already sorted most-improving first) to every
+/// state, judging local improvement against the static machine model.
 pub fn transfer_patterns(
     sdfg: &mut Sdfg,
     patterns: &[Pattern],
     model: &CostModel,
+) -> TransferReport {
+    transfer_patterns_scored(sdfg, patterns, &mut ModelScorer { model })
+}
+
+/// [`transfer_patterns`] generalized over the match scorer — pass a
+/// [`MeasuredScorer`](crate::measure::MeasuredScorer) to commit matches
+/// by measured cutout time instead of the static model.
+pub fn transfer_patterns_scored(
+    sdfg: &mut Sdfg,
+    patterns: &[Pattern],
+    scorer: &mut dyn StateScorer,
 ) -> TransferReport {
     let mut report = TransferReport::default();
     for state in 0..sdfg.states.len() {
@@ -75,7 +81,7 @@ pub fn transfer_patterns(
                             continue;
                         }
                         report.tested += 1;
-                        let before = state_time(sdfg, state, model);
+                        let before = scorer.state_time(sdfg, state);
                         let mut trial = sdfg.clone();
                         let ok = match pat.kind {
                             PatternKind::Otf => fuse_otf(&mut trial, state, a, b).is_ok(),
@@ -84,7 +90,7 @@ pub fn transfer_patterns(
                         if !ok {
                             continue;
                         }
-                        let after = state_time(&trial, state, model);
+                        let after = scorer.state_time(&trial, state);
                         if after < before {
                             *sdfg = trial;
                             report.applied.push(TransferredMatch {

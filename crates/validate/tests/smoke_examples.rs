@@ -54,7 +54,7 @@ fn quickstart_smoke() {
     // The bump diffused and every output value is finite.
     assert!(out.get(8, 8, 0) < 2.0 && out.get(8, 8, 0) > 1.0);
     assert!(out.get(7, 8, 0) > 1.0);
-    assert!(out.raw().iter().all(|v| v.is_finite()));
+    assert!(out.all_finite());
 
     let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
     let mut prog = stencil::ProgramBuilder::new("quickstart", [n, n, 2], [1, 1, 0]);
