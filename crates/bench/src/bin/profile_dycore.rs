@@ -1,36 +1,50 @@
-//! Measured dycore profile: run the c8L6 baroclinic case under the
-//! kernel profiler and emit `BENCH_dycore.json` — per-module timings,
-//! per-kernel achieved bytes/s, and roofline %-of-bound against the
-//! host's measured STREAM bandwidth (the Fig. 7 "model-driven fine
-//! tuning" inputs, as machine-readable data).
+//! Measured dycore profile under the flight recorder: run the c8L6
+//! baroclinic case for several timesteps and emit
 //!
-//! Exits nonzero if any kernel reports zero iterations or a non-finite
-//! timing, so CI can use it as a smoke check. Also writes the chrome
-//! trace (`BENCH_dycore_trace.json`) for `chrome://tracing`.
+//! * `BENCH_dycore.json` — schema-v2 summary: per-module timings,
+//!   per-kernel achieved bytes/s, roofline %-of-bound against the
+//!   host's measured STREAM bandwidth, plus step count and health
+//!   violations (the Fig. 7 "model-driven fine tuning" inputs).
+//! * `BENCH_dycore_trace.json` — the unified chrome trace (run → step →
+//!   module → kernel spans on one timeline; open in Perfetto).
+//! * `RUN_health.jsonl` — one model-health sample per timestep.
+//! * `RUN_metrics.jsonl` — cumulative metrics snapshot per timestep.
+//!
+//! Refuses to clobber a `BENCH_dycore.json` written by a newer schema;
+//! when an older compatible summary exists, prints the per-module
+//! regression diff against it before overwriting. Exits nonzero if any
+//! kernel reports zero iterations or a non-finite timing, or if any
+//! health sample carries a violation, so CI can use it as a smoke
+//! check.
 
-use comm::CubeGeometry;
-use dataflow::exec::{DataStore, Executor};
-use dataflow::graph::ExpansionAttrs;
-use dataflow::profile::{json_string, Profiler};
+use bench::profile::{bench_json, profile_case};
 use dataflow::report::roofline_table;
-use fv3::dyn_core::{build_dycore_program, load_state, DycoreConfig};
-use fv3::grid::Grid;
-use fv3::init::{init_baroclinic, BaroclinicConfig};
-use fv3::profiling::{rollup_modules, RemapHooks};
-use fv3::state::DycoreState;
-use std::fmt::Write as _;
+use fv3::dyn_core::DycoreConfig;
+use obs::{compare_runs, RegressionPolicy, BENCH_SCHEMA_VERSION};
 use std::process::ExitCode;
 
 const N: usize = 8;
 const NK: usize = 6;
+const STEPS: usize = 4;
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 
 fn main() -> ExitCode {
-    // The c8L6 seed case: one tile face, baroclinic initial condition.
-    let geom = CubeGeometry::new(N);
-    let grid = Grid::compute(&geom.faces[1], N, 0, 0, N, fv3::state::HALO, NK);
-    let mut state0 = DycoreState::zeros(N, NK);
-    init_baroclinic(&mut state0, &grid, &BaroclinicConfig::default());
+    // Satellite guard: never overwrite an artifact from a newer emitter.
+    let previous = std::fs::read_to_string("BENCH_dycore.json").ok();
+    if let Some(text) = &previous {
+        match obs::regression::schema_version(text) {
+            Ok(v) if v > BENCH_SCHEMA_VERSION => {
+                eprintln!(
+                    "error: existing BENCH_dycore.json has schema_version {v} > \
+                     {BENCH_SCHEMA_VERSION}; refusing to overwrite (newer emitter?)"
+                );
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("warning: existing BENCH_dycore.json unreadable ({e})"),
+        }
+    }
+
     let config = DycoreConfig {
         n_split: 2,
         k_split: 1,
@@ -38,28 +52,22 @@ fn main() -> ExitCode {
         dddmp: 0.02,
         nord4_damp: None,
     };
-    let prog = build_dycore_program(N, NK, config);
-    let mut g = prog.sdfg.clone();
-    g.expand_libraries(&ExpansionAttrs::tuned());
-
-    let mut store = DataStore::for_sdfg(&g);
-    load_state(&mut store, &prog.ids, &state0, &grid);
-    let mut hooks = RemapHooks { ids: &prog.ids };
-    let mut prof = Profiler::new();
-    Executor::serial().run_profiled(&g, &mut store, &prog.params, &mut hooks, &mut prof);
-    let report = prof.report();
+    let run = profile_case(N, NK, STEPS, config);
+    let report = &run.report;
 
     // Roofline denominator: measured host STREAM copy bandwidth.
     let stream = machine::stream::copy(4 << 20, 5);
     let attainable = stream.gib_per_s() * GIB;
 
-    println!("profile_dycore: c{N}L{NK} baroclinic, tuned expansion, serial host executor");
+    println!(
+        "profile_dycore: {} x{STEPS} steps, tuned expansion, serial host executor",
+        run.case_name
+    );
     println!("host STREAM copy: {:.2} GiB/s\n", stream.gib_per_s());
-    print!("{}", roofline_table(&report, attainable, 20));
+    print!("{}", roofline_table(report, attainable, 20));
 
-    let rollup = rollup_modules(&report);
     println!("\n{:<16} {:>8} {:>12} {:>10}", "module", "inv", "time[us]", "GiB/s");
-    for m in &rollup {
+    for m in &run.rollup {
         println!(
             "{:<16} {:>8} {:>12.2} {:>10.2}",
             m.module,
@@ -69,8 +77,8 @@ fn main() -> ExitCode {
         );
     }
 
-    // Self-validation: a profile with dead kernels or broken clocks is
-    // worse than no profile.
+    // Self-validation: a profile with dead kernels, broken clocks, or an
+    // unhealthy model is worse than no profile.
     let mut bad = Vec::new();
     if report.launches == 0 {
         bad.push("no kernel launches recorded".to_string());
@@ -83,7 +91,7 @@ fn main() -> ExitCode {
             bad.push(format!("kernel '{}' has non-finite timing", k.name));
         }
     }
-    for m in &rollup {
+    for m in &run.rollup {
         if !m.wall_seconds.is_finite() {
             bad.push(format!("module '{}' has non-finite timing", m.module));
         }
@@ -91,17 +99,47 @@ fn main() -> ExitCode {
     if !attainable.is_finite() || attainable <= 0.0 {
         bad.push("host STREAM bandwidth is not positive/finite".to_string());
     }
+    if run.monitor.samples().len() < STEPS {
+        bad.push(format!(
+            "only {} health samples for {STEPS} steps",
+            run.monitor.samples().len()
+        ));
+    }
+    if !run.monitor.all_healthy() {
+        for s in run.monitor.samples().iter().filter(|s| !s.is_healthy()) {
+            for v in &s.violations {
+                bad.push(format!("health violation at step {}: {v}", s.step));
+            }
+        }
+    }
 
-    let json = summary_json(&report, &rollup, attainable, stream.gib_per_s());
-    if let Err(e) = std::fs::write("BENCH_dycore.json", &json) {
-        eprintln!("error: cannot write BENCH_dycore.json: {e}");
-        return ExitCode::FAILURE;
+    let json = bench_json(&run, attainable, stream.gib_per_s());
+    let writes = [
+        ("BENCH_dycore.json", json.clone()),
+        ("BENCH_dycore_trace.json", run.tracer.to_chrome_trace()),
+        ("RUN_health.jsonl", run.monitor.to_jsonl()),
+        ("RUN_metrics.jsonl", run.metrics_jsonl.clone()),
+    ];
+    for (path, contents) in &writes {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
-    if let Err(e) = std::fs::write("BENCH_dycore_trace.json", prof.to_chrome_trace()) {
-        eprintln!("error: cannot write BENCH_dycore_trace.json: {e}");
-        return ExitCode::FAILURE;
+    println!(
+        "\nwrote BENCH_dycore.json, BENCH_dycore_trace.json, RUN_health.jsonl, RUN_metrics.jsonl"
+    );
+
+    // Regression diff against the summary this run replaced.
+    if let Some(before) = &previous {
+        match compare_runs(before, &json, &RegressionPolicy::default()) {
+            Ok(cmp) => {
+                println!("\nregression diff vs previous BENCH_dycore.json:");
+                print!("{}", cmp.render());
+            }
+            Err(e) => println!("\nno regression diff (previous summary: {e})"),
+        }
     }
-    println!("\nwrote BENCH_dycore.json and BENCH_dycore_trace.json");
 
     if !bad.is_empty() {
         for b in &bad {
@@ -110,67 +148,4 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
-}
-
-fn summary_json(
-    report: &dataflow::ProfileReport,
-    rollup: &[fv3::profiling::ModuleRollup],
-    attainable: f64,
-    stream_gib: f64,
-) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"case\": \"c{N}L{NK}_baroclinic\",");
-    let _ = writeln!(out, "  \"executor\": \"serial_host\",");
-    let _ = writeln!(out, "  \"stream_copy_gib_per_s\": {stream_gib},");
-    let _ = writeln!(out, "  \"attainable_bandwidth_bytes_per_s\": {attainable},");
-    let _ = writeln!(out, "  \"launches\": {},", report.launches);
-    let _ = writeln!(out, "  \"kernel_seconds\": {},", report.kernel_seconds);
-    let _ = writeln!(out, "  \"copy_seconds\": {},", report.copy_seconds);
-    let _ = writeln!(out, "  \"halo_seconds\": {},", report.halo_seconds);
-    let _ = writeln!(out, "  \"callback_seconds\": {},", report.callback_seconds);
-    let _ = writeln!(
-        out,
-        "  \"roofline_fraction\": {},",
-        report.roofline_fraction(attainable)
-    );
-    let _ = writeln!(out, "  \"modules\": [");
-    for (i, m) in rollup.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "    {{\"module\": {}, \"kernels\": {}, \"invocations\": {}, \"points\": {}, \
-             \"wall_seconds\": {}, \"modeled_bytes\": {}, \"bytes_per_s\": {}}}{}",
-            json_string(&m.module),
-            m.kernels,
-            m.invocations,
-            m.points,
-            m.wall_seconds,
-            m.modeled_bytes,
-            m.achieved_bandwidth(),
-            if i + 1 < rollup.len() { "," } else { "" }
-        );
-    }
-    let _ = writeln!(out, "  ],");
-    let _ = writeln!(out, "  \"kernels\": [");
-    let ranked = report.ranked();
-    for (i, k) in ranked.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "    {{\"name\": {}, \"invocations\": {}, \"points\": {}, \"wall_seconds\": {}, \
-             \"modeled_bytes\": {}, \"modeled_flops\": {}, \"bytes_per_s\": {}, \
-             \"roofline_fraction\": {}}}{}",
-            json_string(&k.name),
-            k.invocations,
-            k.points,
-            k.wall_seconds,
-            k.modeled_bytes,
-            k.modeled_flops,
-            k.achieved_bandwidth(),
-            k.roofline_fraction(attainable),
-            if i + 1 < ranked.len() { "," } else { "" }
-        );
-    }
-    let _ = writeln!(out, "  ]");
-    let _ = writeln!(out, "}}");
-    out
 }

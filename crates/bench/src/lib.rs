@@ -3,3 +3,5 @@
 //! `benches/`). The mapping from experiment to binary lives in
 //! DESIGN.md's per-experiment index; paper-vs-measured results live in
 //! EXPERIMENTS.md.
+
+pub mod profile;

@@ -1,0 +1,236 @@
+//! Instrumented dycore profiling: one call runs the baroclinic case for
+//! N timesteps under the flight recorder and returns everything the
+//! bench binaries emit — a unified chrome trace (run → step → module →
+//! kernel spans on one timeline), a metrics JSONL stream, a health
+//! JSONL stream, and the `BENCH_dycore.json` summary (schema v2).
+//!
+//! The trace unification works by epoch alignment: the tracer's clock
+//! starts first, the kernel [`Profiler`]'s epoch offset is captured the
+//! instant it is created, and after each step the profiler's raw kernel
+//! events (plus their [`module_spans`] grouping) are absorbed into the
+//! tracer shifted by that offset, so they land inside the enclosing
+//! `timestep{N}` span.
+
+use comm::CubeGeometry;
+use dataflow::exec::{DataStore, Executor};
+use dataflow::graph::ExpansionAttrs;
+use dataflow::DataId;
+use dataflow::profile::{json_string, ProfileReport, Profiler};
+use fv3::dyn_core::{build_dycore_program, extract_state, load_state, DycoreConfig};
+use fv3::grid::Grid;
+use fv3::init::{init_baroclinic, BaroclinicConfig};
+use fv3::profiling::{module_spans, rollup_modules, ModuleRollup, RemapHooks};
+use fv3::state::DycoreState;
+use obs::{HealthMonitor, MetricsRegistry, Tracer};
+use std::fmt::Write as _;
+
+/// Everything one instrumented profiling run produced.
+pub struct ProfileRun {
+    /// Case label, e.g. `"c8L6_baroclinic"`.
+    pub case_name: String,
+    /// Timesteps executed.
+    pub steps: usize,
+    /// Cumulative kernel-profiler report over all steps.
+    pub report: ProfileReport,
+    /// Per-module rollup of `report`.
+    pub rollup: Vec<ModuleRollup>,
+    /// Unified trace: run/step spans plus absorbed module/kernel events.
+    pub tracer: Tracer,
+    /// Kernel/store metrics sampled per step.
+    pub metrics: MetricsRegistry,
+    /// One health sample per timestep.
+    pub monitor: HealthMonitor,
+    /// Cumulative metrics snapshot emitted after every step.
+    pub metrics_jsonl: String,
+}
+
+/// Run the baroclinic `c{n}L{nk}` case for `steps` timesteps under the
+/// flight recorder (tuned expansion, serial host executor).
+///
+/// Installs nothing process-global: the tracer, metrics registry, and
+/// health monitor are owned by the returned [`ProfileRun`], so this is
+/// safe to call from parallel tests.
+pub fn profile_case(n: usize, nk: usize, steps: usize, config: DycoreConfig) -> ProfileRun {
+    let case_name = format!("c{n}L{nk}_baroclinic");
+    let geom = CubeGeometry::new(n);
+    let grid = Grid::compute(&geom.faces[1], n, 0, 0, n, fv3::state::HALO, nk);
+    let mut state = DycoreState::zeros(n, nk);
+    init_baroclinic(&mut state, &grid, &BaroclinicConfig::default());
+    let prog = build_dycore_program(n, nk, config);
+    let mut g = prog.sdfg.clone();
+    g.expand_libraries(&ExpansionAttrs::tuned());
+    let mut store = DataStore::for_sdfg(&g);
+    load_state(&mut store, &prog.ids, &state, &grid);
+    let mut hooks = RemapHooks { ids: &prog.ids };
+
+    let tracer = Tracer::new();
+    let metrics = MetricsRegistry::new();
+    let mut monitor = fv3::health::default_monitor().with_tracer(&tracer);
+
+    let run_span = tracer.span("run", &case_name);
+    // The profiler's clock starts at `Profiler::new()`; events absorbed
+    // later are shifted by this offset onto the tracer's timeline.
+    let offset_us = tracer.now_us();
+    let mut prof = Profiler::new();
+    let store_bytes: usize = (0..store.len()).map(|i| store.get(DataId(i)).layout().len * 8).sum();
+    metrics.gauge_high_water("store_bytes", &[], store_bytes as f64);
+
+    let mut metrics_jsonl = String::new();
+    for step in 0..steps {
+        let step_span = tracer.span("step", &format!("timestep{step}"));
+        let ev_before = prof.events().len();
+        let t0 = tracer.now_us();
+        Executor::serial().run_profiled(&g, &mut store, &prog.params, &mut hooks, &mut prof);
+        let dur_s = (tracer.now_us() - t0) / 1e6;
+
+        // Per-step kernel metrics from this step's slice of the event
+        // stream, then a cumulative snapshot line per series. The slice
+        // is shifted onto the tracer's timeline *before* module spans
+        // are derived, so span end = max(event end) holds exactly in
+        // the final trace (shifting afterwards can flip containment by
+        // one ULP).
+        let mut slice = prof.events()[ev_before..].to_vec();
+        for e in &mut slice {
+            e.ts_us += offset_us;
+        }
+        let mut launches = 0u64;
+        let mut points = 0u64;
+        let mut bytes = 0u64;
+        for e in slice.iter().filter(|e| e.cat == "kernel") {
+            launches += 1;
+            points += e.points;
+            bytes += e.bytes;
+        }
+        metrics.counter_add("kernel_launches", &[], launches);
+        metrics.counter_add("kernel_points", &[], points);
+        metrics.counter_add("kernel_bytes", &[], bytes);
+        metrics.observe("step_seconds", &[], dur_s);
+
+        extract_state(&store, &prog.ids, &mut state);
+        monitor.sample(&fv3::health::health_input(&state, &grid, step as u64, config.dt));
+        metrics_jsonl.push_str(&obs::emit_jsonl(&metrics, step as u64));
+
+        // Absorb per step so module groups never straddle a step span.
+        tracer.absorb_events(module_spans(&slice), 0.0);
+        tracer.absorb_events(slice, 0.0);
+        drop(step_span);
+    }
+    drop(run_span);
+
+    let report = prof.report();
+    let rollup = rollup_modules(&report);
+    ProfileRun {
+        case_name,
+        steps,
+        report,
+        rollup,
+        tracer,
+        metrics,
+        monitor,
+        metrics_jsonl,
+    }
+}
+
+/// Render the `BENCH_dycore.json` summary (schema v2) for a run.
+///
+/// `attainable` is the roofline denominator in bytes/s; `stream_gib`
+/// the measured STREAM copy bandwidth it came from.
+pub fn bench_json(run: &ProfileRun, attainable: f64, stream_gib: f64) -> String {
+    let report = &run.report;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema_version\": {},", obs::BENCH_SCHEMA_VERSION);
+    let _ = writeln!(out, "  \"case\": {},", json_string(&run.case_name));
+    let _ = writeln!(out, "  \"executor\": \"serial_host\",");
+    let _ = writeln!(out, "  \"steps\": {},", run.steps);
+    let _ = writeln!(out, "  \"health_violations\": {},", run.monitor.total_violations());
+    let _ = writeln!(out, "  \"stream_copy_gib_per_s\": {stream_gib},");
+    let _ = writeln!(out, "  \"attainable_bandwidth_bytes_per_s\": {attainable},");
+    let _ = writeln!(out, "  \"launches\": {},", report.launches);
+    let _ = writeln!(out, "  \"kernel_seconds\": {},", report.kernel_seconds);
+    let _ = writeln!(out, "  \"copy_seconds\": {},", report.copy_seconds);
+    let _ = writeln!(out, "  \"halo_seconds\": {},", report.halo_seconds);
+    let _ = writeln!(out, "  \"callback_seconds\": {},", report.callback_seconds);
+    let _ = writeln!(
+        out,
+        "  \"roofline_fraction\": {},",
+        report.roofline_fraction(attainable)
+    );
+    let _ = writeln!(out, "  \"modules\": [");
+    for (i, m) in run.rollup.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"module\": {}, \"kernels\": {}, \"invocations\": {}, \"points\": {}, \
+             \"wall_seconds\": {}, \"modeled_bytes\": {}, \"bytes_per_s\": {}}}{}",
+            json_string(&m.module),
+            m.kernels,
+            m.invocations,
+            m.points,
+            m.wall_seconds,
+            m.modeled_bytes,
+            m.achieved_bandwidth(),
+            if i + 1 < run.rollup.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"kernels\": [");
+    let ranked = report.ranked();
+    for (i, k) in ranked.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"invocations\": {}, \"points\": {}, \"wall_seconds\": {}, \
+             \"modeled_bytes\": {}, \"modeled_flops\": {}, \"bytes_per_s\": {}, \
+             \"roofline_fraction\": {}}}{}",
+            json_string(&k.name),
+            k.invocations,
+            k.points,
+            k.wall_seconds,
+            k.modeled_bytes,
+            k.modeled_flops,
+            k.achieved_bandwidth(),
+            k.roofline_fraction(attainable),
+            if i + 1 < ranked.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> DycoreConfig {
+        DycoreConfig {
+            n_split: 2,
+            k_split: 1,
+            dt: 5.0,
+            dddmp: 0.02,
+            nord4_damp: None,
+        }
+    }
+
+    #[test]
+    fn bench_json_carries_schema_v2_and_diffs_clean_against_itself() {
+        let run = profile_case(8, 4, 2, small_config());
+        let json = bench_json(&run, 1e9, 1.0);
+        assert_eq!(obs::regression::schema_version(&json), Ok(2));
+        let report =
+            obs::compare_runs(&json, &json, &obs::RegressionPolicy::default()).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(json.contains("\"steps\": 2"));
+        assert!(json.contains("\"health_violations\": 0"));
+    }
+
+    #[test]
+    fn health_stream_has_one_clean_sample_per_step() {
+        let run = profile_case(8, 4, 3, small_config());
+        assert_eq!(run.monitor.samples().len(), 3);
+        assert!(run.monitor.all_healthy());
+        assert_eq!(run.monitor.to_jsonl().lines().count(), 3);
+        // Metrics snapshot emitted after every step, several series each.
+        assert!(run.metrics_jsonl.lines().count() >= 3 * 4);
+        assert!(run.metrics.counter_value("kernel_launches", &[]) >= 3);
+    }
+}

@@ -11,6 +11,73 @@
 use crate::partition::{HaloSource, Partition, RankId};
 use dataflow::Array3;
 
+/// Which side of the subdomain a halo cell sits on.
+///
+/// Used to break halo traffic down by edge orientation in the metrics —
+/// on a cubed sphere the four edges are *not* equivalent (tile seams,
+/// orientation transforms, cube corners), so a per-orientation byte
+/// count localizes imbalances the per-rank total hides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    West,
+    East,
+    South,
+    North,
+    /// Diagonal corner blocks (both indices out of range).
+    Corner,
+}
+
+impl Orientation {
+    /// All orientations, in `bytes_by_orientation` index order.
+    pub const ALL: [Orientation; 5] = [
+        Orientation::West,
+        Orientation::East,
+        Orientation::South,
+        Orientation::North,
+        Orientation::Corner,
+    ];
+
+    /// Classify the halo cell `(i, j)` of a subdomain with edge `s`.
+    pub fn classify(i: i64, j: i64, s: i64) -> Orientation {
+        let iout = i < 0 || i >= s;
+        let jout = j < 0 || j >= s;
+        match (iout, jout) {
+            (true, true) => Orientation::Corner,
+            (true, false) => {
+                if i < 0 {
+                    Orientation::West
+                } else {
+                    Orientation::East
+                }
+            }
+            (false, true) => {
+                if j < 0 {
+                    Orientation::South
+                } else {
+                    Orientation::North
+                }
+            }
+            (false, false) => panic!("({i}, {j}) is interior, not halo"),
+        }
+    }
+
+    /// Metric label ("west", "east", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Orientation::West => "west",
+            Orientation::East => "east",
+            Orientation::South => "south",
+            Orientation::North => "north",
+            Orientation::Corner => "corner",
+        }
+    }
+
+    /// Index into `bytes_by_orientation`.
+    pub fn idx(&self) -> usize {
+        Orientation::ALL.iter().position(|o| o == self).expect("in ALL")
+    }
+}
+
 /// Statistics of one exchange (per rank, for the alpha-beta model).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ExchangeStats {
@@ -18,6 +85,21 @@ pub struct ExchangeStats {
     pub messages_per_rank: u64,
     /// Bytes sent per rank (max over ranks).
     pub bytes_per_rank: u64,
+    /// Messages across all ranks.
+    pub total_messages: u64,
+    /// Bytes across all ranks.
+    pub total_bytes: u64,
+    /// `total_bytes` split by receiving-halo orientation, indexed as
+    /// [`Orientation::ALL`] (cube-corner cells carry no traffic and are
+    /// excluded).
+    pub bytes_by_orientation: [u64; 5],
+}
+
+impl ExchangeStats {
+    /// Bytes received into halos of the given orientation.
+    pub fn bytes_for(&self, o: Orientation) -> u64 {
+        self.bytes_by_orientation[o.idx()]
+    }
 }
 
 /// How cube-corner halo cells (where three faces meet) are filled.
@@ -108,6 +190,7 @@ impl HaloUpdater {
         let s = p.sub_n as i64;
         let w = self.width as i64;
         let nk = arrays[0].layout().domain[2] as i64;
+        let mut span = obs::tracing::global_span("halo", "halo_exchange");
 
         // Phase 1 (pack + "send"): gather every halo value into a staging
         // list. This mirrors nonblocking sends: all reads happen against
@@ -122,28 +205,13 @@ impl HaloUpdater {
         let mut patches: Vec<Patch> = Vec::new();
         let mut msgs = vec![std::collections::BTreeSet::new(); p.ranks()];
         let mut bytes = vec![0u64; p.ranks()];
+        let mut by_orientation = [0u64; 5];
 
         for r in 0..p.ranks() {
             let (tile, _, _) = p.coords(RankId(r));
-            let mut halo_cells: Vec<(i64, i64)> = Vec::new();
-            for d in 1..=w {
-                for t in 0..s {
-                    halo_cells.push((-d, t));
-                    halo_cells.push((s - 1 + d, t));
-                    halo_cells.push((t, -d));
-                    halo_cells.push((t, s - 1 + d));
-                }
-            }
-            // Corner blocks (diagonal neighbours / cube corners).
-            for di in 1..=w {
-                for dj in 1..=w {
-                    halo_cells.push((-di, -dj));
-                    halo_cells.push((s - 1 + di, -dj));
-                    halo_cells.push((-di, s - 1 + dj));
-                    halo_cells.push((s - 1 + di, s - 1 + dj));
-                }
-            }
-            for (i, j) in halo_cells {
+            for (i, j) in halo_cells(s, w) {
+                let cell_bytes = nk as u64 * 8;
+                let orient = Orientation::classify(i, j, s).idx();
                 match p.halo_source(RankId(r), i, j) {
                     HaloSource::Intra { rank, i: si, j: sj } => {
                         for k in 0..nk {
@@ -156,7 +224,8 @@ impl HaloUpdater {
                             });
                         }
                         msgs[rank.0].insert(r);
-                        bytes[rank.0] += nk as u64 * 8;
+                        bytes[rank.0] += cell_bytes;
+                        by_orientation[orient] += cell_bytes;
                     }
                     HaloSource::Inter {
                         rank,
@@ -188,7 +257,8 @@ impl HaloUpdater {
                             });
                         }
                         msgs[rank.0].insert(r);
-                        bytes[rank.0] += nk as u64 * 8;
+                        bytes[rank.0] += cell_bytes;
+                        by_orientation[orient] += cell_bytes;
                     }
                     HaloSource::CubeCorner => {} // handled below
                 }
@@ -230,9 +300,60 @@ impl HaloUpdater {
             }
         }
 
+        let stats = ExchangeStats {
+            messages_per_rank: msgs.iter().map(|m| m.len() as u64).max().unwrap_or(0),
+            bytes_per_rank: bytes.iter().copied().max().unwrap_or(0),
+            total_messages: msgs.iter().map(|m| m.len() as u64).sum(),
+            total_bytes: bytes.iter().sum(),
+            bytes_by_orientation: by_orientation,
+        };
+        span.set_bytes(stats.total_bytes);
+        span.set_points(stats.total_messages);
+        if let Some(m) = obs::metrics::global() {
+            for o in Orientation::ALL {
+                let b = stats.bytes_for(o);
+                if b > 0 {
+                    m.counter_add("halo_bytes", &[("orientation", o.label())], b);
+                }
+            }
+            m.counter_add("halo_messages", &[], stats.total_messages);
+            m.counter_add("halo_exchanges", &[], 1);
+        }
+        stats
+    }
+
+    /// The statistics [`exchange_scalar`](Self::exchange_scalar) would
+    /// report for an `nk`-level field, computed analytically (same halo
+    /// enumeration, no data touched). Unlike
+    /// [`bytes_per_rank`](Self::bytes_per_rank) — an interior-rank upper
+    /// bound — this accounts for cube corners, which carry no traffic.
+    pub fn exact_stats(&self, nk: usize) -> ExchangeStats {
+        let p = &self.part;
+        let s = p.sub_n as i64;
+        let w = self.width as i64;
+        let mut msgs = vec![std::collections::BTreeSet::new(); p.ranks()];
+        let mut bytes = vec![0u64; p.ranks()];
+        let mut by_orientation = [0u64; 5];
+        for r in 0..p.ranks() {
+            for (i, j) in halo_cells(s, w) {
+                let cell_bytes = nk as u64 * 8;
+                let orient = Orientation::classify(i, j, s).idx();
+                match p.halo_source(RankId(r), i, j) {
+                    HaloSource::Intra { rank, .. } | HaloSource::Inter { rank, .. } => {
+                        msgs[rank.0].insert(r);
+                        bytes[rank.0] += cell_bytes;
+                        by_orientation[orient] += cell_bytes;
+                    }
+                    HaloSource::CubeCorner => {}
+                }
+            }
+        }
         ExchangeStats {
             messages_per_rank: msgs.iter().map(|m| m.len() as u64).max().unwrap_or(0),
             bytes_per_rank: bytes.iter().copied().max().unwrap_or(0),
+            total_messages: msgs.iter().map(|m| m.len() as u64).sum(),
+            total_bytes: bytes.iter().sum(),
+            bytes_by_orientation: by_orientation,
         }
     }
 
@@ -250,6 +371,31 @@ impl HaloUpdater {
     pub fn messages_per_rank(&self) -> u64 {
         8
     }
+}
+
+/// Every halo cell of a subdomain with edge `s` and halo width `w`:
+/// four edge strips first, then the diagonal corner blocks — the
+/// canonical enumeration both the exchange and its analytic model walk.
+fn halo_cells(s: i64, w: i64) -> Vec<(i64, i64)> {
+    let mut cells = Vec::with_capacity((4 * s * w + 4 * w * w) as usize);
+    for d in 1..=w {
+        for t in 0..s {
+            cells.push((-d, t));
+            cells.push((s - 1 + d, t));
+            cells.push((t, -d));
+            cells.push((t, s - 1 + d));
+        }
+    }
+    // Corner blocks (diagonal neighbours / cube corners).
+    for di in 1..=w {
+        for dj in 1..=w {
+            cells.push((-di, -dj));
+            cells.push((s - 1 + di, -dj));
+            cells.push((-di, s - 1 + dj));
+            cells.push((s - 1 + di, s - 1 + dj));
+        }
+    }
+    cells
 }
 
 /// Allocate one array per rank with the given vertical extent and halo.
@@ -456,5 +602,75 @@ mod tests {
     fn oversized_halo_is_rejected() {
         let part = Partition::new(4, 2);
         let _ = HaloUpdater::new(part, 3, CornerPolicy::Leave);
+    }
+
+    /// Run one scalar exchange and return (measured, analytic) stats.
+    fn measure(tile_n: usize, rt: usize, width: usize, nk: usize) -> (ExchangeStats, ExchangeStats) {
+        let part = Partition::new(tile_n, rt);
+        let up = HaloUpdater::new(part.clone(), width, CornerPolicy::Leave);
+        let mut arrays = rank_arrays(&part, nk, width);
+        let measured = up.exchange_scalar(&mut arrays);
+        (measured, up.exact_stats(nk))
+    }
+
+    #[test]
+    fn measured_stats_match_analytic_model_c8() {
+        // c8 single-rank-per-tile and 2x2-per-tile decompositions.
+        for (rt, width, nk) in [(1, 2, 4), (2, 3, 4), (2, 1, 6)] {
+            let (measured, exact) = measure(8, rt, width, nk);
+            assert_eq!(measured, exact, "c8 rt={rt} w={width} nk={nk}");
+        }
+    }
+
+    #[test]
+    fn measured_stats_match_analytic_model_c12() {
+        // c12 with 3x3 ranks per tile: interior ranks exist, so the
+        // interior-rank closed form is attained exactly.
+        let (measured, exact) = measure(12, 3, 2, 4);
+        assert_eq!(measured, exact);
+        let part = Partition::new(12, 3);
+        let up = HaloUpdater::new(part, 2, CornerPolicy::Leave);
+        assert_eq!(measured.bytes_per_rank, up.bytes_per_rank(4, 1));
+        assert_eq!(measured.messages_per_rank, up.messages_per_rank());
+    }
+
+    #[test]
+    fn closed_form_relations_hold_per_decomposition() {
+        let (s, w, nk) = (8u64, 2u64, 4u64);
+        // rt=1: every corner block sits on a cube corner -> edge strips
+        // only, 4 neighbours.
+        let (m1, _) = measure(8, 1, w as usize, nk as usize);
+        assert_eq!(m1.bytes_per_rank, 4 * s * w * nk * 8);
+        assert_eq!(m1.messages_per_rank, 4);
+        assert_eq!(m1.bytes_for(Orientation::Corner), 0);
+        // rt=2: every rank touches one cube corner -> exactly one of the
+        // four w*w corner blocks is dead.
+        let (m2, _) = measure(8, 2, w as usize, nk as usize);
+        assert_eq!(m2.bytes_per_rank, (4 * (s / 2) * w + 3 * w * w) * nk * 8);
+        assert_eq!(m2.messages_per_rank, 7);
+        // rt=3: the tile-interior rank has all 8 neighbours and the full
+        // halo ring (the upper bound bytes_per_rank models).
+        let (m3, _) = measure(12, 3, w as usize, nk as usize);
+        assert_eq!(m3.bytes_per_rank, (4 * 4 * w + 4 * w * w) * nk * 8);
+        assert_eq!(m3.messages_per_rank, 8);
+        // Edge strips are symmetric under the four orientations; totals
+        // add up.
+        for m in [m1, m2, m3] {
+            assert_eq!(m.bytes_for(Orientation::West), m.bytes_for(Orientation::East));
+            assert_eq!(m.bytes_for(Orientation::South), m.bytes_for(Orientation::North));
+            assert_eq!(m.bytes_by_orientation.iter().sum::<u64>(), m.total_bytes);
+        }
+    }
+
+    #[test]
+    fn orientation_classifies_halo_cells() {
+        assert_eq!(Orientation::classify(-1, 3, 8), Orientation::West);
+        assert_eq!(Orientation::classify(8, 0, 8), Orientation::East);
+        assert_eq!(Orientation::classify(2, -2, 8), Orientation::South);
+        assert_eq!(Orientation::classify(7, 9, 8), Orientation::North);
+        assert_eq!(Orientation::classify(-1, 8, 8), Orientation::Corner);
+        for (n, o) in Orientation::ALL.iter().enumerate() {
+            assert_eq!(o.idx(), n);
+        }
     }
 }

@@ -15,5 +15,5 @@ pub mod halo;
 pub mod partition;
 
 pub use geometry::{CubeGeometry, Edge, EdgeLink, FaceFrame};
-pub use halo::{rank_arrays, CornerPolicy, ExchangeStats, HaloUpdater};
+pub use halo::{rank_arrays, CornerPolicy, ExchangeStats, HaloUpdater, Orientation};
 pub use partition::{HaloSource, Partition, RankId};

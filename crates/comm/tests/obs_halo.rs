@@ -1,0 +1,41 @@
+//! Halo-exchange observability: span + metrics recording.
+//!
+//! Lives in its own test binary (own process) because it installs the
+//! process-global tracer and metrics registry — unit tests running
+//! exchanges concurrently would pollute the counters.
+
+use comm::{rank_arrays, CornerPolicy, HaloUpdater, Orientation};
+use comm::partition::Partition;
+
+#[test]
+fn exchange_records_spans_and_metrics_when_installed() {
+    let tracer = obs::Tracer::new();
+    let metrics = obs::MetricsRegistry::new();
+    obs::tracing::install_global(&tracer);
+    obs::metrics::install_global(&metrics);
+    let part = Partition::new(8, 2);
+    let up = HaloUpdater::new(part.clone(), 2, CornerPolicy::Leave);
+    let mut arrays = rank_arrays(&part, 4, 2);
+    let stats = up.exchange_scalar(&mut arrays);
+    obs::tracing::uninstall_global();
+    obs::metrics::uninstall_global();
+
+    let spans = tracer.finished();
+    let halo: Vec<_> = spans.iter().filter(|e| e.cat == "halo").collect();
+    assert_eq!(halo.len(), 1);
+    assert_eq!(halo[0].name, "halo_exchange");
+    assert_eq!(halo[0].bytes, stats.total_bytes);
+    assert_eq!(halo[0].points, stats.total_messages);
+
+    for o in Orientation::ALL {
+        let counted = metrics.counter_value("halo_bytes", &[("orientation", o.label())]);
+        assert_eq!(counted, stats.bytes_for(o), "orientation {}", o.label());
+    }
+    assert_eq!(metrics.counter_value("halo_exchanges", &[]), 1);
+    assert_eq!(metrics.counter_value("halo_messages", &[]), stats.total_messages);
+
+    // Uninstalled again: further exchanges leave no trace.
+    let before = tracer.len();
+    up.exchange_scalar(&mut arrays);
+    assert_eq!(tracer.len(), before);
+}

@@ -179,6 +179,7 @@ impl DistributedDycore {
     /// single-exchange-per-acoustic-substep structure of the program.
     pub fn step(&mut self) {
         let config = self.config.dycore;
+        let _step_span = obs::tracing::global_span("step", "driver_step");
         // One acoustic substep at a time, so halos stay current.
         let sub = DycoreConfig {
             n_split: 1,
@@ -191,11 +192,21 @@ impl DistributedDycore {
         // is structurally identical; tuned attrs are a good default.
         sub_expanded.expand_libraries(&ExpansionAttrs::tuned());
 
-        for _ in 0..config.k_split {
-            for _ in 0..config.n_split {
+        for ks in 0..config.k_split {
+            for ns in 0..config.n_split {
+                let _acoustic_span =
+                    obs::tracing::global_span("acoustic", &format!("k{ks}.s{ns}"));
                 self.exchange(&["u", "v", "w", "delp", "pt", "q"]);
                 for r in 0..self.partition.ranks() {
+                    let _rank_span =
+                        obs::tracing::global_span("rank", &format!("rank{r}"));
                     let mut store = DataStore::for_sdfg(&sub_expanded);
+                    if let Some(m) = obs::metrics::global() {
+                        let bytes: usize =
+                            (0..store.len()).map(|i| store.get(DataId(i)).layout().len * 8).sum();
+                        m.gauge_high_water("store_bytes", &[], bytes as f64);
+                        m.counter_add("rank_runs", &[], 1);
+                    }
                     load_state(&mut store, &sub_prog.ids, &self.states[r], &self.grids[r]);
                     let mut hooks = RankHooks {
                         ids: &sub_prog.ids,
@@ -213,6 +224,25 @@ impl DistributedDycore {
             // acceptable for the reproduction: remapping to the same
             // reference is idempotent.
         }
+        if let Some(m) = obs::metrics::global() {
+            m.counter_add("driver_steps", &[], 1);
+        }
+    }
+
+    /// Record one health sample per rank into `monitor` (the driver-level
+    /// analog of FV3's `fv_diagnostics` call after each dycore step).
+    /// Returns true when every rank's sample this step is healthy.
+    pub fn sample_health(&self, monitor: &mut obs::HealthMonitor, step: u64) -> bool {
+        let before = monitor.samples().len();
+        for (state, grid) in self.states.iter().zip(self.grids.iter()) {
+            monitor.sample(&fv3::health::health_input(
+                state,
+                grid,
+                step,
+                self.config.dycore.dt,
+            ));
+        }
+        monitor.samples()[before..].iter().all(|s| s.is_healthy())
     }
 
     /// Total air mass over all ranks (conservation diagnostic).
@@ -303,6 +333,24 @@ mod tests {
                 other => panic!("expected inter-tile source, got {other:?} (s={s})"),
             }
         }
+    }
+
+    #[test]
+    fn health_sampling_covers_every_rank_and_stays_clean() {
+        let mut d = small();
+        let mut monitor = fv3::health::default_monitor();
+        for step in 0..2u64 {
+            d.step();
+            assert!(
+                d.sample_health(&mut monitor, step),
+                "unhealthy at step {step}: {:?}",
+                monitor.samples().last().map(|s| &s.violations)
+            );
+        }
+        // One sample per rank per step.
+        assert_eq!(monitor.samples().len(), 2 * d.partition.ranks());
+        assert!(monitor.all_healthy());
+        assert_eq!(monitor.to_jsonl().lines().count(), monitor.samples().len());
     }
 
     #[test]

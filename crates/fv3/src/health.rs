@@ -1,0 +1,91 @@
+//! Adapter between the dycore state and the `obs` health monitor.
+//!
+//! `obs::health` deliberately knows nothing about `fv3`; this module
+//! closes the gap by packaging a [`DycoreState`] + [`Grid`] (plus the
+//! model constants) into the raw-array [`HealthInput`] the monitor
+//! samples. Usage per timestep:
+//!
+//! ```ignore
+//! let mut monitor = fv3::health::default_monitor();
+//! monitor.sample(&fv3::health::health_input(&state, &grid, step, config.dt));
+//! ```
+
+use crate::grid::Grid;
+use crate::init::constants::{GRAV, PTOP, RDGAS};
+use crate::state::DycoreState;
+use obs::health::HealthInput;
+use obs::{HealthMonitor, HealthThresholds};
+
+/// Specific heat of dry air at constant pressure, matching
+/// `validate::invariants::CP_AIR` (`RDGAS * 3.5`).
+pub const CP_AIR: f64 = RDGAS * 3.5;
+
+/// Package one timestep of dycore state for `HealthMonitor::sample`.
+///
+/// `dt` is the acoustic timestep (`config.dt`), the step the CFL
+/// estimate must be measured against.
+pub fn health_input<'a>(
+    state: &'a DycoreState,
+    grid: &'a Grid,
+    step: u64,
+    dt: f64,
+) -> HealthInput<'a> {
+    HealthInput {
+        step,
+        dt,
+        ptop: PTOP,
+        cp: CP_AIR,
+        grav: GRAV,
+        fields: state.fields().to_vec(),
+        delp: &state.delp,
+        pt: &state.pt,
+        u: &state.u,
+        v: &state.v,
+        w: &state.w,
+        q: &state.q,
+        area: &grid.area,
+        rdx: &grid.rdx,
+        rdy: &grid.rdy,
+    }
+}
+
+/// A monitor with the default thresholds (tuned for Earth-like cases;
+/// see `obs::HealthThresholds::default`).
+pub fn default_monitor() -> HealthMonitor {
+    HealthMonitor::with_thresholds(HealthThresholds::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{init_baroclinic, BaroclinicConfig};
+    use comm::CubeGeometry;
+
+    fn setup(n: usize, nk: usize) -> (DycoreState, Grid) {
+        let geom = CubeGeometry::new(n);
+        let grid = Grid::compute(&geom.faces[1], n, 0, 0, n, crate::state::HALO, nk);
+        let mut s = DycoreState::zeros(n, nk);
+        init_baroclinic(&mut s, &grid, &BaroclinicConfig::default());
+        (s, grid)
+    }
+
+    #[test]
+    fn baroclinic_initial_state_is_healthy() {
+        let (state, grid) = setup(8, 6);
+        let mut mon = default_monitor();
+        let s = mon.sample(&health_input(&state, &grid, 0, 5.0));
+        assert!(s.is_healthy(), "violations: {:?}", s.violations);
+        assert!(s.max_wind > 0.0 && s.max_wind < 150.0);
+        assert!(s.ps_min > 30_000.0 && s.ps_max < 120_000.0);
+        assert!(s.air_mass > 0.0 && s.energy > 0.0);
+    }
+
+    #[test]
+    fn health_sums_match_state_diagnostics() {
+        let (state, grid) = setup(8, 4);
+        let mut mon = default_monitor();
+        let s = mon.sample(&health_input(&state, &grid, 0, 5.0));
+        assert_eq!(s.air_mass, state.air_mass(&grid.area));
+        assert_eq!(s.tracer_mass, state.tracer_mass(&grid.area));
+    }
+}

@@ -8,6 +8,7 @@ pub mod grid;
 pub mod c_sw;
 pub mod d_sw;
 pub mod fv_tp_2d;
+pub mod health;
 pub mod ppm;
 pub mod profiling;
 pub mod recorder;

@@ -14,7 +14,7 @@
 use crate::dyn_core::{remap_callback, DycoreIds, REMAP_CALLBACK};
 use crate::recorder::StateRecorder;
 use dataflow::exec::{DataStore, ExecHooks};
-use dataflow::profile::ProfileReport;
+use dataflow::profile::{ProfileReport, TraceEvent};
 use dataflow::Array3;
 use std::time::Instant;
 
@@ -90,6 +90,47 @@ pub fn rollup_modules(report: &ProfileReport) -> Vec<ModuleRollup> {
         }
     }
     out.sort_by(|a, b| b.wall_seconds.partial_cmp(&a.wall_seconds).unwrap());
+    out
+}
+
+/// Synthesize `cat: "module"` spans over a chronological kernel-level
+/// event stream: consecutive events belonging to the same dycore module
+/// merge into one enclosing span (name = module, `ts`/`dur` covering the
+/// run, points/bytes summed).
+///
+/// The orchestrated executor lives below `fv3` and cannot emit module
+/// spans itself; absorbing its profiler events *and* these synthesized
+/// spans into an `obs::Tracer` (same epoch offset) yields the unified
+/// run → module → kernel nesting in one chrome trace.
+pub fn module_spans(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    fn module_for(e: &TraceEvent) -> &str {
+        match e.cat.as_str() {
+            "kernel" => module_of(&e.name),
+            "copy" => "pt_update",
+            "halo" => "halo",
+            "callback" => "remap",
+            other => other,
+        }
+    }
+    let mut out: Vec<TraceEvent> = Vec::new();
+    for e in events {
+        let module = module_for(e);
+        match out.last_mut() {
+            Some(span) if span.name == module => {
+                span.dur_us = (e.ts_us + e.dur_us - span.ts_us).max(span.dur_us);
+                span.points += e.points;
+                span.bytes += e.bytes;
+            }
+            _ => out.push(TraceEvent {
+                name: module.to_string(),
+                cat: "module".to_string(),
+                ts_us: e.ts_us,
+                dur_us: e.dur_us,
+                points: e.points,
+                bytes: e.bytes,
+            }),
+        }
+    }
     out
 }
 
@@ -232,6 +273,39 @@ mod tests {
         assert!((total - report.total_seconds()).abs() < 1e-9);
         let launches: u64 = rollup.iter().map(|r| r.invocations).sum();
         assert_eq!(launches, report.launches);
+    }
+
+    #[test]
+    fn module_spans_group_consecutive_kernel_events() {
+        let ev = |name: &str, cat: &str, ts: f64, dur: f64| TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            ts_us: ts,
+            dur_us: dur,
+            points: 10,
+            bytes: 80,
+        };
+        let events = vec![
+            ev("c_sw#0", "kernel", 0.0, 1.0),
+            ev("c_sw#1", "kernel", 1.5, 2.0),
+            ev("riem_solver_c#0", "kernel", 4.0, 1.0),
+            ev("copy", "copy", 6.0, 0.5),
+            ev("vertical_remap", "callback", 7.0, 2.0),
+        ];
+        let spans = module_spans(&events);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["c_sw", "riem_solver_c", "pt_update", "remap"]);
+        assert!(spans.iter().all(|s| s.cat == "module"));
+        // The two c_sw kernels merged: covers [0.0, 3.5], sums stats.
+        assert_eq!(spans[0].ts_us, 0.0);
+        assert_eq!(spans[0].dur_us, 3.5);
+        assert_eq!(spans[0].points, 20);
+        assert_eq!(spans[0].bytes, 160);
+        // Module spans contain their kernels in time.
+        for e in &events {
+            assert!(spans.iter().any(|s| s.ts_us <= e.ts_us
+                && e.ts_us + e.dur_us <= s.ts_us + s.dur_us));
+        }
     }
 
     #[test]

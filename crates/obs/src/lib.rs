@@ -1,0 +1,39 @@
+//! Whole-run observability: span tracing, metrics, and model health.
+//!
+//! PR 2's `dataflow::profile` observes individual kernels; this crate
+//! observes everything *above* the kernel — the structure the paper's
+//! optimization loop (Fig. 7) navigates when deciding where to look
+//! next: timesteps, acoustic substeps, dycore modules, remap phases, and
+//! halo exchanges — plus whether the model stays physically sane while
+//! transformations mutate schedules and layouts (the role FORTRAN FV3's
+//! `range_check` / `fv_diagnostics` play).
+//!
+//! * [`tracing`] — a lightweight hierarchical span recorder
+//!   ([`SpanGuard`] RAII over a thread-safe registry). Spans serialize
+//!   into the same chrome-trace JSON `dataflow::profile` emits, so one
+//!   file opens in Perfetto showing run → module → kernel.
+//! * [`metrics`] — labeled counters / gauges / histograms with
+//!   per-timestep JSONL emission ([`emit_jsonl`]).
+//! * [`health`] — [`HealthMonitor`]: per-step CFL estimate, max wind,
+//!   surface-pressure bounds, mass/energy drift, and a blowup detector
+//!   that names the field, logical `(i, j, k)`, timestep, and enclosing
+//!   span stack of the first non-finite value.
+//! * [`regression`] — [`regression::compare_runs`] diffs two
+//!   `BENCH_dycore.json` files and flags per-module slowdowns.
+//! * [`json`] — the minimal JSON reader the above share.
+//!
+//! The tracing and metrics layers are dependency-free (std only) and can
+//! be globally installed ([`tracing::install_global`],
+//! [`metrics::install_global`]) so library crates instrument
+//! unconditionally at zero cost when nothing is listening.
+
+pub mod health;
+pub mod json;
+pub mod metrics;
+pub mod regression;
+pub mod tracing;
+
+pub use health::{BlowupReport, HealthMonitor, HealthSample, HealthThresholds};
+pub use metrics::{emit_jsonl, HistogramData, MetricsRegistry};
+pub use regression::{compare_runs, RegressionPolicy, RegressionReport, BENCH_SCHEMA_VERSION};
+pub use tracing::{SpanGuard, Tracer};

@@ -1,0 +1,279 @@
+//! Performance-regression detection over `BENCH_dycore.json` files.
+//!
+//! [`compare_runs`] diffs the per-module `wall_seconds` of two bench
+//! summaries and flags modules that slowed down by more than a policy
+//! threshold — the automated version of the "did my transformation make
+//! c_sw slower?" question the paper's optimization loop asks after every
+//! schedule change. A noise floor keeps µs-scale modules (whose timings
+//! jitter by factors of two) from producing false alarms.
+//!
+//! The module also owns the bench-file schema version:
+//! [`BENCH_SCHEMA_VERSION`] is stamped into every emitted summary, and
+//! [`schema_version`] reads it back (files predating the field count as
+//! version 1) so tools can refuse to clobber artifacts written by a
+//! newer emitter.
+
+use crate::json::{self, Value};
+use std::fmt::Write as _;
+
+/// Schema version stamped into `BENCH_dycore.json`.
+///
+/// * v1 — PR 2's summary (no explicit field).
+/// * v2 — adds `schema_version`, `steps`, and `health_violations`.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// Read the `schema_version` field of a bench summary; a parseable file
+/// without the field is treated as version 1.
+pub fn schema_version(text: &str) -> Result<u64, String> {
+    let v = json::parse(text)?;
+    match v.get("schema_version") {
+        None => Ok(1),
+        Some(f) => f
+            .as_u64()
+            .ok_or_else(|| "schema_version is not a non-negative integer".to_string()),
+    }
+}
+
+/// What counts as a regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionPolicy {
+    /// Flag a module whose time grew by more than this fraction (0.15 =
+    /// +15%).
+    pub slowdown: f64,
+    /// Ignore modules faster than this in *both* runs — sub-millisecond
+    /// timings are dominated by scheduler noise.
+    pub min_seconds: f64,
+}
+
+impl Default for RegressionPolicy {
+    fn default() -> Self {
+        RegressionPolicy {
+            slowdown: 0.15,
+            min_seconds: 1e-3,
+        }
+    }
+}
+
+/// Per-module timing delta between two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleDelta {
+    pub module: String,
+    pub before_seconds: f64,
+    pub after_seconds: f64,
+    /// `after / before` (inf when before is 0).
+    pub ratio: f64,
+    /// True when this module crossed the policy's slowdown threshold.
+    pub flagged: bool,
+}
+
+/// Result of diffing two bench summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionReport {
+    /// One delta per module present in both runs, sorted worst-first.
+    pub deltas: Vec<ModuleDelta>,
+    /// Modules present only in the after run.
+    pub added: Vec<String>,
+    /// Modules present only in the before run.
+    pub removed: Vec<String>,
+    /// Total wall seconds across modules, before and after.
+    pub total_before: f64,
+    pub total_after: f64,
+}
+
+impl RegressionReport {
+    /// True when no module crossed the slowdown threshold.
+    pub fn is_clean(&self) -> bool {
+        self.deltas.iter().all(|d| !d.flagged)
+    }
+
+    /// The flagged deltas, worst first.
+    pub fn flagged(&self) -> Vec<&ModuleDelta> {
+        self.deltas.iter().filter(|d| d.flagged).collect()
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "regression check: total {:.6}s -> {:.6}s ({})",
+            self.total_before,
+            self.total_after,
+            if self.is_clean() { "clean" } else { "REGRESSED" }
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>12.6}s -> {:>12.6}s  x{:.3}{}",
+                d.module,
+                d.before_seconds,
+                d.after_seconds,
+                d.ratio,
+                if d.flagged { "  <-- SLOWDOWN" } else { "" }
+            );
+        }
+        for m in &self.added {
+            let _ = writeln!(out, "  {m:<16} (new module)");
+        }
+        for m in &self.removed {
+            let _ = writeln!(out, "  {m:<16} (removed)");
+        }
+        out
+    }
+}
+
+fn module_times(doc: &Value) -> Result<Vec<(String, f64)>, String> {
+    let modules = doc
+        .get("modules")
+        .and_then(Value::as_array)
+        .ok_or("missing 'modules' array")?;
+    let mut out = Vec::new();
+    for m in modules {
+        let name = m
+            .get("module")
+            .and_then(Value::as_str)
+            .ok_or("module row missing 'module'")?;
+        let secs = m
+            .get("wall_seconds")
+            .and_then(Value::as_f64)
+            .ok_or("module row missing 'wall_seconds'")?;
+        out.push((name.to_string(), secs));
+    }
+    Ok(out)
+}
+
+/// Diff two `BENCH_dycore.json` documents under `policy`.
+pub fn compare_runs(
+    before_json: &str,
+    after_json: &str,
+    policy: &RegressionPolicy,
+) -> Result<RegressionReport, String> {
+    let before = module_times(&json::parse(before_json).map_err(|e| format!("before: {e}"))?)?;
+    let after = module_times(&json::parse(after_json).map_err(|e| format!("after: {e}"))?)?;
+
+    let mut deltas = Vec::new();
+    let mut removed = Vec::new();
+    for (name, b) in &before {
+        match after.iter().find(|(n, _)| n == name) {
+            None => removed.push(name.clone()),
+            Some((_, a)) => {
+                let ratio = if *b > 0.0 { a / b } else { f64::INFINITY };
+                // Only meaningful when at least one side clears the
+                // noise floor; tiny modules jitter freely.
+                let measurable = *b >= policy.min_seconds || *a >= policy.min_seconds;
+                let flagged = measurable && ratio > 1.0 + policy.slowdown;
+                deltas.push(ModuleDelta {
+                    module: name.clone(),
+                    before_seconds: *b,
+                    after_seconds: *a,
+                    ratio,
+                    flagged,
+                });
+            }
+        }
+    }
+    let added = after
+        .iter()
+        .filter(|(n, _)| !before.iter().any(|(bn, _)| bn == n))
+        .map(|(n, _)| n.clone())
+        .collect();
+    deltas.sort_by(|x, y| y.ratio.partial_cmp(&x.ratio).unwrap_or(std::cmp::Ordering::Equal));
+
+    Ok(RegressionReport {
+        total_before: before.iter().map(|(_, s)| s).sum(),
+        total_after: after.iter().map(|(_, s)| s).sum(),
+        deltas,
+        added,
+        removed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(rows: &[(&str, f64)], version: Option<u64>) -> String {
+        let mut s = String::from("{");
+        if let Some(v) = version {
+            let _ = write!(s, "\"schema_version\": {v},");
+        }
+        s.push_str("\"modules\": [");
+        for (n, (name, secs)) in rows.iter().enumerate() {
+            if n > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"module\": \"{name}\", \"wall_seconds\": {secs}}}"
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    #[test]
+    fn identical_runs_are_clean() {
+        let a = bench(&[("c_sw", 0.01), ("d_sw", 0.02)], Some(2));
+        let r = compare_runs(&a, &a, &RegressionPolicy::default()).unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.deltas.len(), 2);
+        assert!(r.render().contains("clean"));
+    }
+
+    #[test]
+    fn slowdowns_above_threshold_are_flagged() {
+        let before = bench(&[("c_sw", 0.010), ("d_sw", 0.020)], Some(2));
+        let after = bench(&[("c_sw", 0.013), ("d_sw", 0.021)], Some(2));
+        let r = compare_runs(&before, &after, &RegressionPolicy::default()).unwrap();
+        assert!(!r.is_clean());
+        let flagged = r.flagged();
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].module, "c_sw");
+        assert!((flagged[0].ratio - 1.3).abs() < 1e-9);
+        // Worst ratio sorts first.
+        assert_eq!(r.deltas[0].module, "c_sw");
+        assert!(r.render().contains("SLOWDOWN"));
+    }
+
+    #[test]
+    fn noise_floor_suppresses_tiny_modules() {
+        // 3x slowdown, but both sides are far below the 1 ms floor.
+        let before = bench(&[("remap", 1e-6)], Some(2));
+        let after = bench(&[("remap", 3e-6)], Some(2));
+        let r = compare_runs(&before, &after, &RegressionPolicy::default()).unwrap();
+        assert!(r.is_clean());
+        // With the floor lowered, the same diff is flagged.
+        let strict = RegressionPolicy {
+            min_seconds: 1e-7,
+            ..Default::default()
+        };
+        assert!(!compare_runs(&before, &after, &strict).unwrap().is_clean());
+    }
+
+    #[test]
+    fn added_and_removed_modules_are_listed() {
+        let before = bench(&[("c_sw", 0.01), ("old", 0.01)], Some(2));
+        let after = bench(&[("c_sw", 0.01), ("new", 0.01)], Some(2));
+        let r = compare_runs(&before, &after, &RegressionPolicy::default()).unwrap();
+        assert_eq!(r.added, vec!["new".to_string()]);
+        assert_eq!(r.removed, vec!["old".to_string()]);
+    }
+
+    #[test]
+    fn schema_version_reads_and_defaults() {
+        assert_eq!(schema_version(&bench(&[], Some(2))).unwrap(), 2);
+        assert_eq!(schema_version(&bench(&[], None)).unwrap(), 1);
+        assert!(schema_version("not json").is_err());
+        assert_eq!(
+            schema_version(&bench(&[], Some(BENCH_SCHEMA_VERSION + 5))).unwrap(),
+            BENCH_SCHEMA_VERSION + 5
+        );
+    }
+
+    #[test]
+    fn malformed_documents_error_cleanly() {
+        assert!(compare_runs("{}", "{}", &RegressionPolicy::default()).is_err());
+        let good = bench(&[("c_sw", 0.01)], Some(2));
+        assert!(compare_runs(&good, "{\"modules\": [{}]}", &RegressionPolicy::default()).is_err());
+    }
+}

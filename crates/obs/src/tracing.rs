@@ -1,0 +1,533 @@
+//! Hierarchical span tracing: RAII guards over a thread-safe registry.
+//!
+//! A [`Tracer`] collects closed spans as
+//! [`TraceEvent`](dataflow::profile::TraceEvent)s — the exact record
+//! `dataflow::profile::Profiler` uses for kernels — so whole-run spans
+//! (timesteps, acoustic substeps, dycore modules, halo exchanges) and
+//! kernel-level events merge into one chrome-trace JSON that opens in
+//! Perfetto as run → module → kernel. Spans open with [`Tracer::span`]
+//! and close when the returned [`SpanGuard`] drops (including on panic
+//! unwind), so attribution survives early returns and `?`.
+//!
+//! Library code instruments through the *global* tracer
+//! ([`install_global`] / [`global_span`]): when none is installed the
+//! guard is a no-op behind one relaxed atomic load, so the dycore, the
+//! halo updater, and the optimization pipeline carry their
+//! instrumentation points unconditionally.
+
+use dataflow::profile::{json_string, TraceEvent};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// An open (not yet closed) span on some thread's stack.
+#[derive(Debug)]
+struct Open {
+    id: u64,
+    name: String,
+    start_us: f64,
+}
+
+#[derive(Debug, Default)]
+struct ThreadTable {
+    /// Open-span stack per thread (outermost first).
+    stacks: HashMap<ThreadId, Vec<Open>>,
+    /// Stable small integer ids for chrome-trace `tid` fields.
+    tids: HashMap<ThreadId, u64>,
+    next_tid: u64,
+}
+
+impl ThreadTable {
+    fn tid(&mut self, t: ThreadId) -> u64 {
+        if let Some(&id) = self.tids.get(&t) {
+            return id;
+        }
+        let id = self.next_tid;
+        self.next_tid += 1;
+        self.tids.insert(t, id);
+        id
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    /// Closed spans with the chrome-trace thread id they closed under.
+    finished: Mutex<Vec<(u64, TraceEvent)>>,
+    threads: Mutex<ThreadTable>,
+}
+
+/// Lock a mutex, surviving poisoning (a panicking *user* scope must not
+/// take the whole registry down — panic-safety is a tested property).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A thread-safe hierarchical span recorder. Cheap to clone (shared
+/// handle); clones observe the same registry, so one tracer can be
+/// handed to worker threads and every span lands in one place.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer whose time epoch is now.
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(0),
+                finished: Mutex::new(Vec::new()),
+                threads: Mutex::new(ThreadTable::default()),
+            }),
+        }
+    }
+
+    /// Microseconds since the tracer's epoch.
+    pub fn now_us(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Open a span; it closes (and is recorded) when the guard drops.
+    /// `cat` is the chrome-trace category (`"step"`, `"module"`,
+    /// `"halo"`, …); `name` the human-readable label.
+    pub fn span(&self, cat: &str, name: &str) -> SpanGuard {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let thread = std::thread::current().id();
+        let start_us = self.now_us();
+        {
+            let mut tt = lock(&self.inner.threads);
+            tt.tid(thread); // allocate a stable tid on first touch
+            tt.stacks.entry(thread).or_default().push(Open {
+                id,
+                name: name.to_string(),
+                start_us,
+            });
+        }
+        SpanGuard {
+            tracer: Some(self.clone()),
+            id,
+            thread,
+            cat: cat.to_string(),
+            points: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Close span `id` opened on `thread`: remove it from that thread's
+    /// stack (wherever it sits, so misordered drops cannot corrupt the
+    /// stack) and record the completed event.
+    fn end(&self, thread: ThreadId, id: u64, cat: &str, points: u64, bytes: u64) {
+        let end_us = self.now_us();
+        let (open, tid) = {
+            let mut tt = lock(&self.inner.threads);
+            let tid = tt.tid(thread);
+            let stack = tt.stacks.entry(thread).or_default();
+            match stack.iter().position(|o| o.id == id) {
+                Some(pos) => (stack.remove(pos), tid),
+                None => return, // already closed (double drop cannot happen, but stay safe)
+            }
+        };
+        let event = TraceEvent {
+            name: open.name,
+            cat: cat.to_string(),
+            ts_us: open.start_us,
+            dur_us: (end_us - open.start_us).max(0.0),
+            points,
+            bytes,
+        };
+        lock(&self.inner.finished).push((tid, event));
+    }
+
+    /// Names of the current thread's open spans, outermost first — the
+    /// "where were we" stack the blowup detector attaches to reports.
+    pub fn current_stack(&self) -> Vec<String> {
+        let thread = std::thread::current().id();
+        let tt = lock(&self.inner.threads);
+        tt.stacks
+            .get(&thread)
+            .map(|s| s.iter().map(|o| o.name.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// All closed spans, in close order.
+    pub fn finished(&self) -> Vec<TraceEvent> {
+        lock(&self.inner.finished)
+            .iter()
+            .map(|(_, e)| e.clone())
+            .collect()
+    }
+
+    /// Number of closed spans.
+    pub fn len(&self) -> usize {
+        lock(&self.inner.finished).len()
+    }
+
+    /// True when no span has closed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        lock(&self.inner.finished).clear();
+    }
+
+    /// Absorb externally recorded events (e.g. kernel spans from
+    /// `dataflow::profile::Profiler`) onto the current thread's
+    /// timeline, shifting their timestamps by `offset_us` — the value of
+    /// [`Tracer::now_us`] captured at the external recorder's epoch —
+    /// so both clocks share this tracer's epoch.
+    pub fn absorb_events(&self, events: impl IntoIterator<Item = TraceEvent>, offset_us: f64) {
+        let thread = std::thread::current().id();
+        let tid = lock(&self.inner.threads).tid(thread);
+        let mut fin = lock(&self.inner.finished);
+        for mut e in events {
+            e.ts_us += offset_us;
+            fin.push((tid, e));
+        }
+    }
+
+    /// Merge every closed span of `other` into this tracer, shifting
+    /// timestamps so both registries share this tracer's epoch.
+    pub fn merge_from(&self, other: &Tracer) {
+        let offset_us = if other.inner.epoch >= self.inner.epoch {
+            other
+                .inner
+                .epoch
+                .duration_since(self.inner.epoch)
+                .as_secs_f64()
+                * 1e6
+        } else {
+            -(self
+                .inner
+                .epoch
+                .duration_since(other.inner.epoch)
+                .as_secs_f64()
+                * 1e6)
+        };
+        self.absorb_events(other.finished(), offset_us);
+    }
+
+    /// Serialize all closed spans as chrome-trace JSON ("Trace Event
+    /// Format" `ph: "X"` complete events), sorted by start time with
+    /// longer (enclosing) spans first so viewers nest them naturally.
+    /// The schema matches `dataflow::profile::Profiler::to_chrome_trace`
+    /// and round-trips through `dataflow::profile::parse_chrome_trace`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events = lock(&self.inner.finished).clone();
+        events.sort_by(|(ta, a), (tb, b)| {
+            ta.cmp(tb)
+                .then(a.ts_us.partial_cmp(&b.ts_us).unwrap_or(std::cmp::Ordering::Equal))
+                .then(b.dur_us.partial_cmp(&a.dur_us).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, (tid, e)) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"pid\":0,\"tid\":{},\
+                 \"ts\":{},\"dur\":{},\"args\":{{\"points\":{},\"bytes\":{}}}}}",
+                json_string(&e.name),
+                json_string(&e.cat),
+                tid,
+                e.ts_us,
+                e.dur_us,
+                e.points,
+                e.bytes
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// RAII handle for one open span; the span closes when this drops —
+/// including during panic unwinding, so traces stay well-formed across
+/// failures. [`SpanGuard::set_bytes`] / [`set_points`](SpanGuard::set_points)
+/// tag the span with payload sizes known only at completion (e.g. halo
+/// bytes from `ExchangeStats`).
+#[derive(Debug)]
+#[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
+pub struct SpanGuard {
+    tracer: Option<Tracer>,
+    id: u64,
+    thread: ThreadId,
+    cat: String,
+    points: u64,
+    bytes: u64,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (no tracer installed).
+    pub fn noop() -> Self {
+        SpanGuard {
+            tracer: None,
+            id: 0,
+            thread: std::thread::current().id(),
+            cat: String::new(),
+            points: 0,
+            bytes: 0,
+        }
+    }
+
+    /// True when this guard records into a tracer.
+    pub fn is_active(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Tag the span with a byte volume (recorded at close).
+    pub fn set_bytes(&mut self, bytes: u64) {
+        self.bytes = bytes;
+    }
+
+    /// Tag the span with a point/item count (recorded at close).
+    pub fn set_points(&mut self, points: u64) {
+        self.points = points;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(t) = self.tracer.take() {
+            t.end(self.thread, self.id, &self.cat, self.points, self.bytes);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global tracer: library instrumentation points that cost one relaxed
+// atomic load when disabled.
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<Mutex<Option<Tracer>>> = OnceLock::new();
+
+fn cell() -> &'static Mutex<Option<Tracer>> {
+    GLOBAL.get_or_init(|| Mutex::new(None))
+}
+
+/// Install `tracer` as the process-global tracer; instrumented library
+/// code ([`global_span`]) records into it until [`uninstall_global`].
+pub fn install_global(tracer: &Tracer) {
+    *lock(cell()) = Some(tracer.clone());
+    INSTALLED.store(true, Ordering::Release);
+}
+
+/// Remove (and return) the global tracer; [`global_span`] becomes a
+/// no-op again.
+pub fn uninstall_global() -> Option<Tracer> {
+    INSTALLED.store(false, Ordering::Release);
+    lock(cell()).take()
+}
+
+/// The currently installed global tracer, if any.
+pub fn global() -> Option<Tracer> {
+    if !INSTALLED.load(Ordering::Acquire) {
+        return None;
+    }
+    lock(cell()).clone()
+}
+
+/// Open a span on the global tracer; a no-op guard when none is
+/// installed. This is the instrumentation-point entry: sprinkle freely.
+pub fn global_span(cat: &str, name: &str) -> SpanGuard {
+    match global() {
+        Some(t) => t.span(cat, name),
+        None => SpanGuard::noop(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::profile::parse_chrome_trace;
+
+    /// Serialize global-tracer tests (the global is process-wide state).
+    static TEST_GLOBAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn spans_nest_and_close_in_drop_order() {
+        let t = Tracer::new();
+        {
+            let _run = t.span("run", "run");
+            {
+                let _step = t.span("step", "t0");
+                assert_eq!(t.current_stack(), vec!["run", "t0"]);
+            }
+            assert_eq!(t.current_stack(), vec!["run"]);
+        }
+        let ev = t.finished();
+        assert_eq!(ev.len(), 2);
+        // Inner closes first; outer encloses it in time.
+        assert_eq!(ev[0].name, "t0");
+        assert_eq!(ev[1].name, "run");
+        assert!(ev[1].ts_us <= ev[0].ts_us);
+        assert!(ev[1].ts_us + ev[1].dur_us >= ev[0].ts_us + ev[0].dur_us);
+    }
+
+    #[test]
+    fn misordered_drop_records_both_spans() {
+        let t = Tracer::new();
+        let outer = t.span("a", "outer");
+        let inner = t.span("a", "inner");
+        // Drop the *outer* guard first — the registry must not corrupt.
+        drop(outer);
+        assert_eq!(t.current_stack(), vec!["inner"]);
+        drop(inner);
+        assert!(t.current_stack().is_empty());
+        let names: Vec<_> = t.finished().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn span_closes_on_panic_unwind() {
+        let t = Tracer::new();
+        let t2 = t.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _g = t2.span("step", "doomed");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        let ev = t.finished();
+        assert_eq!(ev.len(), 1, "span must close on unwind");
+        assert_eq!(ev[0].name, "doomed");
+        assert!(t.current_stack().is_empty(), "stack must unwind too");
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_into_one_registry() {
+        let t = Tracer::new();
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let tt = t.clone();
+            handles.push(std::thread::spawn(move || {
+                let _g = tt.span("worker", &format!("w{w}"));
+                // Stacks are per-thread: only this worker's span is open
+                // on this thread.
+                assert_eq!(tt.current_stack(), vec![format!("w{w}")]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut names: Vec<_> = t.finished().into_iter().map(|e| e.name).collect();
+        names.sort();
+        assert_eq!(names, vec!["w0", "w1", "w2", "w3"]);
+        // Distinct threads got distinct chrome tids.
+        let text = t.to_chrome_trace();
+        let mut tids: Vec<u64> = Vec::new();
+        for part in text.split("\"tid\":").skip(1) {
+            let n: u64 = part
+                .split(',')
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .expect("tid parses");
+            if !tids.contains(&n) {
+                tids.push(n);
+            }
+        }
+        assert_eq!(tids.len(), 4, "one tid per worker thread: {text}");
+    }
+
+    #[test]
+    fn two_tracers_merge_onto_one_epoch() {
+        let a = Tracer::new();
+        {
+            let _g = a.span("x", "from_a");
+        }
+        let b = Tracer::new();
+        {
+            let _g = b.span("x", "from_b");
+        }
+        a.merge_from(&b);
+        let names: Vec<_> = a.finished().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["from_a", "from_b"]);
+        // b's epoch is later than a's: the shifted event cannot start
+        // before a's epoch.
+        assert!(a.finished()[1].ts_us >= 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_existing_parser() {
+        let t = Tracer::new();
+        {
+            let _run = t.span("run", "the \"run\"");
+            let mut halo = t.span("halo", "exchange\\1");
+            halo.set_bytes(4096);
+            halo.set_points(7);
+        }
+        let parsed = parse_chrome_trace(&t.to_chrome_trace()).expect("parses");
+        assert_eq!(parsed.len(), 2);
+        // Serialization sorts parents first; finished() is close-ordered.
+        let run = parsed.iter().find(|e| e.cat == "run").unwrap();
+        let halo = parsed.iter().find(|e| e.cat == "halo").unwrap();
+        assert_eq!(run.name, "the \"run\"");
+        assert_eq!(halo.name, "exchange\\1");
+        assert_eq!(halo.bytes, 4096);
+        assert_eq!(halo.points, 7);
+        let mut close_ordered = t.finished();
+        close_ordered.sort_by(|a, b| a.ts_us.partial_cmp(&b.ts_us).unwrap());
+        for (p, f) in [run, halo].iter().zip(close_ordered.iter()) {
+            assert_eq!(p.ts_us, f.ts_us);
+            assert_eq!(p.dur_us, f.dur_us);
+        }
+    }
+
+    #[test]
+    fn absorbed_events_share_the_timeline() {
+        let t = Tracer::new();
+        // An external recorder with its own epoch (0-based timestamps).
+        let external = vec![TraceEvent {
+            name: "k#0".into(),
+            cat: "kernel".into(),
+            ts_us: 1.0,
+            dur_us: 2.0,
+            points: 8,
+            bytes: 64,
+        }];
+        let offset;
+        {
+            let _run = t.span("run", "run");
+            // Captured right where the external recorder would start.
+            offset = t.now_us();
+            t.absorb_events(external, offset);
+        }
+        let ev = t.finished();
+        let kernel = ev.iter().find(|e| e.cat == "kernel").unwrap();
+        let run = ev.iter().find(|e| e.cat == "run").unwrap();
+        assert!(kernel.ts_us >= run.ts_us, "absorbed event is on the run timeline");
+        assert_eq!(kernel.ts_us, 1.0 + offset);
+    }
+
+    #[test]
+    fn global_span_is_noop_until_installed() {
+        let _guard = TEST_GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall_global();
+        assert!(!global_span("x", "nothing").is_active());
+        let t = Tracer::new();
+        install_global(&t);
+        {
+            let g = global_span("x", "recorded");
+            assert!(g.is_active());
+        }
+        let got = uninstall_global().expect("was installed");
+        assert_eq!(got.finished().len(), t.finished().len());
+        assert_eq!(t.finished()[0].name, "recorded");
+        assert!(!global_span("x", "after").is_active());
+    }
+}

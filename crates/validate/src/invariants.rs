@@ -245,6 +245,19 @@ mod tests {
     }
 
     #[test]
+    fn obs_health_diagnostics_match_invariants_bitwise() {
+        // The flight recorder's drift baseline must be the *same number*
+        // as the validation invariants, or the two subsystems would
+        // disagree about whether a run is conserving.
+        let (state, grid) = seed_case();
+        let mut mon = fv3::health::default_monitor();
+        let s = mon.sample(&fv3::health::health_input(&state, &grid, 0, 5.0));
+        assert_eq!(s.energy, total_energy(&state, &grid));
+        assert_eq!(s.air_mass, state.air_mass(&grid.area));
+        assert_eq!(fv3::health::CP_AIR, CP_AIR);
+    }
+
+    #[test]
     fn check_finite_names_the_offender() {
         let (mut state, _grid) = seed_case();
         assert!(check_finite(&state).is_ok());

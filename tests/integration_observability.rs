@@ -1,0 +1,86 @@
+//! Integration: the flight recorder threaded through the distributed
+//! driver — spans from step/acoustic/rank/halo levels, halo byte
+//! counters per edge orientation, and per-rank health sampling, all in
+//! one process-global install (this test binary owns the process).
+
+use dataflow::graph::ExpansionAttrs;
+use fv3::dyn_core::DycoreConfig;
+use fv3core::driver::{DistributedDycore, DriverConfig};
+
+#[test]
+fn driver_step_records_spans_metrics_and_health() {
+    let cfg = DriverConfig {
+        tile_n: 8,
+        rt: 1,
+        nk: 4,
+        dycore: DycoreConfig {
+            n_split: 2,
+            k_split: 1,
+            dt: 4.0,
+            dddmp: 0.02,
+            nord4_damp: None,
+        },
+    };
+    let mut d = DistributedDycore::new(cfg, &ExpansionAttrs::tuned());
+
+    let tracer = obs::Tracer::new();
+    let metrics = obs::MetricsRegistry::new();
+    obs::tracing::install_global(&tracer);
+    obs::metrics::install_global(&metrics);
+    let mut monitor = fv3::health::default_monitor().with_tracer(&tracer);
+
+    d.step();
+    assert!(d.sample_health(&mut monitor, 0));
+    obs::tracing::uninstall_global();
+    obs::metrics::uninstall_global();
+
+    // Span hierarchy: one driver step, n_split acoustic substeps, one
+    // rank span per rank per substep, one halo span per exchanged field
+    // set per substep (u+v vector pair = 2 exchanges, + 4 scalars).
+    let events = tracer.finished();
+    let count = |cat: &str| events.iter().filter(|e| e.cat == cat).count();
+    assert_eq!(count("step"), 1);
+    assert_eq!(count("acoustic"), 2);
+    assert_eq!(count("rank"), 2 * d.partition.ranks());
+    assert_eq!(count("halo"), 2 * 6);
+    // Every halo span is tagged with its traffic.
+    for e in events.iter().filter(|e| e.cat == "halo") {
+        assert!(e.bytes > 0 && e.points > 0);
+    }
+    // Spans nest: every acoustic span inside the step span's interval.
+    let step = events.iter().find(|e| e.cat == "step").unwrap();
+    for e in events.iter().filter(|e| e.cat == "acoustic") {
+        assert!(step.ts_us <= e.ts_us && e.ts_us + e.dur_us <= step.ts_us + step.dur_us);
+    }
+
+    // Metrics: halo bytes per orientation, counters, high-water mark.
+    let mut oriented_total = 0;
+    for o in comm::Orientation::ALL {
+        oriented_total += metrics.counter_value("halo_bytes", &[("orientation", o.label())]);
+    }
+    let span_total: u64 = events.iter().filter(|e| e.cat == "halo").map(|e| e.bytes).sum();
+    assert_eq!(oriented_total, span_total);
+    assert!(oriented_total > 0);
+    // rt=1: corner blocks are all cube corners, so no corner traffic.
+    assert_eq!(
+        metrics.counter_value("halo_bytes", &[("orientation", "corner")]),
+        0
+    );
+    assert_eq!(metrics.counter_value("halo_exchanges", &[]), 2 * 6);
+    assert_eq!(metrics.counter_value("driver_steps", &[]), 1);
+    assert_eq!(
+        metrics.counter_value("rank_runs", &[]),
+        2 * d.partition.ranks() as u64
+    );
+    assert!(metrics.gauge_value("store_bytes", &[]).unwrap_or(0.0) > 0.0);
+
+    // Health: one sample per rank, all healthy, JSONL emits.
+    assert_eq!(monitor.samples().len(), d.partition.ranks());
+    assert!(monitor.all_healthy());
+    let jsonl = obs::emit_jsonl(&metrics, 0);
+    assert!(jsonl.lines().count() >= 4);
+
+    // The chrome trace round-trips through the dataflow parser.
+    let parsed = dataflow::profile::parse_chrome_trace(&tracer.to_chrome_trace()).unwrap();
+    assert_eq!(parsed.len(), events.len());
+}
