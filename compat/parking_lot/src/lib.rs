@@ -51,6 +51,40 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Condition variable with the parking_lot `wait(&mut guard)` signature,
+/// wrapping `std::sync::Condvar` (which takes guards by value).
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the mutex while parked. A poisoned
+    /// lock is recovered, not propagated. Spurious wakeups are possible,
+    /// as with any condvar.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's wait consumes the guard; move it out and back to keep
+        // parking_lot's `&mut` signature. `std::sync::Condvar::wait`
+        // never unwinds (poison is returned as `Err`), so the moment
+        // where `*guard` is logically vacant cannot leak a double drop.
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let next = self.0.wait(owned).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, next);
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +102,26 @@ mod tests {
         let l = RwLock::new(vec![1, 2]);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_wakes_parked_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            *ready
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(t.join().unwrap());
     }
 }

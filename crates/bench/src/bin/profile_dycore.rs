@@ -77,6 +77,16 @@ fn main() -> ExitCode {
         );
     }
 
+    println!(
+        "\nkernel cache: {} hits / {} misses ({} steady-state recompiles)",
+        run.cache_hits, run.cache_misses, run.steady_state_misses
+    );
+    println!(
+        "lane VM: {} vector points / {} scalar (rind) points",
+        run.metrics.counter_value("vm_lanes_vector", &[]),
+        run.metrics.counter_value("vm_lanes_scalar", &[])
+    );
+
     // Self-validation: a profile with dead kernels, broken clocks, or an
     // unhealthy model is worse than no profile.
     let mut bad = Vec::new();
@@ -103,6 +113,15 @@ fn main() -> ExitCode {
         bad.push(format!(
             "only {} health samples for {STEPS} steps",
             run.monitor.samples().len()
+        ));
+    }
+    if run.cache_hits == 0 {
+        bad.push("compiled-kernel cache recorded no hits".to_string());
+    }
+    if run.steady_state_misses > 0 {
+        bad.push(format!(
+            "{} kernel recompilations after the first step (cache not in steady state)",
+            run.steady_state_misses
         ));
     }
     if !run.monitor.all_healthy() {

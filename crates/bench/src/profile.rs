@@ -42,6 +42,13 @@ pub struct ProfileRun {
     pub monitor: HealthMonitor,
     /// Cumulative metrics snapshot emitted after every step.
     pub metrics_jsonl: String,
+    /// Compiled-kernel cache hits over all steps.
+    pub cache_hits: u64,
+    /// Compiled-kernel cache misses (compilations) over all steps.
+    pub cache_misses: u64,
+    /// Compilations performed after the first step — nonzero means the
+    /// cache is not reaching steady state.
+    pub steady_state_misses: u64,
 }
 
 /// Run the baroclinic `c{n}L{nk}` case for `steps` timesteps under the
@@ -76,11 +83,19 @@ pub fn profile_case(n: usize, nk: usize, steps: usize, config: DycoreConfig) -> 
     metrics.gauge_high_water("store_bytes", &[], store_bytes as f64);
 
     let mut metrics_jsonl = String::new();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut steady_state_misses = 0u64;
+    // One executor for the whole run: its compiled-kernel cache makes
+    // every step after the first (and every acoustic sub-loop trip within
+    // a step) execute with zero compilation.
+    let exec = Executor::serial();
     for step in 0..steps {
         let step_span = tracer.span("step", &format!("timestep{step}"));
         let ev_before = prof.events().len();
         let t0 = tracer.now_us();
-        Executor::serial().run_profiled(&g, &mut store, &prog.params, &mut hooks, &mut prof);
+        let exec_report =
+            exec.run_profiled(&g, &mut store, &prog.params, &mut hooks, &mut prof);
         let dur_s = (tracer.now_us() - t0) / 1e6;
 
         // Per-step kernel metrics from this step's slice of the event
@@ -104,7 +119,18 @@ pub fn profile_case(n: usize, nk: usize, steps: usize, config: DycoreConfig) -> 
         metrics.counter_add("kernel_launches", &[], launches);
         metrics.counter_add("kernel_points", &[], points);
         metrics.counter_add("kernel_bytes", &[], bytes);
+        // Execution-engine counters (ISSUE 4): cache effectiveness and
+        // the vector/scalar split of the lane VM, per step.
+        metrics.counter_add("kernel_cache_hits", &[], exec_report.cache_hits);
+        metrics.counter_add("kernel_cache_misses", &[], exec_report.cache_misses);
+        metrics.counter_add("vm_lanes_vector", &[], exec_report.lanes_vector);
+        metrics.counter_add("vm_lanes_scalar", &[], exec_report.lanes_scalar);
         metrics.observe("step_seconds", &[], dur_s);
+        cache_hits += exec_report.cache_hits;
+        cache_misses += exec_report.cache_misses;
+        if step > 0 {
+            steady_state_misses += exec_report.cache_misses;
+        }
 
         extract_state(&store, &prog.ids, &mut state);
         monitor.sample(&fv3::health::health_input(&state, &grid, step as u64, config.dt));
@@ -128,6 +154,9 @@ pub fn profile_case(n: usize, nk: usize, steps: usize, config: DycoreConfig) -> 
         metrics,
         monitor,
         metrics_jsonl,
+        cache_hits,
+        cache_misses,
+        steady_state_misses,
     }
 }
 
@@ -221,6 +250,16 @@ mod tests {
         assert!(report.is_clean(), "{}", report.render());
         assert!(json.contains("\"steps\": 2"));
         assert!(json.contains("\"health_violations\": 0"));
+    }
+
+    #[test]
+    fn kernel_cache_reaches_steady_state_after_first_step() {
+        let run = profile_case(8, 4, 3, small_config());
+        assert!(run.cache_misses > 0, "first step must compile kernels");
+        assert!(run.cache_hits > 0, "later steps must hit the cache");
+        assert_eq!(run.steady_state_misses, 0, "no recompiles after step 0");
+        assert!(run.metrics.counter_value("kernel_cache_hits", &[]) > 0);
+        assert!(run.metrics.counter_value("vm_lanes_vector", &[]) > 0);
     }
 
     #[test]

@@ -217,6 +217,131 @@ pub fn run<C: VmCtx>(program: &Program, ctx: &C, regs: &mut [f64]) -> f64 {
     regs[program.result as usize]
 }
 
+/// Lane capacity of the vectorized VM: each register holds up to this
+/// many consecutive i-points. 64 lanes (one 4 KiB register file per
+/// ~8 registers) keeps the whole file in L1 while amortizing dispatch
+/// over enough points to matter.
+pub const LANE_WIDTH: usize = 64;
+
+/// Execution context for the lane VM: a contiguous run of `w` i-points
+/// starting at some `(i0, j, k)`, lanes advancing along I only.
+pub trait LaneCtx {
+    /// Fill `out[l]` with field `slot` at `(i0 + l + off.i, j + off.j,
+    /// k + off.k)` for `l in 0..out.len()`.
+    fn load_lanes(&self, slot: u16, off: Offset3, out: &mut [f64]);
+    /// Fill `out[l]` with per-column local `l` for each lane's column.
+    fn local_lanes(&self, l: u16, out: &mut [f64]);
+    /// Scalar parameter `p` (uniform across lanes).
+    fn param(&self, p: u16) -> f64;
+    /// Global index of lane 0 along `axis` (lanes add `l` along I only).
+    fn index_lane0(&self, axis: Axis) -> i64;
+}
+
+/// Execute a compiled program over `w` lanes at once.
+///
+/// `regs` is a flat lane register file of at least `program.n_regs *
+/// LANE_WIDTH` entries; register `r` occupies
+/// `regs[r * LANE_WIDTH .. r * LANE_WIDTH + w]`. On return the result
+/// lanes sit at `program.result * LANE_WIDTH ..+ w`.
+///
+/// Bit-identical to running [`run`] per point: every arithmetic lane op
+/// goes through the same `apply_un`/`apply_bin`/`apply_cmp` scalar
+/// kernels, in the same order, on the same operands. Compilation is
+/// SSA-like (operand registers are always allocated before their
+/// consumer), so `dst > a, b, c` holds and `split_at_mut` cleanly
+/// separates the destination lanes from the operand lanes.
+#[inline]
+pub fn run_lanes<C: LaneCtx>(program: &Program, ctx: &C, regs: &mut [f64], w: usize) {
+    debug_assert!(w <= LANE_WIDTH);
+    debug_assert!(regs.len() >= program.n_regs as usize * LANE_WIDTH);
+    for ins in &program.instrs {
+        match *ins {
+            Instr::Const { dst, val } => {
+                regs[dst as usize * LANE_WIDTH..][..w].fill(val);
+            }
+            Instr::Param { dst, p } => {
+                regs[dst as usize * LANE_WIDTH..][..w].fill(ctx.param(p));
+            }
+            Instr::Load { dst, slot, off } => {
+                ctx.load_lanes(slot, off, &mut regs[dst as usize * LANE_WIDTH..][..w]);
+            }
+            Instr::LoadLocal { dst, l } => {
+                ctx.local_lanes(l, &mut regs[dst as usize * LANE_WIDTH..][..w]);
+            }
+            Instr::Un { op, dst, a } => {
+                debug_assert!(a < dst);
+                let (lo, hi) = regs.split_at_mut(dst as usize * LANE_WIDTH);
+                let src = &lo[a as usize * LANE_WIDTH..][..w];
+                for (d, s) in hi[..w].iter_mut().zip(src) {
+                    *d = apply_un(op, *s);
+                }
+            }
+            Instr::Bin { op, dst, a, b } => {
+                debug_assert!(a < dst && b < dst);
+                let (lo, hi) = regs.split_at_mut(dst as usize * LANE_WIDTH);
+                for l in 0..w {
+                    hi[l] = apply_bin(
+                        op,
+                        lo[a as usize * LANE_WIDTH + l],
+                        lo[b as usize * LANE_WIDTH + l],
+                    );
+                }
+            }
+            Instr::Cmp { op, dst, a, b } => {
+                debug_assert!(a < dst && b < dst);
+                let (lo, hi) = regs.split_at_mut(dst as usize * LANE_WIDTH);
+                for l in 0..w {
+                    hi[l] = if apply_cmp(
+                        op,
+                        lo[a as usize * LANE_WIDTH + l],
+                        lo[b as usize * LANE_WIDTH + l],
+                    ) {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            Instr::Select { dst, c, a, b } => {
+                debug_assert!(a < dst && b < dst && c < dst);
+                let (lo, hi) = regs.split_at_mut(dst as usize * LANE_WIDTH);
+                for l in 0..w {
+                    hi[l] = if lo[c as usize * LANE_WIDTH + l] != 0.0 {
+                        lo[a as usize * LANE_WIDTH + l]
+                    } else {
+                        lo[b as usize * LANE_WIDTH + l]
+                    };
+                }
+            }
+            Instr::Index { dst, axis } => {
+                let base = ctx.index_lane0(axis);
+                let out = &mut regs[dst as usize * LANE_WIDTH..][..w];
+                match axis {
+                    Axis::I => {
+                        for (l, d) in out.iter_mut().enumerate() {
+                            *d = (base + l as i64) as f64;
+                        }
+                    }
+                    _ => out.fill(base as f64),
+                }
+            }
+            Instr::PowI { dst, a, n } => {
+                debug_assert!(a < dst);
+                let (lo, hi) = regs.split_at_mut(dst as usize * LANE_WIDTH);
+                let src = &lo[a as usize * LANE_WIDTH..][..w];
+                for (d, s) in hi[..w].iter_mut().zip(src) {
+                    let x = *s;
+                    let mut acc = 1.0f64;
+                    for _ in 0..n.unsigned_abs() {
+                        acc *= x;
+                    }
+                    *d = if n < 0 { 1.0 / acc } else { acc };
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +479,102 @@ mod tests {
                 ((vm - tree) / denom).abs() < 1e-12
             };
             assert!(close, "case {case}: vm={vm} tree={tree} expr={e:?}");
+        }
+    }
+
+    /// Deterministic point-dependent test world shared by the scalar and
+    /// lane contexts below: field/local values vary with the absolute
+    /// i-index so lane mismatches cannot hide behind uniform data.
+    fn world_field(slot: u16, off: Offset3, i: i64, j: i64, k: i64) -> f64 {
+        0.25 + ((slot as i64 * 37
+            + (i + off.i as i64) * 7
+            + (j + off.j as i64) * 5
+            + (k + off.k as i64) * 3)
+            .rem_euclid(97)) as f64
+            * 0.031
+    }
+
+    fn world_local(l: u16, i: i64) -> f64 {
+        ((l as i64 * 13 + i * 11).rem_euclid(19)) as f64 * 0.05 - 0.4
+    }
+
+    struct PointWorld {
+        params: Vec<f64>,
+        i: i64,
+        j: i64,
+        k: i64,
+    }
+
+    impl VmCtx for PointWorld {
+        fn load(&self, slot: u16, off: Offset3) -> f64 {
+            world_field(slot, off, self.i, self.j, self.k)
+        }
+        fn local(&self, l: u16) -> f64 {
+            world_local(l, self.i)
+        }
+        fn param(&self, p: u16) -> f64 {
+            self.params[p as usize]
+        }
+        fn index(&self, axis: Axis) -> i64 {
+            [self.i, self.j, self.k][axis.idx()]
+        }
+    }
+
+    struct LaneWorld {
+        params: Vec<f64>,
+        i0: i64,
+        j: i64,
+        k: i64,
+    }
+
+    impl LaneCtx for LaneWorld {
+        fn load_lanes(&self, slot: u16, off: Offset3, out: &mut [f64]) {
+            for (l, d) in out.iter_mut().enumerate() {
+                *d = world_field(slot, off, self.i0 + l as i64, self.j, self.k);
+            }
+        }
+        fn local_lanes(&self, l: u16, out: &mut [f64]) {
+            for (lane, d) in out.iter_mut().enumerate() {
+                *d = world_local(l, self.i0 + lane as i64);
+            }
+        }
+        fn param(&self, p: u16) -> f64 {
+            self.params[p as usize]
+        }
+        fn index_lane0(&self, axis: Axis) -> i64 {
+            [self.i0, self.j, self.k][axis.idx()]
+        }
+    }
+
+    #[test]
+    fn lane_vm_bit_identical_to_scalar_vm_per_lane() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0x1a9e5 ^ 0xff);
+        for case in 0..200 {
+            let e = random_expr(&mut rng, 4);
+            let p = compile(&e, &|d| d.0 as u16);
+            let params: Vec<f64> = (0..4).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let (i0, j, k) = (rng.gen_range(-3..10), rng.gen_range(-2..6), rng.gen_range(0..5));
+            for w in [1usize, 3, 17, LANE_WIDTH] {
+                let lane_ctx = LaneWorld { params: params.clone(), i0, j, k };
+                let mut lane_regs = vec![0.0; p.n_regs as usize * LANE_WIDTH];
+                run_lanes(&p, &lane_ctx, &mut lane_regs, w);
+                let mut regs = vec![0.0; p.n_regs as usize];
+                for lane in 0..w {
+                    let pt = PointWorld {
+                        params: params.clone(),
+                        i: i0 + lane as i64,
+                        j,
+                        k,
+                    };
+                    let scalar = run(&p, &pt, &mut regs);
+                    let vector = lane_regs[p.result as usize * LANE_WIDTH + lane];
+                    assert_eq!(
+                        scalar.to_bits(),
+                        vector.to_bits(),
+                        "case {case} w={w} lane={lane}: scalar={scalar} vector={vector} expr={e:?}"
+                    );
+                }
+            }
         }
     }
 

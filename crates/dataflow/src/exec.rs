@@ -10,13 +10,17 @@
 //! fused by recomputation; Section IV-D "some synchronization points were
 //! pre-determined and had to be worked around by splitting stencils").
 
-use crate::bytecode::{self, Program, VmCtx};
+use crate::bytecode::{self, LaneCtx, Program, VmCtx, LANE_WIDTH};
 use crate::expr::{DataId, Offset3};
 use crate::graph::{ControlNode, DataflowNode, Sdfg};
-use crate::kernel::{KOrder, Kernel, LValue};
+use crate::kernel::{Domain, KOrder, Kernel, LValue};
 use crate::profile::Profiler;
 use crate::storage::{Array3, Axis, Layout};
 use machine::Pool;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Runtime storage: one array per SDFG container.
@@ -98,6 +102,15 @@ pub struct ExecReport {
     pub halo_exchanges: u64,
     /// Host callbacks performed.
     pub callbacks: u64,
+    /// Kernel launches served from the executor's compiled-kernel cache.
+    pub cache_hits: u64,
+    /// Kernel launches that had to (re)compile.
+    pub cache_misses: u64,
+    /// Points executed through the vectorized lane VM.
+    pub lanes_vector: u64,
+    /// Points executed through the scalar VM (boundary rind, narrow
+    /// hulls, or `VmMode::Scalar`).
+    pub lanes_scalar: u64,
 }
 
 impl ExecReport {
@@ -184,6 +197,28 @@ pub fn validate_sdfg(sdfg: &Sdfg) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 // Kernel execution
 
+/// Which VM runs a kernel's statement bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VmMode {
+    /// Point-at-a-time scalar VM everywhere (the reference path).
+    Scalar,
+    /// Lane VM over contiguous i-runs in the interior, scalar VM on the
+    /// boundary rind. Bit-identical to [`VmMode::Scalar`].
+    #[default]
+    Lanes,
+}
+
+/// Counters from one kernel launch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelRunStats {
+    /// Statement-points executed (the figure [`run_kernel`] returns).
+    pub points: u64,
+    /// Points that went through the vectorized lane VM.
+    pub lanes_vector: u64,
+    /// Points that went through the scalar VM.
+    pub lanes_scalar: u64,
+}
+
 /// Raw view of one container used inside the kernel loop. Columns write
 /// disjoint points (guaranteed by [`validate_kernel`]), so sharing the
 /// pointer across worker threads is sound.
@@ -239,6 +274,179 @@ enum CompiledLValue {
     Local(u16),
 }
 
+/// Cheap identity check for a cached [`CompiledKernel`]: catches ad-hoc
+/// kernel edits that did not go through [`Sdfg::touch`]-instrumented
+/// passes (a changed expression with identical shape still requires a
+/// generation bump — the documented invalidation contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct KernelFingerprint {
+    domain: Domain,
+    n_stmts: usize,
+    n_locals: usize,
+    k_order: KOrder,
+}
+
+impl KernelFingerprint {
+    fn of(kernel: &Kernel) -> Self {
+        KernelFingerprint {
+            domain: kernel.domain,
+            n_stmts: kernel.stmts.len(),
+            n_locals: kernel.n_locals,
+            k_order: kernel.k_order,
+        }
+    }
+}
+
+/// Everything about a kernel that is invariant across launches: the slot
+/// table, compiled statement programs, resolved bounds, and the iteration
+/// hull. Building one is the per-launch work [`run_kernel`] used to redo
+/// every invocation; the executor caches them per `(state, node)`.
+pub struct CompiledKernel {
+    ids: Vec<DataId>,
+    stmts: Vec<CompiledStmt>,
+    hull: StmtBounds,
+    max_regs: usize,
+    n_locals: usize,
+    points: u64,
+    k_desc: bool,
+    k_parallel: bool,
+    empty: bool,
+    fingerprint: KernelFingerprint,
+}
+
+/// Compile a kernel: build the slot table (one hash-map pass — the old
+/// path was O(fields²) in `contains`/`position` scans), compile every
+/// statement, and resolve per-statement bounds plus the union hull.
+pub fn compile_kernel(kernel: &Kernel) -> CompiledKernel {
+    let fingerprint = KernelFingerprint::of(kernel);
+    let empty_ck = |fingerprint| CompiledKernel {
+        ids: Vec::new(),
+        stmts: Vec::new(),
+        hull: StmtBounds {
+            il: 0,
+            ih: 0,
+            jl: 0,
+            jh: 0,
+            kl: 0,
+            kh: 0,
+        },
+        max_regs: 0,
+        n_locals: 0,
+        points: 0,
+        k_desc: false,
+        k_parallel: false,
+        empty: true,
+        fingerprint,
+    };
+    if kernel.domain.is_empty() || kernel.stmts.is_empty() {
+        return empty_ck(fingerprint);
+    }
+
+    // Field slot table: stable order over reads + writes, interned once.
+    let mut ids: Vec<DataId> = Vec::new();
+    let mut slot_map: HashMap<DataId, u16> = HashMap::new();
+    for d in kernel.reads().into_iter().map(|(d, _)| d).chain(kernel.writes()) {
+        slot_map.entry(d).or_insert_with(|| {
+            ids.push(d);
+            (ids.len() - 1) as u16
+        });
+    }
+    let slot_of = |d: DataId| -> u16 { *slot_map.get(&d).expect("unknown field in kernel") };
+
+    // Compile statements and resolve bounds.
+    let dom = kernel.domain;
+    let mut stmts = Vec::with_capacity(kernel.stmts.len());
+    let mut hull = StmtBounds {
+        il: i64::MAX,
+        ih: i64::MIN,
+        jl: i64::MAX,
+        jh: i64::MIN,
+        kl: i64::MAX,
+        kh: i64::MIN,
+    };
+    let mut points = 0u64;
+    for s in &kernel.stmts {
+        let grown = s.extent.grow(&dom);
+        let (il, ih, jl, jh) = match &s.region {
+            Some(r) => {
+                let (il, ih) = r.i.resolve(dom.start[0], dom.end[0]);
+                let (jl, jh) = r.j.resolve(dom.start[1], dom.end[1]);
+                (il, ih, jl, jh)
+            }
+            None => (grown.start[0], grown.end[0], grown.start[1], grown.end[1]),
+        };
+        let (kl, kh) = s.k_range.resolve(dom.start[2], dom.end[2]);
+        let b = StmtBounds {
+            il,
+            ih,
+            jl,
+            jh,
+            kl,
+            kh,
+        };
+        hull.il = hull.il.min(b.il);
+        hull.ih = hull.ih.max(b.ih);
+        hull.jl = hull.jl.min(b.jl);
+        hull.jh = hull.jh.max(b.jh);
+        hull.kl = hull.kl.min(b.kl);
+        hull.kh = hull.kh.max(b.kh);
+        points += ((ih - il).max(0) * (jh - jl).max(0) * (kh - kl).max(0)) as u64;
+        let program = bytecode::compile(&s.expr, &slot_of);
+        let lvalue = match s.lvalue {
+            LValue::Field(d) => CompiledLValue::Field(slot_of(d)),
+            LValue::Local(l) => CompiledLValue::Local(l.0 as u16),
+        };
+        stmts.push(CompiledStmt {
+            program,
+            bounds: b,
+            lvalue,
+        });
+    }
+    if hull.ih <= hull.il || hull.jh <= hull.jl || hull.kh <= hull.kl {
+        return empty_ck(fingerprint);
+    }
+
+    let max_regs = stmts.iter().map(|c| c.program.n_regs).max().unwrap_or(0) as usize;
+    // Locals referenced anywhere (declared, written, or read) size the
+    // per-column local file.
+    let n_locals = kernel
+        .n_locals
+        .max(
+            stmts
+                .iter()
+                .filter_map(|c| match c.lvalue {
+                    CompiledLValue::Local(l) => Some(l as usize + 1),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0),
+        )
+        .max(
+            stmts
+                .iter()
+                .flat_map(|c| c.program.instrs.iter())
+                .filter_map(|i| match i {
+                    bytecode::Instr::LoadLocal { l, .. } => Some(*l as usize + 1),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0),
+        );
+
+    CompiledKernel {
+        ids,
+        stmts,
+        hull,
+        max_regs,
+        n_locals,
+        points,
+        k_desc: kernel.k_order == KOrder::Backward,
+        k_parallel: kernel.k_order == KOrder::Parallel,
+        empty: false,
+        fingerprint,
+    }
+}
+
 struct PointCtx<'a> {
     slots: &'a [FieldSlot],
     locals: &'a [f64],
@@ -280,32 +488,114 @@ impl VmCtx for PointCtx<'_> {
     }
 }
 
-/// Execute one kernel over the store. `params` are the SDFG's scalar
-/// parameter values. Returns the number of points executed.
-pub fn run_kernel(kernel: &Kernel, store: &mut DataStore, params: &[f64], pool: &Pool) -> u64 {
-    debug_assert!(validate_kernel(kernel).is_ok(), "{:?}", validate_kernel(kernel));
-    if kernel.domain.is_empty() || kernel.stmts.is_empty() {
-        return 0;
-    }
+/// Scalar VM context for the boundary rind of the vectorized path: like
+/// [`PointCtx`] but locals live in a per-row file laid out
+/// `[local][i-column]`, so each column's running locals persist across
+/// the row's K march exactly as the per-column scalar path's do.
+struct RowPointCtx<'a> {
+    slots: &'a [FieldSlot],
+    row_locals: &'a [f64],
+    ni: usize,
+    col: usize,
+    params: &'a [f64],
+    i: i64,
+    j: i64,
+    k: i64,
+}
 
-    // Field slot table: stable order over reads + writes.
-    let mut ids: Vec<DataId> = Vec::new();
-    for (d, _) in kernel.reads() {
-        if !ids.contains(&d) {
-            ids.push(d);
+impl VmCtx for RowPointCtx<'_> {
+    #[inline]
+    fn load(&self, slot: u16, off: Offset3) -> f64 {
+        unsafe {
+            self.slots[slot as usize].read(
+                self.i + off.i as i64,
+                self.j + off.j as i64,
+                self.k + off.k as i64,
+            )
         }
     }
-    for d in kernel.writes() {
-        if !ids.contains(&d) {
-            ids.push(d);
+
+    #[inline]
+    fn local(&self, l: u16) -> f64 {
+        self.row_locals[l as usize * self.ni + self.col]
+    }
+
+    #[inline]
+    fn param(&self, p: u16) -> f64 {
+        self.params[p as usize]
+    }
+
+    #[inline]
+    fn index(&self, axis: Axis) -> i64 {
+        match axis {
+            Axis::I => self.i,
+            Axis::J => self.j,
+            Axis::K => self.k,
         }
     }
-    let slot_of = |d: DataId| -> u16 {
-        ids.iter().position(|x| *x == d).expect("unknown field in kernel") as u16
-    };
+}
 
-    let slots: Vec<FieldSlot> = ids
-        .iter()
+/// Lane VM context: a run of `w` consecutive i-points at `(i0.., j, k)`.
+struct LaneRowCtx<'a> {
+    slots: &'a [FieldSlot],
+    row_locals: &'a [f64],
+    ni: usize,
+    lane0: usize,
+    params: &'a [f64],
+    i0: i64,
+    j: i64,
+    k: i64,
+}
+
+impl LaneCtx for LaneRowCtx<'_> {
+    #[inline]
+    fn load_lanes(&self, slot: u16, off: Offset3, out: &mut [f64]) {
+        let s = &self.slots[slot as usize];
+        let base = s.offset(
+            self.i0 + off.i as i64,
+            self.j + off.j as i64,
+            self.k + off.k as i64,
+        );
+        let istride = s.strides[0];
+        unsafe {
+            if istride == 1 {
+                // Unit i-stride: the lane load is one contiguous copy.
+                std::ptr::copy_nonoverlapping(s.ptr.add(base), out.as_mut_ptr(), out.len());
+            } else {
+                for (l, d) in out.iter_mut().enumerate() {
+                    *d = *s.ptr.add(base + l * istride);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn local_lanes(&self, l: u16, out: &mut [f64]) {
+        let off = l as usize * self.ni + self.lane0;
+        out.copy_from_slice(&self.row_locals[off..off + out.len()]);
+    }
+
+    #[inline]
+    fn param(&self, p: u16) -> f64 {
+        self.params[p as usize]
+    }
+
+    #[inline]
+    fn index_lane0(&self, axis: Axis) -> i64 {
+        match axis {
+            Axis::I => self.i0,
+            Axis::J => self.j,
+            Axis::K => self.k,
+        }
+    }
+}
+
+/// Minimum lane count worth dispatching to the lane VM; narrower runs
+/// (region rinds, 1-wide hulls) use the scalar VM.
+const VECTOR_MIN: usize = 4;
+
+fn field_slots(ids: &[DataId], store: &mut DataStore) -> Vec<FieldSlot> {
+    ids.iter()
         .map(|d| {
             let a = store.get_mut(*d);
             let layout: Layout = a.layout().clone();
@@ -315,87 +605,50 @@ pub fn run_kernel(kernel: &Kernel, store: &mut DataStore, params: &[f64], pool: 
                 strides: layout.strides,
             }
         })
-        .collect();
+        .collect()
+}
 
-    // Compile statements and resolve bounds.
-    let dom = kernel.domain;
-    let mut compiled = Vec::with_capacity(kernel.stmts.len());
-    let mut hull = StmtBounds {
-        il: i64::MAX,
-        ih: i64::MIN,
-        jl: i64::MAX,
-        jh: i64::MIN,
-        kl: i64::MAX,
-        kh: i64::MIN,
-    };
-    let mut points = 0u64;
-    for s in &kernel.stmts {
-        let grown = s.extent.grow(&dom);
-        let (il, ih, jl, jh) = match &s.region {
-            Some(r) => {
-                let (il, ih) = r.i.resolve(dom.start[0], dom.end[0]);
-                let (jl, jh) = r.j.resolve(dom.start[1], dom.end[1]);
-                (il, ih, jl, jh)
-            }
-            None => (grown.start[0], grown.end[0], grown.start[1], grown.end[1]),
-        };
-        let (kl, kh) = s.k_range.resolve(dom.start[2], dom.end[2]);
-        let b = StmtBounds {
-            il,
-            ih,
-            jl,
-            jh,
-            kl,
-            kh,
-        };
-        hull.il = hull.il.min(b.il);
-        hull.ih = hull.ih.max(b.ih);
-        hull.jl = hull.jl.min(b.jl);
-        hull.jh = hull.jh.max(b.jh);
-        hull.kl = hull.kl.min(b.kl);
-        hull.kh = hull.kh.max(b.kh);
-        points += ((ih - il).max(0) * (jh - jl).max(0) * (kh - kl).max(0)) as u64;
-        let program = bytecode::compile(&s.expr, &slot_of);
-        let lvalue = match s.lvalue {
-            LValue::Field(d) => CompiledLValue::Field(slot_of(d)),
-            LValue::Local(l) => CompiledLValue::Local(l.0 as u16),
-        };
-        compiled.push(CompiledStmt {
-            program,
-            bounds: b,
-            lvalue,
-        });
+/// Run a pre-compiled kernel. Array pointers are re-resolved from `store`
+/// on every launch (arrays may have been reallocated between launches);
+/// everything else comes from the cache-friendly [`CompiledKernel`].
+pub fn run_compiled(
+    ck: &CompiledKernel,
+    store: &mut DataStore,
+    params: &[f64],
+    pool: &Pool,
+    mode: VmMode,
+) -> KernelRunStats {
+    if ck.empty {
+        return KernelRunStats::default();
     }
-    if hull.ih <= hull.il || hull.jh <= hull.jl || hull.kh <= hull.kl {
-        return 0;
+    let slots = field_slots(&ck.ids, store);
+    match mode {
+        VmMode::Scalar => run_scalar(ck, &slots, params, pool),
+        VmMode::Lanes => run_lanes_rows(ck, &slots, params, pool),
     }
+}
 
-    let max_regs = compiled.iter().map(|c| c.program.n_regs).max().unwrap_or(0) as usize;
-    let n_locals = kernel.n_locals.max(
-        compiled
-            .iter()
-            .filter_map(|c| match c.lvalue {
-                CompiledLValue::Local(l) => Some(l as usize + 1),
-                _ => None,
-            })
-            .max()
-            .unwrap_or(0),
-    );
-
+/// The reference executor: per-column scalar VM (the pre-vectorization
+/// inner loop, kept verbatim as the bit-identity oracle and rind body).
+fn run_scalar(ck: &CompiledKernel, slots: &[FieldSlot], params: &[f64], pool: &Pool) -> KernelRunStats {
+    let hull = ck.hull;
     let ni = (hull.ih - hull.il) as usize;
     let nj = (hull.jh - hull.jl) as usize;
     let columns = ni * nj;
-    let k_desc = kernel.k_order == KOrder::Backward;
-    let compiled = &compiled;
-    let slots = &slots;
+    let k_desc = ck.k_desc;
+    let n_locals = ck.n_locals;
+    let max_regs = ck.max_regs;
+    let compiled = &ck.stmts;
 
     pool.for_each_chunk(columns, |range| {
         let mut regs = vec![0.0f64; max_regs];
-        let mut locals = vec![0.0f64; n_locals.max(1)];
+        let mut locals = vec![0.0f64; n_locals];
         for col in range {
             let i = hull.il + (col % ni) as i64;
             let j = hull.jl + (col / ni) as i64;
-            locals.iter_mut().for_each(|l| *l = 0.0);
+            if n_locals > 0 {
+                locals.iter_mut().for_each(|l| *l = 0.0);
+            }
             let mut k = if k_desc { hull.kh - 1 } else { hull.kl };
             while k >= hull.kl && k < hull.kh {
                 for cs in compiled {
@@ -425,23 +678,252 @@ pub fn run_kernel(kernel: &Kernel, store: &mut DataStore, params: &[f64], pool: 
         }
     });
 
-    points
+    KernelRunStats {
+        points: ck.points,
+        lanes_vector: 0,
+        lanes_scalar: ck.points,
+    }
 }
 
-/// Executes SDFGs with a worker pool and hooks.
+/// The vectorized executor: rows of consecutive i-points per `(j, k)`.
+///
+/// Work decomposition: one parallel work item per j-row (per `(j, k)`
+/// plane-row for `Parallel` kernels with no locals, which exposes more
+/// parallelism). Within a row, K marches in the kernel's order and
+/// statements run in program order, so each column sees exactly the
+/// `(k, statement)` sequence the scalar path gives it — columns are
+/// independent by [`validate_kernel`], making the row-major regrouping
+/// bit-identical.
+///
+/// Each statement's i-range is cut into runs of at most [`LANE_WIDTH`]:
+/// runs of at least [`VECTOR_MIN`] lanes execute on the lane VM (the
+/// *interior*), narrower runs — region rinds, 1-wide hulls, remainders
+/// under `VECTOR_MIN` — fall back to the scalar VM (the *rind*). Both
+/// VMs apply the same scalar arithmetic kernels in the same order, so
+/// the split never changes a single bit of output.
+fn run_lanes_rows(
+    ck: &CompiledKernel,
+    slots: &[FieldSlot],
+    params: &[f64],
+    pool: &Pool,
+) -> KernelRunStats {
+    let hull = ck.hull;
+    let ni = (hull.ih - hull.il) as usize;
+    let nj = (hull.jh - hull.jl) as usize;
+    let nk = (hull.kh - hull.kl) as usize;
+    let n_locals = ck.n_locals;
+    let k_desc = ck.k_desc;
+    // Parallel K with no locals: every (j, k) row is independent.
+    let jk_rows = ck.k_parallel && n_locals == 0;
+    let rows = if jk_rows { nj * nk } else { nj };
+    let max_regs = ck.max_regs;
+    let compiled = &ck.stmts;
+    let vec_pts = AtomicU64::new(0);
+    let scalar_pts = AtomicU64::new(0);
+
+    pool.for_each_chunk(rows, |range| {
+        let mut regs = vec![0.0f64; max_regs * LANE_WIDTH];
+        let mut row_locals = vec![0.0f64; n_locals * ni];
+        let mut lv = 0u64;
+        let mut ls = 0u64;
+        for row in range {
+            let j = hull.jl + (if jk_rows { row % nj } else { row }) as i64;
+            if n_locals > 0 {
+                row_locals.fill(0.0);
+            }
+            let (mut k, k_last) = if jk_rows {
+                let k = hull.kl + (row / nj) as i64;
+                (k, k)
+            } else if k_desc {
+                (hull.kh - 1, hull.kl)
+            } else {
+                (hull.kl, hull.kh - 1)
+            };
+            loop {
+                for cs in compiled {
+                    let b = &cs.bounds;
+                    if j < b.jl || j >= b.jh || k < b.kl || k >= b.kh || b.ih <= b.il {
+                        continue;
+                    }
+                    let mut i0 = b.il;
+                    while i0 < b.ih {
+                        let w = ((b.ih - i0) as usize).min(LANE_WIDTH);
+                        let lane0 = (i0 - hull.il) as usize;
+                        if w >= VECTOR_MIN {
+                            {
+                                let ctx = LaneRowCtx {
+                                    slots,
+                                    row_locals: &row_locals,
+                                    ni,
+                                    lane0,
+                                    params,
+                                    i0,
+                                    j,
+                                    k,
+                                };
+                                bytecode::run_lanes(&cs.program, &ctx, &mut regs, w);
+                            }
+                            let res = cs.program.result as usize * LANE_WIDTH;
+                            match cs.lvalue {
+                                CompiledLValue::Field(slot) => unsafe {
+                                    let s = &slots[slot as usize];
+                                    let base = s.offset(i0, j, k);
+                                    let istride = s.strides[0];
+                                    if istride == 1 {
+                                        std::ptr::copy_nonoverlapping(
+                                            regs.as_ptr().add(res),
+                                            s.ptr.add(base),
+                                            w,
+                                        );
+                                    } else {
+                                        for l in 0..w {
+                                            *s.ptr.add(base + l * istride) = regs[res + l];
+                                        }
+                                    }
+                                },
+                                CompiledLValue::Local(lid) => {
+                                    let off = lid as usize * ni + lane0;
+                                    row_locals[off..off + w]
+                                        .copy_from_slice(&regs[res..res + w]);
+                                }
+                            }
+                            lv += w as u64;
+                        } else {
+                            for l in 0..w {
+                                let i = i0 + l as i64;
+                                let v = {
+                                    let ctx = RowPointCtx {
+                                        slots,
+                                        row_locals: &row_locals,
+                                        ni,
+                                        col: lane0 + l,
+                                        params,
+                                        i,
+                                        j,
+                                        k,
+                                    };
+                                    bytecode::run(&cs.program, &ctx, &mut regs)
+                                };
+                                match cs.lvalue {
+                                    CompiledLValue::Field(slot) => unsafe {
+                                        slots[slot as usize].write(i, j, k, v);
+                                    },
+                                    CompiledLValue::Local(lid) => {
+                                        row_locals[lid as usize * ni + lane0 + l] = v;
+                                    }
+                                }
+                            }
+                            ls += w as u64;
+                        }
+                        i0 += w as i64;
+                    }
+                }
+                if k == k_last {
+                    break;
+                }
+                k += if k_desc { -1 } else { 1 };
+            }
+        }
+        vec_pts.fetch_add(lv, Ordering::Relaxed);
+        scalar_pts.fetch_add(ls, Ordering::Relaxed);
+    });
+
+    KernelRunStats {
+        points: ck.points,
+        lanes_vector: vec_pts.load(Ordering::Relaxed),
+        lanes_scalar: scalar_pts.load(Ordering::Relaxed),
+    }
+}
+
+/// Compile and run one kernel with an explicit [`VmMode`] (used by the
+/// differential tests and the ablation bench).
+pub fn run_kernel_with(
+    kernel: &Kernel,
+    store: &mut DataStore,
+    params: &[f64],
+    pool: &Pool,
+    mode: VmMode,
+) -> KernelRunStats {
+    debug_assert!(validate_kernel(kernel).is_ok(), "{:?}", validate_kernel(kernel));
+    run_compiled(&compile_kernel(kernel), store, params, pool, mode)
+}
+
+/// Execute one kernel over the store. `params` are the SDFG's scalar
+/// parameter values. Returns the number of points executed.
+pub fn run_kernel(kernel: &Kernel, store: &mut DataStore, params: &[f64], pool: &Pool) -> u64 {
+    run_kernel_with(kernel, store, params, pool, VmMode::default()).points
+}
+
+/// Compiled kernels held by an [`Executor`], keyed by `(state index,
+/// node index)` and namespaced by the source graph's `(uid, generation)`.
+///
+/// Invalidation contract: any mutation of the SDFG must bump its
+/// generation via [`Sdfg::touch`] (all transform passes do); running a
+/// different or newer graph through the executor clears the cache. As a
+/// second line of defense, each hit re-checks a cheap per-kernel
+/// fingerprint (domain, statement count, locals, K order) and recompiles
+/// on mismatch.
+#[derive(Default)]
+struct KernelCache {
+    sdfg_uid: u64,
+    generation: u64,
+    entries: HashMap<(usize, usize), Arc<CompiledKernel>>,
+}
+
+/// Executes SDFGs with a worker pool, a compiled-kernel cache, and hooks.
 pub struct Executor {
     pool: Pool,
+    mode: VmMode,
+    cache: Mutex<KernelCache>,
 }
 
 impl Executor {
-    /// An executor backed by `pool`.
+    /// An executor backed by `pool` (vectorized lane VM).
     pub fn new(pool: Pool) -> Self {
-        Executor { pool }
+        Executor::with_mode(pool, VmMode::default())
+    }
+
+    /// An executor backed by `pool` with an explicit VM mode.
+    pub fn with_mode(pool: Pool, mode: VmMode) -> Self {
+        Executor {
+            pool,
+            mode,
+            cache: Mutex::new(KernelCache::default()),
+        }
     }
 
     /// Serial executor (deterministic, used by tests).
     pub fn serial() -> Self {
-        Executor { pool: Pool::new(1) }
+        Executor::new(Pool::new(1))
+    }
+
+    /// Serial executor forced onto the scalar reference VM.
+    pub fn serial_scalar() -> Self {
+        Executor::with_mode(Pool::new(1), VmMode::Scalar)
+    }
+
+    /// Look up (or compile) the kernel at `key`, reporting whether it was
+    /// a cache hit. The `Arc` keeps the lock window to the map probe.
+    fn compiled_for(
+        &self,
+        sdfg: &Sdfg,
+        key: (usize, usize),
+        kernel: &Kernel,
+    ) -> (Arc<CompiledKernel>, bool) {
+        let mut cache = self.cache.lock();
+        if cache.sdfg_uid != sdfg.uid() || cache.generation != sdfg.generation() {
+            cache.entries.clear();
+            cache.sdfg_uid = sdfg.uid();
+            cache.generation = sdfg.generation();
+        }
+        if let Some(e) = cache.entries.get(&key) {
+            if e.fingerprint == KernelFingerprint::of(kernel) {
+                return (Arc::clone(e), true);
+            }
+        }
+        let ck = Arc::new(compile_kernel(kernel));
+        cache.entries.insert(key, Arc::clone(&ck));
+        (ck, false)
     }
 
     /// Run the whole program. `params` maps [`crate::expr::ParamId`]
@@ -531,13 +1013,22 @@ impl Executor {
         for (node_idx, node) in state.nodes.iter().enumerate() {
             match node {
                 DataflowNode::Kernel(k) => {
+                    debug_assert!(validate_kernel(k).is_ok(), "{:?}", validate_kernel(k));
                     let ts = prof.as_ref().map(|p| p.now_us());
                     let t0 = Instant::now();
-                    let points = run_kernel(k, store, params, &self.pool);
-                    report.record(&k.name, points, t0.elapsed().as_secs_f64());
+                    let (ck, hit) = self.compiled_for(sdfg, (state_idx, node_idx), k);
+                    let stats = run_compiled(&ck, store, params, &self.pool, self.mode);
+                    report.record(&k.name, stats.points, t0.elapsed().as_secs_f64());
+                    if hit {
+                        report.cache_hits += 1;
+                    } else {
+                        report.cache_misses += 1;
+                    }
+                    report.lanes_vector += stats.lanes_vector;
+                    report.lanes_scalar += stats.lanes_scalar;
                     if let Some(p) = prof.as_mut() {
                         let (bytes, _flops) = p.modeled_cost((state_idx, node_idx), k, sdfg);
-                        p.record_span("kernel", &k.name, ts.unwrap(), points, bytes);
+                        p.record_span("kernel", &k.name, ts.unwrap(), stats.points, bytes);
                     }
                 }
                 DataflowNode::Library(l) => {
@@ -994,6 +1485,133 @@ mod tests {
         let mut k4 = k3.clone();
         k4.stmts[0].expr = Expr::load(ids[1], 0, 0, 1);
         assert!(validate_kernel(&k4).is_err());
+    }
+
+    /// A kernel with a bit of everything: multi-statement, region rind,
+    /// locals carried through a forward K march, and an i-hull wide
+    /// enough to engage the lane VM.
+    fn mixed_kernel_sdfg(n: usize) -> (Sdfg, Vec<DataId>) {
+        let (mut g, ids) = sdfg_with(n, 1, &["a", "b", "out"]);
+        let mut k = Kernel::new(
+            "mixed",
+            Domain::from_shape([n, n, 4]),
+            KOrder::Forward,
+            Schedule::gpu_vertical(),
+        );
+        k.n_locals = 1;
+        k.stmts.push(Stmt::full(
+            LValue::Local(LocalId(0)),
+            Expr::Local(LocalId(0)) + Expr::load(ids[0], 1, 0, 0) * Expr::load(ids[1], 0, -1, 0),
+        ));
+        k.stmts.push(Stmt::full(
+            LValue::Field(ids[2]),
+            Expr::Local(LocalId(0)) + Expr::Index(Axis::I) * Expr::c(0.125),
+        ));
+        k.stmts.push(Stmt {
+            lvalue: LValue::Field(ids[2]),
+            expr: Expr::load(ids[1], 0, 0, 0) - Expr::c(2.5),
+            k_range: AxisInterval::new(Anchor::Start(1), Anchor::End(0)),
+            region: Some(Region2 {
+                i: AxisInterval::at_start(0),
+                j: AxisInterval::FULL,
+            }),
+            extent: Extent2::ZERO,
+        });
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k));
+        g.add_state(s);
+        (g, ids)
+    }
+
+    fn filled_store(g: &Sdfg, ids: &[DataId]) -> DataStore {
+        let mut store = DataStore::for_sdfg(g);
+        for (n, d) in ids.iter().enumerate() {
+            *store.get_mut(*d) = Array3::from_fn(g.layout_of(*d), |i, j, k| {
+                0.1 + ((n as i64 * 31 + i * 7 + j * 5 + k * 3).rem_euclid(23)) as f64 * 0.17
+            });
+        }
+        store
+    }
+
+    #[test]
+    fn lanes_mode_bit_identical_to_scalar_mode() {
+        let (g, ids) = mixed_kernel_sdfg(20);
+        let mut s1 = filled_store(&g, &ids);
+        let mut s2 = filled_store(&g, &ids);
+        let r1 = Executor::serial_scalar().run(&g, &mut s1, &[], &mut NoHooks);
+        let r2 = Executor::serial().run(&g, &mut s2, &[], &mut NoHooks);
+        assert_eq!(r1.lanes_vector, 0);
+        assert!(r2.lanes_vector > 0, "lane VM never engaged");
+        assert!(r2.lanes_scalar > 0, "region rind should fall back to scalar");
+        for d in &ids {
+            let (a, b) = (s1.get(*d), s2.get(*d));
+            for (x, y) in a.raw().iter().zip(b.raw()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn executor_caches_compiled_kernels_across_runs() {
+        let (g, ids) = mixed_kernel_sdfg(8);
+        let exec = Executor::serial();
+        let mut store = filled_store(&g, &ids);
+        let r1 = exec.run(&g, &mut store, &[], &mut NoHooks);
+        assert_eq!(r1.cache_hits, 0);
+        assert_eq!(r1.cache_misses, 1);
+        let r2 = exec.run(&g, &mut store, &[], &mut NoHooks);
+        assert_eq!(r2.cache_hits, 1, "steady state must recompile nothing");
+        assert_eq!(r2.cache_misses, 0);
+    }
+
+    #[test]
+    fn touch_invalidates_compiled_kernel_cache() {
+        let (mut g, ids) = mixed_kernel_sdfg(8);
+        let exec = Executor::serial();
+        let mut store = filled_store(&g, &ids);
+        exec.run(&g, &mut store, &[], &mut NoHooks);
+        g.touch();
+        let r = exec.run(&g, &mut store, &[], &mut NoHooks);
+        assert_eq!(r.cache_misses, 1, "generation bump must force recompile");
+    }
+
+    #[test]
+    fn cloned_sdfg_does_not_share_cache_namespace() {
+        let (g, ids) = mixed_kernel_sdfg(8);
+        let g2 = g.clone();
+        assert_ne!(g.uid(), g2.uid());
+        let exec = Executor::serial();
+        let mut store = filled_store(&g, &ids);
+        exec.run(&g, &mut store, &[], &mut NoHooks);
+        // The clone is a distinct graph: no stale hits.
+        let r = exec.run(&g2, &mut store, &[], &mut NoHooks);
+        assert_eq!(r.cache_hits, 0);
+    }
+
+    #[test]
+    fn narrow_hull_runs_entirely_on_scalar_rind() {
+        let (mut g, ids) = sdfg_with(2, 0, &["a", "b"]);
+        let mut k = Kernel::new(
+            "narrow",
+            Domain::from_shape([2, 2, 4]),
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        k.stmts.push(Stmt::full(
+            LValue::Field(ids[1]),
+            Expr::load(ids[0], 0, 0, 0) * Expr::c(2.0),
+        ));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k));
+        g.add_state(s);
+        let mut store = filled_store(&g, &ids);
+        let r = Executor::serial().run(&g, &mut store, &[], &mut NoHooks);
+        assert_eq!(r.lanes_vector, 0);
+        assert_eq!(r.lanes_scalar, 16);
+        assert_eq!(
+            store.get(ids[1]).get(1, 1, 1),
+            store.get(ids[0]).get(1, 1, 1) * 2.0
+        );
     }
 
     #[test]

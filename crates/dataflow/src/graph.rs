@@ -199,13 +199,58 @@ pub enum ControlNode {
 }
 
 /// The whole program: containers + states + control tree + parameters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct Sdfg {
     pub name: String,
     pub containers: Vec<Container>,
     pub states: Vec<State>,
     pub control: Vec<ControlNode>,
     pub params: Vec<String>,
+    /// Process-unique identity; every `new`/`Default`/`Clone` mints a
+    /// fresh one. Compiled-kernel caches are namespaced by it, so an
+    /// executor reused across different (or cloned) graphs never serves
+    /// stale programs.
+    uid: u64,
+    /// Bumped by [`Sdfg::touch`] whenever the graph is mutated in a way
+    /// that can invalidate compiled kernels (transform passes, library
+    /// expansion, structural edits).
+    generation: u64,
+}
+
+fn next_sdfg_uid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Default for Sdfg {
+    fn default() -> Self {
+        Sdfg {
+            name: String::new(),
+            containers: Vec::new(),
+            states: Vec::new(),
+            control: Vec::new(),
+            params: Vec::new(),
+            uid: next_sdfg_uid(),
+            generation: 0,
+        }
+    }
+}
+
+impl Clone for Sdfg {
+    fn clone(&self) -> Self {
+        Sdfg {
+            name: self.name.clone(),
+            containers: self.containers.clone(),
+            states: self.states.clone(),
+            control: self.control.clone(),
+            params: self.params.clone(),
+            // A clone is a distinct graph that can diverge independently:
+            // give it its own cache namespace.
+            uid: next_sdfg_uid(),
+            generation: 0,
+        }
+    }
 }
 
 impl Sdfg {
@@ -215,6 +260,23 @@ impl Sdfg {
             name: name.into(),
             ..Default::default()
         }
+    }
+
+    /// Process-unique graph identity (see the `uid` field).
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Mutation generation, for compiled-kernel cache invalidation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Record that the graph was mutated: any compiled kernels cached
+    /// against it must be recompiled. Every transform/pass that edits
+    /// kernels, states, or control flow calls this.
+    pub fn touch(&mut self) {
+        self.generation += 1;
     }
 
     /// Register a container; returns its id.
@@ -236,6 +298,7 @@ impl Sdfg {
     /// Append a state; returns its index and pushes it onto the top-level
     /// control sequence.
     pub fn add_state(&mut self, state: State) -> usize {
+        self.touch();
         self.states.push(state);
         let idx = self.states.len() - 1;
         self.control.push(ControlNode::State(idx));
@@ -290,6 +353,7 @@ impl Sdfg {
     /// Expand every library node in place under `attrs`, replacing it with
     /// its kernels (Section V-A expansion).
     pub fn expand_libraries(&mut self, attrs: &ExpansionAttrs) {
+        self.touch();
         for state in &mut self.states {
             let mut new_nodes = Vec::with_capacity(state.nodes.len());
             for node in state.nodes.drain(..) {

@@ -21,7 +21,9 @@ pub mod report;
 pub mod storage;
 pub mod transforms;
 
-pub use exec::{DataStore, ExecHooks, ExecReport, Executor, NoHooks};
+pub use exec::{
+    CompiledKernel, DataStore, ExecHooks, ExecReport, Executor, KernelRunStats, NoHooks, VmMode,
+};
 pub use expr::{BinOp, CmpOp, DataId, Expr, LocalId, Offset3, ParamId, UnOp};
 pub use graph::{
     Container, ControlNode, DataflowNode, ExpansionAttrs, LibraryNode, Sdfg, State,

@@ -17,6 +17,9 @@ use crate::kernel::LValue;
 /// constants let the power transformation see integral exponents, and
 /// branch predicates become decidable.
 pub fn bind_params(sdfg: &mut Sdfg, values: &[Option<f64>]) -> usize {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     let count = std::cell::Cell::new(0usize);
     for state in &mut sdfg.states {
         for node in &mut state.nodes {
@@ -40,6 +43,9 @@ pub fn bind_params(sdfg: &mut Sdfg, values: &[Option<f64>]) -> usize {
 /// Fold constant subexpressions (`1 + 2 -> 3`, `x * 1 -> x`, `x + 0 -> x`,
 /// `select(const, a, b) -> a|b`). Returns folded-node count.
 pub fn fold_constants(sdfg: &mut Sdfg) -> usize {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     use crate::expr::BinOp;
     let count = std::cell::Cell::new(0usize);
     let fold = |e: Expr| -> Expr {
@@ -108,6 +114,9 @@ pub fn fold_constants(sdfg: &mut Sdfg) -> usize {
 /// a fixed point so chains of dead producers collapse. Returns removed
 /// node count.
 pub fn eliminate_dead_writes(sdfg: &mut Sdfg) -> usize {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     let mut removed = 0;
     loop {
         // Recompute liveness: a container is live if it is non-transient
@@ -156,6 +165,9 @@ pub fn eliminate_dead_writes(sdfg: &mut Sdfg) -> usize {
 /// the source ("removing redundant memory allocation"). Returns removed
 /// copy count.
 pub fn eliminate_redundant_copies(sdfg: &mut Sdfg) -> usize {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     let mut removed = 0;
     // Conservative single-pass: a copy src -> dst is redundant when dst is
     // transient, written exactly once in the program (by this copy), and
@@ -224,6 +236,9 @@ pub fn eliminate_redundant_copies(sdfg: &mut Sdfg) -> usize {
 /// mark loops to be (or not) unrolled"). States referenced repeatedly are
 /// simply visited repeatedly; the state bodies are shared.
 pub fn unroll_loops(sdfg: &mut Sdfg) -> usize {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     fn expand(nodes: &[ControlNode], out: &mut Vec<ControlNode>, unrolled: &mut usize) {
         for n in nodes {
             match n {

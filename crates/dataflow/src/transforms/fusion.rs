@@ -48,6 +48,9 @@ fn kernels_at(
 /// * the fused kernel passes [`validate_kernel`] (e.g. the consumer must
 ///   not write the producer's inputs at conflicting offsets).
 pub fn fuse_otf(sdfg: &mut Sdfg, state: usize, producer: usize, consumer: usize) -> TransformResult {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     if producer >= consumer {
         return Err("producer must precede consumer".into());
     }
@@ -128,6 +131,9 @@ pub fn fuse_otf(sdfg: &mut Sdfg, state: usize, producer: usize, consumer: usize)
 ///   vertical offset compatible with the merged K order;
 /// * the merged kernel passes [`validate_kernel`].
 pub fn fuse_subgraph(sdfg: &mut Sdfg, state: usize, first: usize) -> TransformResult {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     let second = first + 1;
     let (a, b) = kernels_at(sdfg, state, first, second)?;
 

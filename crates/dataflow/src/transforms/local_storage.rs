@@ -46,6 +46,9 @@ pub fn apply_register_caching(kernel: &mut Kernel) -> usize {
 
 /// Apply register caching across the whole SDFG.
 pub fn cache_registers_everywhere(sdfg: &mut Sdfg) -> Vec<Applied> {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     let mut out = Vec::new();
     for state in &mut sdfg.states {
         for node in &mut state.nodes {
@@ -124,6 +127,9 @@ pub fn demote_transient_to_local(
 
 /// Demote every eligible transient in every kernel.
 pub fn demote_transients_to_locals(sdfg: &mut Sdfg) -> Vec<Applied> {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     let mut out = Vec::new();
     let n_containers = sdfg.containers.len();
     for state in 0..sdfg.states.len() {

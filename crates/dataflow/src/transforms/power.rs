@@ -52,6 +52,9 @@ pub fn reduce_powers(expr: Expr) -> (Expr, usize) {
 
 /// Apply the reduction to every statement of every kernel in the program.
 pub fn optimize_powers(sdfg: &mut Sdfg) -> Vec<Applied> {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     let mut out = Vec::new();
     for state in &mut sdfg.states {
         for node in &mut state.nodes {

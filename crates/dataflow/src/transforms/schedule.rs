@@ -15,6 +15,9 @@ use crate::transforms::Applied;
 /// forward/backward solver (the *en masse* application of the locally
 /// tuned schedules).
 pub fn assign_schedules(sdfg: &mut Sdfg, horizontal: &Schedule, vertical: &Schedule) -> usize {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     let mut n = 0;
     for state in &mut sdfg.states {
         for node in &mut state.nodes {
@@ -106,6 +109,9 @@ pub fn split_regions_of(kernel: &Kernel) -> Result<Vec<Kernel>, String> {
 /// Split regions across the whole SDFG. Kernels without regions are left
 /// untouched; kernels with regions are replaced in place by their splits.
 pub fn split_regions(sdfg: &mut Sdfg) -> Vec<Applied> {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     let mut applied = Vec::new();
     for state in &mut sdfg.states {
         let mut new_nodes = Vec::with_capacity(state.nodes.len());
@@ -134,6 +140,9 @@ pub fn split_regions(sdfg: &mut Sdfg) -> Vec<Applied> {
 /// edge or corner execute the specialized computations. `keep` decides,
 /// per region, whether this rank needs it.
 pub fn prune_regions(sdfg: &mut Sdfg, keep: &impl Fn(&Region2) -> bool) -> Vec<Applied> {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     let mut applied = Vec::new();
     for state in &mut sdfg.states {
         for node in &mut state.nodes {

@@ -42,6 +42,9 @@ pub fn sweep_tiles(
     candidates: &[[usize; 2]],
     model: &CostModel,
 ) -> Vec<Applied> {
+    // Conservative cache invalidation: even a no-op application bumps
+    // the generation (transforms run at build time, not per timestep).
+    sdfg.touch();
     let mut out = Vec::new();
     // Costs need the full sdfg for layouts; evaluate kernel-by-kernel on
     // a scratch clone.

@@ -1,43 +1,216 @@
-//! A small chunked parallel-for worker pool built on crossbeam scoped
-//! threads.
+//! A persistent chunked parallel-for worker pool.
 //!
 //! This is the execution substrate that stands in for the paper's OpenMP
 //! thread teams and CUDA thread grids: the `dataflow` executor hands map
 //! scopes to [`Pool::for_each_chunk`], which splits the iteration range into
-//! contiguous chunks claimed by worker threads through a shared atomic
-//! cursor (guided self-scheduling). On a single-core host it degrades
-//! gracefully to serial execution with no thread spawn.
+//! contiguous chunks claimed by workers through a shared atomic cursor
+//! (guided self-scheduling). Workers are spawned **once** at pool
+//! construction and parked between parallel regions, so a kernel launch
+//! costs a mutex/condvar wake rather than a thread spawn — the OpenMP
+//! "persistent team" model. On a single-core host (or `Pool::new(1)`) the
+//! pool degrades gracefully to serial inline execution with no threads at
+//! all.
+//!
+//! Closure lifetimes stay simple (no `'static` bound on the body): the
+//! submitting thread type-erases a borrow of the body into a raw pointer,
+//! and `for_each_chunk` does not return until every worker has checked
+//! back in for that region, so the borrow outlives every use.
 
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Environment variable overriding [`Pool::host`] sizing (a positive
+/// integer; invalid or zero values are ignored).
+pub const WORKERS_ENV: &str = "FV3_WORKERS";
+
+/// A type-erased parallel region: a borrowed `Fn(Range<usize>) + Sync`
+/// body plus the trampoline that downcasts and calls it.
+///
+/// Safety: `body` is only dereferenced between job publication and the
+/// submitter observing `pending == 0`, and the submitter keeps the real
+/// closure alive (and the region lock held) for that whole window.
+#[derive(Clone, Copy)]
+struct Job {
+    body: *const (),
+    call: unsafe fn(*const (), Range<usize>),
+    len: usize,
+    chunk: usize,
+}
+
+unsafe impl Send for Job {}
+
+unsafe fn call_body<F: Fn(Range<usize>) + Sync>(body: *const (), r: Range<usize>) {
+    (*(body as *const F))(r)
+}
+
+struct JobState {
+    /// Current region, if one is being drained.
+    job: Option<Job>,
+    /// Bumped once per submitted region; workers use it to tell a fresh
+    /// region from the one they just finished.
+    epoch: u64,
+    /// Workers that have not yet checked in for the current epoch.
+    pending: usize,
+    /// Set when any worker body panicked during the current region.
+    panicked: bool,
+    /// Set by the last pool handle's drop; workers exit on seeing it.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<JobState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Serializes concurrent `for_each_chunk` calls from pool clones —
+    /// the worker team drains one region at a time.
+    region: Mutex<()>,
+    cursor: AtomicUsize,
+}
+
+impl Shared {
+    fn worker_loop(&self) {
+        let mut last_epoch = 0u64;
+        loop {
+            let job = {
+                let mut st = self.state.lock();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch > last_epoch {
+                        if let Some(job) = st.job {
+                            last_epoch = st.epoch;
+                            break job;
+                        }
+                    }
+                    self.work_cv.wait(&mut st);
+                }
+            };
+            let ok = catch_unwind(AssertUnwindSafe(|| {
+                drain(&self.cursor, &job);
+            }))
+            .is_ok();
+            let mut st = self.state.lock();
+            if !ok {
+                st.panicked = true;
+            }
+            st.pending -= 1;
+            if st.pending == 0 {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Claim chunks off the shared cursor until the range is exhausted.
+fn drain(cursor: &AtomicUsize, job: &Job) {
+    loop {
+        let start = cursor.fetch_add(job.chunk, Ordering::Relaxed);
+        if start >= job.len {
+            break;
+        }
+        let end = (start + job.chunk).min(job.len);
+        unsafe { (job.call)(job.body, start..end) };
+    }
+}
+
+/// Owned by `Pool` handles only (workers hold `Arc<Shared>` directly), so
+/// when the last handle drops, workers are told to exit. Threads are
+/// detached; they park on the condvar and unblock promptly on shutdown.
+struct Lease {
+    shared: Arc<Shared>,
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock();
+        st.shutdown = true;
+        self.shared.work_cv.notify_all();
+    }
+}
 
 /// A reusable team of worker threads for data-parallel loops.
 ///
-/// Workers are spawned per call via `crossbeam::scope`, which keeps the
-/// closure lifetime story simple (no `'static` bound on the body) at the
-/// cost of a spawn per parallel region — acceptable because map bodies in
-/// this codebase iterate over entire 3-D domains.
-#[derive(Debug, Clone)]
+/// Cloning shares the same worker team; the team shuts down when the last
+/// clone is dropped.
+#[derive(Clone)]
 pub struct Pool {
     workers: usize,
+    /// `None` when `workers == 1` (serial inline execution, no threads).
+    shared: Option<Arc<Shared>>,
+    _lease: Option<Arc<Lease>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("workers", &self.workers).finish()
+    }
 }
 
 impl Pool {
-    /// A pool with `workers` threads. `workers == 1` never spawns.
+    /// A pool with `workers` threads of parallelism. `workers == 1` never
+    /// spawns; otherwise `workers - 1` background threads are spawned now
+    /// and parked — the submitting thread is the team's last member.
     pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return Pool {
+                workers,
+                shared: None,
+                _lease: None,
+            };
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(JobState {
+                job: None,
+                epoch: 0,
+                pending: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            region: Mutex::new(()),
+            cursor: AtomicUsize::new(0),
+        });
+        for w in 0..workers - 1 {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("fv3-pool-{w}"))
+                .spawn(move || sh.worker_loop())
+                .expect("failed to spawn pool worker");
+        }
+        let lease = Arc::new(Lease {
+            shared: Arc::clone(&shared),
+        });
         Pool {
-            workers: workers.max(1),
+            workers,
+            shared: Some(shared),
+            _lease: Some(lease),
         }
     }
 
-    /// A pool sized to the host's available parallelism.
+    /// A pool sized to the host's available parallelism, or to the
+    /// [`WORKERS_ENV`] (`FV3_WORKERS`) override when set to a positive
+    /// integer.
     pub fn host() -> Self {
+        if let Ok(s) = std::env::var(WORKERS_ENV) {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                if n >= 1 {
+                    return Pool::new(n);
+                }
+            }
+        }
         let n = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         Pool::new(n)
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (including the submitting thread).
     pub fn workers(&self) -> usize {
         self.workers
     }
@@ -49,86 +222,79 @@ impl Pool {
     /// workers invoke it concurrently.
     pub fn for_each_chunk<F>(&self, len: usize, body: F)
     where
-        F: Fn(std::ops::Range<usize>) + Sync,
+        F: Fn(Range<usize>) + Sync,
     {
         if len == 0 {
             return;
         }
-        if self.workers == 1 {
+        let Some(shared) = &self.shared else {
             body(0..len);
             return;
-        }
+        };
         // Chunk size: aim for ~4 chunks per worker to absorb imbalance
         // while keeping claim traffic low.
         let chunk = (len / (self.workers * 4)).max(1);
-        let cursor = AtomicUsize::new(0);
-        let body = &body;
-        crossbeam::scope(|s| {
-            for _ in 0..self.workers {
-                s.spawn(|_| loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= len {
-                        break;
-                    }
-                    let end = (start + chunk).min(len);
-                    body(start..end);
-                });
+        let job = Job {
+            body: &body as *const F as *const (),
+            call: call_body::<F>,
+            len,
+            chunk,
+        };
+        let _region = shared.region.lock();
+        {
+            let mut st = shared.state.lock();
+            shared.cursor.store(0, Ordering::Relaxed);
+            st.job = Some(job);
+            st.epoch += 1;
+            st.pending = self.workers - 1;
+            st.panicked = false;
+            shared.work_cv.notify_all();
+        }
+        // The submitting thread is a full team member.
+        let main_result = catch_unwind(AssertUnwindSafe(|| {
+            drain(&shared.cursor, &job);
+        }));
+        let worker_panicked = {
+            let mut st = shared.state.lock();
+            while st.pending > 0 {
+                shared.done_cv.wait(&mut st);
             }
-        })
-        .expect("worker panicked inside Pool::for_each_chunk");
+            st.job = None;
+            st.panicked
+        };
+        if worker_panicked {
+            panic!("worker panicked inside Pool::for_each_chunk");
+        }
+        if let Err(payload) = main_result {
+            resume_unwind(payload);
+        }
     }
 
     /// Map-reduce over `0..len`: each chunk produces a partial value via
     /// `body`, combined pairwise with `combine` starting from `identity`.
     ///
-    /// `combine` must be associative; partials arrive in worker order, so
-    /// non-commutative reductions see an unspecified (but complete)
-    /// grouping.
+    /// `combine` must be associative; partials arrive in chunk-completion
+    /// order, so non-commutative reductions see an unspecified (but
+    /// complete) grouping.
     pub fn map_reduce<T, F, C>(&self, len: usize, identity: T, body: F, combine: C) -> T
     where
         T: Send,
-        F: Fn(std::ops::Range<usize>) -> T + Sync,
+        F: Fn(Range<usize>) -> T + Sync,
         C: Fn(T, T) -> T + Sync,
     {
         if len == 0 {
             return identity;
         }
-        if self.workers == 1 {
+        if self.shared.is_none() {
             return combine(identity, body(0..len));
         }
-        let chunk = (len / (self.workers * 4)).max(1);
-        let cursor = AtomicUsize::new(0);
-        let body = &body;
-        let combine = &combine;
-        let partials = crossbeam::scope(|s| {
-            let handles: Vec<_> = (0..self.workers)
-                .map(|_| {
-                    s.spawn(|_| {
-                        let mut acc: Option<T> = None;
-                        loop {
-                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= len {
-                                break;
-                            }
-                            let end = (start + chunk).min(len);
-                            let v = body(start..end);
-                            acc = Some(match acc {
-                                None => v,
-                                Some(a) => combine(a, v),
-                            });
-                        }
-                        acc
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .filter_map(|h| h.join().expect("worker panicked"))
-                .collect::<Vec<T>>()
-        })
-        .expect("scope failed");
+        let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
+        self.for_each_chunk(len, |r| {
+            let v = body(r);
+            partials.lock().push(v);
+        });
         let mut out = identity;
-        for p in partials {
+        for p in partials.into_inner() {
             out = combine(out, p);
         }
         out
@@ -165,6 +331,42 @@ mod tests {
     }
 
     #[test]
+    fn pool_is_reusable_across_many_regions() {
+        // The point of the persistent team: many back-to-back regions on
+        // one pool, no respawn, no cross-region state leakage.
+        let pool = Pool::new(4);
+        for len in [1usize, 17, 256, 1000] {
+            for _ in 0..20 {
+                let total = AtomicU64::new(0);
+                pool.for_each_chunk(len, |r| {
+                    total.fetch_add(r.map(|i| i as u64).sum(), Ordering::Relaxed);
+                });
+                assert_eq!(total.load(Ordering::Relaxed), (len as u64 - 1) * len as u64 / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn clones_share_one_team() {
+        let pool = Pool::new(3);
+        let clone = pool.clone();
+        let total = AtomicU64::new(0);
+        pool.for_each_chunk(100, |r| {
+            total.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        clone.for_each_chunk(50, |r| {
+            total.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 150);
+        drop(pool);
+        // Team must stay alive while any clone exists.
+        clone.for_each_chunk(10, |r| {
+            total.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 160);
+    }
+
+    #[test]
     fn single_worker_runs_inline() {
         let pool = Pool::new(1);
         let tid = std::thread::current().id();
@@ -180,6 +382,21 @@ mod tests {
     #[test]
     fn host_pool_has_at_least_one_worker() {
         assert!(Pool::host().workers() >= 1);
+    }
+
+    #[test]
+    fn body_panic_propagates_and_pool_survives() {
+        let pool = Pool::new(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_chunk(100, |_| panic!("boom"));
+        }));
+        assert!(caught.is_err());
+        // The team must still be usable after a panicked region.
+        let total = AtomicU64::new(0);
+        pool.for_each_chunk(100, |r| {
+            total.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 100);
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub use compare::{
 };
 pub use invariants::{check_finite, check_invariants, ConservationLedger, InvariantReport};
 pub use savepoint::{Capture, CaptureRecorder, FieldSnapshot, Savepoint};
-pub use stages::{check_pipeline_bit_identity, run_stage_on};
+pub use stages::{capture_executed, check_pipeline_bit_identity, run_stage_on};

@@ -10,8 +10,9 @@
 //! first diverging field and index otherwise.
 
 use crate::compare::{compare_savepoint, Divergence, Tolerances};
-use crate::savepoint::Savepoint;
-use dataflow::exec::{validate_sdfg, DataStore, ExecHooks, Executor};
+use crate::savepoint::{Capture, Savepoint};
+use dataflow::exec::{validate_sdfg, DataStore, ExecHooks, Executor, VmMode};
+use dataflow::graph::ExpansionAttrs;
 use dataflow::model::CostModel;
 use fv3::dyn_core::{
     build_dycore_program, extract_state, load_state, remap_callback, DycoreConfig, DycoreIds,
@@ -20,6 +21,7 @@ use fv3::dyn_core::{
 use fv3::grid::Grid;
 use fv3::state::DycoreState;
 use fv3core::pipeline::{run_pipeline, PipelineStage};
+use machine::Pool;
 
 /// The driver-side hooks a single-rank dycore execution needs: the
 /// vertical-remap callback (halo exchanges stay no-ops).
@@ -54,6 +56,40 @@ pub fn run_stage_on(
     let mut out = state0.clone();
     extract_state(&store, &prog.ids, &mut out);
     out
+}
+
+/// Run the tuned-expansion dycore on the seed-style case `(state0, grid)`
+/// for `steps` timesteps under the given VM `mode`, savepointing the
+/// prognostic state after every step. The per-step labels (`t{N}.state`)
+/// line up between runs, so [`crate::compare_capture`] of a Scalar and a
+/// Lanes capture yields a first-divergence report naming the exact step,
+/// field, and index where the vectorized path first departed from the
+/// scalar reference. (ISSUE 4 golden replay guard.)
+pub fn capture_executed(
+    state0: &DycoreState,
+    grid: &Grid,
+    config: DycoreConfig,
+    steps: usize,
+    mode: VmMode,
+) -> Capture {
+    let prog = build_dycore_program(state0.n, state0.nk, config);
+    let mut g = prog.sdfg.clone();
+    g.expand_libraries(&ExpansionAttrs::tuned());
+    validate_sdfg(&g).unwrap_or_else(|e| panic!("tuned graph invalid: {e}"));
+    let mut store = DataStore::for_sdfg(&g);
+    load_state(&mut store, &prog.ids, state0, grid);
+    let mut hooks = RemapHooks { ids: &prog.ids };
+    let exec = Executor::with_mode(Pool::new(1), mode);
+    let mut state = state0.clone();
+    let mut capture = Capture::default();
+    for step in 0..steps {
+        exec.run(&g, &mut store, &prog.params, &mut hooks);
+        extract_state(&store, &prog.ids, &mut state);
+        capture
+            .savepoints
+            .push(Savepoint::capture(&format!("t{step}.state"), &state.fields()));
+    }
+    capture
 }
 
 /// Snapshot a state's prognostics under the stage's Table III label.
