@@ -1,0 +1,216 @@
+//! Crash-recovery smoke check for CI: run the c8L6 case under the
+//! resilience supervisor with faults injected, and fail unless every
+//! scenario completes *via rollback* — i.e. the fault actually fired and
+//! the run still finished.
+//!
+//! Scenarios (each its own dycore, supervisor, and fault plan):
+//!
+//! * `nan-blowup` — a NaN is poisoned into `pt` mid-step; health
+//!   sampling flags the blowup and the supervisor rolls back.
+//! * `worker-panic` — a pool worker panics mid-kernel; the panic
+//!   propagates, the team is rebuilt, and the step is retried.
+//!
+//! `FV3_FAULT_PLAN` replaces the built-in scenarios with a single
+//! custom one (the supervisor policy still comes from the environment:
+//! `FV3_CHECKPOINT_DIR`, `FV3_MAX_RETRIES`, ...).
+//!
+//! Emits `RUN_health.jsonl` (health samples interleaved with
+//! `{"type":"recovery",...}` and `{"type":"fault_injection",...}`
+//! records carrying the fault site, restore step, and retry count) and
+//! `RUN_metrics.jsonl` (one cumulative metrics snapshot per scenario).
+
+use dataflow::graph::ExpansionAttrs;
+use fv3::dyn_core::DycoreConfig;
+use fv3core::{DistributedDycore, DriverConfig};
+use machine::Pool;
+use resilience::{FaultPlan, Supervisor, SupervisorPolicy};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+const N: usize = 8;
+const NK: usize = 6;
+const STEPS: u64 = 3;
+
+struct Scenario {
+    name: &'static str,
+    plan: String,
+    workers: usize,
+}
+
+fn dycore() -> DistributedDycore {
+    let cfg = DriverConfig::six_rank(
+        N,
+        NK,
+        DycoreConfig {
+            n_split: 1,
+            k_split: 1,
+            dt: 4.0,
+            dddmp: 0.02,
+            nord4_damp: None,
+        },
+    );
+    DistributedDycore::new(cfg, &ExpansionAttrs::tuned())
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let scenarios = match std::env::var("FV3_FAULT_PLAN") {
+        Ok(plan) if !plan.trim().is_empty() => vec![Scenario {
+            name: "custom",
+            plan,
+            workers: 3,
+        }],
+        _ => vec![
+            Scenario {
+                name: "nan-blowup",
+                plan: "seed=11;nan@step=1,field=pt".to_string(),
+                workers: 0,
+            },
+            Scenario {
+                name: "worker-panic",
+                plan: "seed=12;panic".to_string(),
+                workers: 3,
+            },
+        ],
+    };
+
+    let mut health = String::new();
+    let mut metrics = String::new();
+    let mut failures = Vec::new();
+
+    for sc in &scenarios {
+        let plan = match FaultPlan::parse(&sc.plan) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: fault plan for {}: {e}", sc.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let expect_faults = !plan.specs.is_empty();
+        println!("scenario {}: plan \"{}\"", sc.name, sc.plan);
+        let guard = plan.arm();
+
+        let mut d = dycore();
+        let pool = (sc.workers > 0).then(|| Pool::new(sc.workers));
+        if let Some(p) = &pool {
+            d.set_pool(Some(p.clone()));
+        }
+        let mut sup = Supervisor::new(SupervisorPolicy::from_env());
+        let outcome = sup.run(&mut d, STEPS);
+        drop(guard);
+
+        let injections = machine::faults::injection_log();
+        for ev in &injections {
+            writeln!(
+                health,
+                "{{\"type\": \"fault_injection\", \"scenario\": \"{}\", \"site\": \"{}\", \
+                 \"action\": \"{}\", \"step\": {}, \"module\": \"{}\", \"call\": {}}}",
+                sc.name,
+                json_escape(&ev.site),
+                json_escape(&format!("{:?}", ev.action)),
+                ev.step.map_or("null".to_string(), |s| s.to_string()),
+                json_escape(ev.module.as_deref().unwrap_or("")),
+                ev.call
+            )
+            .unwrap();
+        }
+
+        match outcome {
+            Ok(report) => {
+                println!(
+                    "  completed {} steps: {} retries, {} restores, {} faults injected, \
+                     {} halo stalls",
+                    report.steps,
+                    report.retries,
+                    report.restores,
+                    report.faults_injected,
+                    report.halo_stalls
+                );
+                for ev in &report.events {
+                    println!(
+                        "  recovery: step {} {} retry {} -> rolled back to step {}{}",
+                        ev.step,
+                        ev.kind.label(),
+                        ev.retry,
+                        ev.rolled_back_to,
+                        if ev.backed_off { " (backed off)" } else { "" }
+                    );
+                    writeln!(
+                        health,
+                        "{{\"type\": \"recovery\", \"scenario\": \"{}\", \"step\": {}, \
+                         \"kind\": \"{}\", \"retry\": {}, \"rolled_back_to\": {}, \
+                         \"backed_off\": {}, \"detail\": \"{}\"}}",
+                        sc.name,
+                        ev.step,
+                        ev.kind.label(),
+                        ev.retry,
+                        ev.rolled_back_to,
+                        ev.backed_off,
+                        json_escape(&ev.detail)
+                    )
+                    .unwrap();
+                }
+                health.push_str(&report.monitor.to_jsonl());
+                metrics.push_str(&obs::emit_jsonl(sup.metrics(), report.steps));
+
+                if report.steps != STEPS {
+                    failures.push(format!(
+                        "{}: completed {} of {STEPS} steps",
+                        sc.name, report.steps
+                    ));
+                }
+                if expect_faults && report.faults_injected == 0 {
+                    failures.push(format!("{}: no fault fired (site unreachable?)", sc.name));
+                }
+                // A killed worker is absorbed by the cursor protocol, so
+                // only panics/poisons force a rollback; every built-in
+                // scenario expects at least one.
+                if sc.name != "custom" && report.retries == 0 {
+                    failures.push(format!(
+                        "{}: run completed without the rollback it was meant to exercise",
+                        sc.name
+                    ));
+                }
+                if let Some(p) = &pool {
+                    if p.alive_workers() != sc.workers - 1 && p.alive_workers() != sc.workers {
+                        failures.push(format!(
+                            "{}: pool has {} live workers of {}",
+                            sc.name,
+                            p.alive_workers(),
+                            sc.workers
+                        ));
+                    }
+                }
+            }
+            Err(e) => failures.push(format!("{}: {e}", sc.name)),
+        }
+    }
+
+    for (path, contents) in [("RUN_health.jsonl", &health), ("RUN_metrics.jsonl", &metrics)] {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("wrote RUN_health.jsonl, RUN_metrics.jsonl");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("all {} scenario(s) recovered", scenarios.len());
+    ExitCode::SUCCESS
+}

@@ -10,6 +10,11 @@
 //! * `RUN_health.jsonl` — one model-health sample per timestep.
 //! * `RUN_metrics.jsonl` — cumulative metrics snapshot per timestep.
 //!
+//! With `FV3_CHECKPOINT_DIR` set, also writes an FV3CKPT1 checkpoint
+//! after every step and folds the write/verified-restore wall time into
+//! the summary as `checkpoint_write` / `checkpoint_restore` module rows
+//! so the regression gate tracks resilience overhead.
+//!
 //! Refuses to clobber a `BENCH_dycore.json` written by a newer schema;
 //! when an older compatible summary exists, prints the per-module
 //! regression diff against it before overwriting. Exits nonzero if any
@@ -81,6 +86,15 @@ fn main() -> ExitCode {
         "\nkernel cache: {} hits / {} misses ({} steady-state recompiles)",
         run.cache_hits, run.cache_misses, run.steady_state_misses
     );
+    if run.checkpoint_writes > 0 {
+        println!(
+            "checkpointing: {} writes, {} bytes, write {:.2} ms total, verified restore {:.2} ms",
+            run.checkpoint_writes,
+            run.checkpoint_bytes,
+            run.checkpoint_write_seconds * 1e3,
+            run.checkpoint_restore_seconds * 1e3
+        );
+    }
     println!(
         "lane VM: {} vector points / {} scalar (rind) points",
         run.metrics.counter_value("vm_lanes_vector", &[]),

@@ -21,8 +21,12 @@ use fv3::grid::Grid;
 use fv3::init::{init_baroclinic, BaroclinicConfig};
 use fv3::profiling::{module_spans, rollup_modules, ModuleRollup, RemapHooks};
 use fv3::state::DycoreState;
+use fv3core::checkpoint::{step_path, Checkpoint};
+use fv3core::DriverConfig;
 use obs::{HealthMonitor, MetricsRegistry, Tracer};
 use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
 
 /// Everything one instrumented profiling run produced.
 pub struct ProfileRun {
@@ -49,6 +53,16 @@ pub struct ProfileRun {
     /// Compilations performed after the first step — nonzero means the
     /// cache is not reaching steady state.
     pub steady_state_misses: u64,
+    /// `FV3CKPT1` checkpoints written (one per step when a checkpoint
+    /// directory is configured, else 0).
+    pub checkpoint_writes: u64,
+    /// Bytes written across all checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Wall time spent capturing + atomically writing checkpoints.
+    pub checkpoint_write_seconds: f64,
+    /// Wall time of one verified restore (load + checksum + rebuild) of
+    /// the final checkpoint, 0.0 when checkpointing is off.
+    pub checkpoint_restore_seconds: f64,
 }
 
 /// Run the baroclinic `c{n}L{nk}` case for `steps` timesteps under the
@@ -58,6 +72,22 @@ pub struct ProfileRun {
 /// health monitor are owned by the returned [`ProfileRun`], so this is
 /// safe to call from parallel tests.
 pub fn profile_case(n: usize, nk: usize, steps: usize, config: DycoreConfig) -> ProfileRun {
+    let dir = std::env::var("FV3_CHECKPOINT_DIR").ok();
+    profile_case_with_checkpoints(n, nk, steps, config, dir.as_deref().map(Path::new))
+}
+
+/// [`profile_case`] with an explicit checkpoint directory instead of the
+/// `FV3_CHECKPOINT_DIR` environment variable (`None` disables
+/// checkpointing). One `FV3CKPT1` checkpoint of the profiled state is
+/// written per step, and the final one is restored and verified, so the
+/// summary carries the real write/restore cost the resilience layer adds.
+pub fn profile_case_with_checkpoints(
+    n: usize,
+    nk: usize,
+    steps: usize,
+    config: DycoreConfig,
+    checkpoint_dir: Option<&Path>,
+) -> ProfileRun {
     let case_name = format!("c{n}L{nk}_baroclinic");
     let geom = CubeGeometry::new(n);
     let grid = Grid::compute(&geom.faces[1], n, 0, 0, n, fv3::state::HALO, nk);
@@ -86,6 +116,18 @@ pub fn profile_case(n: usize, nk: usize, steps: usize, config: DycoreConfig) -> 
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
     let mut steady_state_misses = 0u64;
+    let mut checkpoint_writes = 0u64;
+    let mut checkpoint_bytes = 0u64;
+    let mut checkpoint_write_seconds = 0.0f64;
+    // The profiled case is one rank covering its own tile (rt = 1 in
+    // checkpoint terms); the restorer-side rank check is skipped here
+    // because the restore below targets the same single state.
+    let ck_config = DriverConfig {
+        tile_n: n,
+        rt: 1,
+        nk,
+        dycore: config,
+    };
     // One executor for the whole run: its compiled-kernel cache makes
     // every step after the first (and every acoustic sub-loop trip within
     // a step) execute with zero compilation.
@@ -133,6 +175,22 @@ pub fn profile_case(n: usize, nk: usize, steps: usize, config: DycoreConfig) -> 
         }
 
         extract_state(&store, &prog.ids, &mut state);
+        if let Some(dir) = checkpoint_dir {
+            let t = Instant::now();
+            let ck = Checkpoint {
+                step: step as u64 + 1,
+                config: ck_config,
+                states: vec![state.clone()],
+            };
+            let bytes = ck
+                .write_atomic(&step_path(dir, ck.step))
+                .expect("checkpoint write");
+            checkpoint_write_seconds += t.elapsed().as_secs_f64();
+            checkpoint_writes += 1;
+            checkpoint_bytes += bytes;
+            metrics.counter_add("checkpoint_writes", &[], 1);
+            metrics.counter_add("checkpoint_bytes", &[], bytes);
+        }
         monitor.sample(&fv3::health::health_input(&state, &grid, step as u64, config.dt));
         metrics_jsonl.push_str(&obs::emit_jsonl(&metrics, step as u64));
 
@@ -142,6 +200,31 @@ pub fn profile_case(n: usize, nk: usize, steps: usize, config: DycoreConfig) -> 
         drop(step_span);
     }
     drop(run_span);
+
+    // One verified restore of the newest checkpoint: the recovery-path
+    // cost (read + checksum verify + array rebuild), checked bit-exact
+    // against the live state it mirrors.
+    let mut checkpoint_restore_seconds = 0.0f64;
+    if let Some(dir) = checkpoint_dir {
+        if steps > 0 {
+            let t = Instant::now();
+            let back =
+                Checkpoint::load(&step_path(dir, steps as u64)).expect("checkpoint restore");
+            checkpoint_restore_seconds = t.elapsed().as_secs_f64();
+            assert_eq!(back.states.len(), 1);
+            for ((name, live), (_, restored)) in
+                state.fields().iter().zip(back.states[0].fields().iter())
+            {
+                for (x, y) in live
+                    .export_logical()
+                    .iter()
+                    .zip(&restored.export_logical())
+                {
+                    assert_eq!(x.to_bits(), y.to_bits(), "restore drift in {name}");
+                }
+            }
+        }
+    }
 
     let report = prof.report();
     let rollup = rollup_modules(&report);
@@ -157,6 +240,10 @@ pub fn profile_case(n: usize, nk: usize, steps: usize, config: DycoreConfig) -> 
         cache_hits,
         cache_misses,
         steady_state_misses,
+        checkpoint_writes,
+        checkpoint_bytes,
+        checkpoint_write_seconds,
+        checkpoint_restore_seconds,
     }
 }
 
@@ -180,27 +267,70 @@ pub fn bench_json(run: &ProfileRun, attainable: f64, stream_gib: f64) -> String 
     let _ = writeln!(out, "  \"copy_seconds\": {},", report.copy_seconds);
     let _ = writeln!(out, "  \"halo_seconds\": {},", report.halo_seconds);
     let _ = writeln!(out, "  \"callback_seconds\": {},", report.callback_seconds);
+    let _ = writeln!(out, "  \"checkpoint_writes\": {},", run.checkpoint_writes);
+    let _ = writeln!(out, "  \"checkpoint_bytes\": {},", run.checkpoint_bytes);
+    let _ = writeln!(
+        out,
+        "  \"checkpoint_write_seconds\": {},",
+        run.checkpoint_write_seconds
+    );
+    let _ = writeln!(
+        out,
+        "  \"checkpoint_restore_seconds\": {},",
+        run.checkpoint_restore_seconds
+    );
     let _ = writeln!(
         out,
         "  \"roofline_fraction\": {},",
         report.roofline_fraction(attainable)
     );
     let _ = writeln!(out, "  \"modules\": [");
-    for (i, m) in run.rollup.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "    {{\"module\": {}, \"kernels\": {}, \"invocations\": {}, \"points\": {}, \
-             \"wall_seconds\": {}, \"modeled_bytes\": {}, \"bytes_per_s\": {}}}{}",
-            json_string(&m.module),
-            m.kernels,
-            m.invocations,
-            m.points,
-            m.wall_seconds,
-            m.modeled_bytes,
-            m.achieved_bandwidth(),
-            if i + 1 < run.rollup.len() { "," } else { "" }
-        );
+    let mut rows: Vec<String> = run
+        .rollup
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"module\": {}, \"kernels\": {}, \"invocations\": {}, \"points\": {}, \
+                 \"wall_seconds\": {}, \"modeled_bytes\": {}, \"bytes_per_s\": {}}}",
+                json_string(&m.module),
+                m.kernels,
+                m.invocations,
+                m.points,
+                m.wall_seconds,
+                m.modeled_bytes,
+                m.achieved_bandwidth()
+            )
+        })
+        .collect();
+    // Resilience overhead rides through the same per-module regression
+    // gate as kernel times: pseudo-module rows, present only when
+    // checkpointing was on (so checkpoint-off diffs stay clean).
+    if run.checkpoint_writes > 0 {
+        let bw = |secs: f64, bytes: u64| {
+            if secs > 0.0 {
+                bytes as f64 / secs
+            } else {
+                0.0
+            }
+        };
+        rows.push(format!(
+            "    {{\"module\": \"checkpoint_write\", \"kernels\": 0, \"invocations\": {}, \
+             \"points\": 0, \"wall_seconds\": {}, \"modeled_bytes\": {}, \"bytes_per_s\": {}}}",
+            run.checkpoint_writes,
+            run.checkpoint_write_seconds,
+            run.checkpoint_bytes,
+            bw(run.checkpoint_write_seconds, run.checkpoint_bytes)
+        ));
+        let per_ck = run.checkpoint_bytes / run.checkpoint_writes;
+        rows.push(format!(
+            "    {{\"module\": \"checkpoint_restore\", \"kernels\": 0, \"invocations\": 1, \
+             \"points\": 0, \"wall_seconds\": {}, \"modeled_bytes\": {}, \"bytes_per_s\": {}}}",
+            run.checkpoint_restore_seconds,
+            per_ck,
+            bw(run.checkpoint_restore_seconds, per_ck)
+        ));
     }
+    let _ = writeln!(out, "{}", rows.join(",\n"));
     let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"kernels\": [");
     let ranked = report.ranked();
@@ -260,6 +390,38 @@ mod tests {
         assert_eq!(run.steady_state_misses, 0, "no recompiles after step 0");
         assert!(run.metrics.counter_value("kernel_cache_hits", &[]) > 0);
         assert!(run.metrics.counter_value("vm_lanes_vector", &[]) > 0);
+    }
+
+    #[test]
+    fn checkpointed_profile_records_write_and_restore_cost() {
+        let dir = std::env::temp_dir().join(format!("fv3_bench_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = profile_case_with_checkpoints(8, 4, 2, small_config(), Some(&dir));
+        assert_eq!(run.checkpoint_writes, 2);
+        assert!(run.checkpoint_bytes > 0);
+        assert!(run.checkpoint_write_seconds > 0.0);
+        assert!(run.checkpoint_restore_seconds > 0.0);
+        assert_eq!(run.metrics.counter_value("checkpoint_writes", &[]), 2);
+        let json = bench_json(&run, 1e9, 1.0);
+        assert!(json.contains("\"module\": \"checkpoint_write\""));
+        assert!(json.contains("\"module\": \"checkpoint_restore\""));
+        assert!(json.contains("\"checkpoint_writes\": 2"));
+        // The pseudo-module rows flow through the regression gate like
+        // any kernel module.
+        let report =
+            obs::compare_runs(&json, &json, &obs::RegressionPolicy::default()).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncheckpointed_profile_emits_no_checkpoint_rows() {
+        let run = profile_case_with_checkpoints(8, 4, 1, small_config(), None);
+        assert_eq!(run.checkpoint_writes, 0);
+        assert_eq!(run.checkpoint_restore_seconds, 0.0);
+        let json = bench_json(&run, 1e9, 1.0);
+        assert!(!json.contains("checkpoint_write\""));
+        assert!(json.contains("\"checkpoint_writes\": 0"));
     }
 
     #[test]

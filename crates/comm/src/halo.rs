@@ -10,6 +10,20 @@
 
 use crate::partition::{HaloSource, Partition, RankId};
 use dataflow::Array3;
+use machine::faults::{self, FaultAction, FireCtx};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fault site: silently corrupt one packed halo value before unpack.
+pub const SITE_HALO_CORRUPT: &str = "halo.corrupt";
+/// Fault site: drop every packed value destined for one receiving rank
+/// (the receiver keeps stale halo data, as after a lost message).
+pub const SITE_HALO_DROP: &str = "halo.drop";
+/// Fault site: stall the exchange (sleep) past the watchdog deadline.
+pub const SITE_HALO_STALL: &str = "halo.stall";
+/// Every fault site compiled into this crate.
+pub const FAULT_SITES: [&str; 3] = [SITE_HALO_CORRUPT, SITE_HALO_DROP, SITE_HALO_STALL];
 
 /// Which side of the subdomain a halo cell sits on.
 ///
@@ -119,6 +133,10 @@ pub struct HaloUpdater {
     part: Partition,
     width: usize,
     corner: CornerPolicy,
+    /// Watchdog: an exchange taking longer than this is counted as a
+    /// stall (clones share the counter, not the deadline).
+    stall_deadline: Option<Duration>,
+    stalls: Arc<AtomicU64>,
 }
 
 impl HaloUpdater {
@@ -134,7 +152,25 @@ impl HaloUpdater {
             part,
             width,
             corner,
+            stall_deadline: None,
+            stalls: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Arm (or disarm, with `None`) the stall watchdog: exchanges whose
+    /// wall time exceeds the deadline increment [`stall_count`]
+    /// (Self::stall_count) and the `halo_stalls` metric. Detection is
+    /// after the fact — the exchange still completes — which is the best
+    /// a single-process simulation of nonblocking comms can do, and is
+    /// enough for a supervisor to notice a wedged neighbour.
+    pub fn set_stall_deadline(&mut self, deadline: Option<Duration>) {
+        self.stall_deadline = deadline;
+    }
+
+    /// Exchanges that overran the stall deadline since construction
+    /// (shared across clones of this updater).
+    pub fn stall_count(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
     }
 
     /// The partition.
@@ -191,6 +227,15 @@ impl HaloUpdater {
         let w = self.width as i64;
         let nk = arrays[0].layout().domain[2] as i64;
         let mut span = obs::tracing::global_span("halo", "halo_exchange");
+        let t0 = Instant::now();
+
+        if faults::enabled() {
+            if let Some(spec) = faults::fire(SITE_HALO_STALL, FireCtx::default()) {
+                if let FaultAction::StallMs(ms) = spec.action {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+            }
+        }
 
         // Phase 1 (pack + "send"): gather every halo value into a staging
         // list. This mirrors nonblocking sends: all reads happen against
@@ -265,6 +310,28 @@ impl HaloUpdater {
             }
         }
 
+        // Fault window: the packed staging list is "the wire" — corrupt
+        // or drop here and the receiver sees exactly what a flipped bit
+        // or lost message would produce.
+        if faults::enabled() {
+            if let Some(spec) = faults::fire(SITE_HALO_CORRUPT, FireCtx::default()) {
+                if !patches.is_empty() {
+                    let victim = faults::det_index(0x1a10, patches.len());
+                    let p = &mut patches[victim];
+                    p.v = match spec.action {
+                        FaultAction::CorruptFactor(f) => p.v * f,
+                        _ => f64::NAN,
+                    };
+                }
+            }
+            if let Some(spec) = faults::fire(SITE_HALO_DROP, FireCtx::default()) {
+                let target = spec
+                    .rank
+                    .unwrap_or_else(|| faults::det_index(0xd209, p.ranks()));
+                patches.retain(|pt| pt.rank != target);
+            }
+        }
+
         // Phase 2 ("recv" + unpack).
         for patch in patches {
             arrays[patch.rank].set(patch.i, patch.j, patch.k, patch.v);
@@ -309,7 +376,16 @@ impl HaloUpdater {
         };
         span.set_bytes(stats.total_bytes);
         span.set_points(stats.total_messages);
+        let stalled = self
+            .stall_deadline
+            .is_some_and(|deadline| t0.elapsed() > deadline);
+        if stalled {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(m) = obs::metrics::global() {
+            if stalled {
+                m.counter_add("halo_stalls", &[], 1);
+            }
             for o in Orientation::ALL {
                 let b = stats.bytes_for(o);
                 if b > 0 {

@@ -18,6 +18,17 @@ use fv3::dyn_core::{
 use fv3::grid::Grid;
 use fv3::init::{init_baroclinic, BaroclinicConfig};
 use fv3::state::{DycoreState, HALO};
+use machine::faults::{self, FireCtx};
+use machine::pool::Pool;
+use std::path::Path;
+use std::time::Duration;
+
+/// Fault site: poison one interior cell of a prognostic field right
+/// after the halo exchange of an acoustic substep — the classic
+/// "NaN appears mid-physics" blowup a supervisor must recover from.
+pub const SITE_POISON: &str = "driver.poison_field";
+/// Every fault site compiled into this crate.
+pub const FAULT_SITES: [&str; 1] = [SITE_POISON];
 
 /// Driver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +68,12 @@ pub struct DistributedDycore {
     /// Expanded program (shared by all ranks).
     expanded: Sdfg,
     updater: HaloUpdater,
+    /// Driver steps completed since construction or the last restore.
+    step_index: u64,
+    /// Worker pool for rank execution; `None` runs serially. The lane VM
+    /// is bit-identical across pool widths (`parallel_pool_matches_serial`
+    /// in `dataflow::exec`), so this changes wall time only.
+    pool: Option<Pool>,
 }
 
 struct RankHooks<'a> {
@@ -114,7 +131,85 @@ impl DistributedDycore {
             states,
             expanded,
             updater,
+            step_index: 0,
+            pool: None,
         }
+    }
+
+    /// Resume a run from an `FV3CKPT1` checkpoint file: rebuild the
+    /// dycore for the stored configuration, then restore the states and
+    /// step counter. The resumed run is bit-identical to one that never
+    /// stopped.
+    pub fn resume_from(path: &Path, attrs: &ExpansionAttrs) -> std::io::Result<Self> {
+        let ck = crate::checkpoint::Checkpoint::load(path)?;
+        let want = 6 * ck.config.rt * ck.config.rt;
+        if ck.states.len() != want {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{}: {} ranks in checkpoint, rt={} needs {want}",
+                    path.display(),
+                    ck.states.len(),
+                    ck.config.rt
+                ),
+            ));
+        }
+        let mut d = DistributedDycore::new(ck.config, attrs);
+        d.restore(&ck);
+        Ok(d)
+    }
+
+    /// Restore states and step counter from a checkpoint taken on a
+    /// compatible configuration (same partition and vertical extent).
+    /// Deliberately does *not* touch `self.config`: a supervisor that
+    /// backed off the time step keeps the backed-off value across the
+    /// rollback.
+    pub fn restore(&mut self, ck: &crate::checkpoint::Checkpoint) {
+        assert_eq!(
+            (ck.config.tile_n, ck.config.rt, ck.config.nk),
+            (self.config.tile_n, self.config.rt, self.config.nk),
+            "checkpoint partition incompatible with this dycore"
+        );
+        assert_eq!(
+            ck.states.len(),
+            self.partition.ranks(),
+            "checkpoint rank count does not cover this partition"
+        );
+        self.states = ck.states.clone();
+        self.step_index = ck.step;
+    }
+
+    /// Write an `FV3CKPT1` checkpoint of the current state; returns the
+    /// byte size written.
+    pub fn write_checkpoint(&self, path: &Path) -> std::io::Result<u64> {
+        crate::checkpoint::Checkpoint::capture(self).write_atomic(path)
+    }
+
+    /// Driver steps completed since construction or the last restore.
+    pub fn step_index(&self) -> u64 {
+        self.step_index
+    }
+
+    /// Run rank programs on a worker pool (bit-identical to serial; see
+    /// the `pool` field note). `None` reverts to serial execution.
+    pub fn set_pool(&mut self, pool: Option<Pool>) {
+        self.pool = pool;
+    }
+
+    /// The installed worker pool, if any.
+    pub fn pool(&self) -> Option<&Pool> {
+        self.pool.as_ref()
+    }
+
+    /// Arm (or disarm) the halo stall watchdog (see
+    /// [`HaloUpdater::set_stall_deadline`]).
+    pub fn set_halo_stall_deadline(&mut self, deadline: Option<Duration>) {
+        self.updater.set_stall_deadline(deadline);
+    }
+
+    /// Halo exchanges that overran the stall deadline.
+    pub fn halo_stalls(&self) -> u64 {
+        self.updater.stall_count()
     }
 
     /// Replace the expanded program (after optimization passes). The new
@@ -191,12 +286,19 @@ impl DistributedDycore {
         // Reuse the same expansion as installed? The per-substep program
         // is structurally identical; tuned attrs are a good default.
         sub_expanded.expand_libraries(&ExpansionAttrs::tuned());
+        let exec = match &self.pool {
+            Some(p) => Executor::new(p.clone()),
+            None => Executor::serial(),
+        };
 
         for ks in 0..config.k_split {
             for ns in 0..config.n_split {
                 let _acoustic_span =
                     obs::tracing::global_span("acoustic", &format!("k{ks}.s{ns}"));
                 self.exchange(&["u", "v", "w", "delp", "pt", "q"]);
+                if faults::enabled() {
+                    self.maybe_poison(&format!("k{ks}.s{ns}"));
+                }
                 for r in 0..self.partition.ranks() {
                     let _rank_span =
                         obs::tracing::global_span("rank", &format!("rank{r}"));
@@ -212,7 +314,7 @@ impl DistributedDycore {
                         ids: &sub_prog.ids,
                         pending: Vec::new(),
                     };
-                    Executor::serial().run(&sub_expanded, &mut store, &sub_prog.params, &mut hooks);
+                    exec.run(&sub_expanded, &mut store, &sub_prog.params, &mut hooks);
                     // The per-substep program embeds exactly one halo
                     // marker, satisfied by the exchange above.
                     debug_assert_eq!(hooks.pending.len(), 1);
@@ -224,8 +326,27 @@ impl DistributedDycore {
             // acceptable for the reproduction: remapping to the same
             // reference is idempotent.
         }
+        self.step_index += 1;
         if let Some(m) = obs::metrics::global() {
             m.counter_add("driver_steps", &[], 1);
+        }
+    }
+
+    /// [`SITE_POISON`]: overwrite one interior cell of a prognostic field
+    /// with NaN, as a numerical blowup would.
+    fn maybe_poison(&mut self, module: &str) {
+        let ctx = FireCtx {
+            step: Some(self.step_index),
+            module: Some(module),
+        };
+        if let Some(spec) = faults::fire(SITE_POISON, ctx) {
+            let rank = spec
+                .rank
+                .unwrap_or_else(|| faults::det_index(0xf1e1d, self.partition.ranks()))
+                .min(self.partition.ranks() - 1);
+            let field = spec.field.as_deref().unwrap_or("pt");
+            let mid = (self.partition.sub_n / 2) as i64;
+            self.states[rank].field_mut(field).set(mid, mid, 0, f64::NAN);
         }
     }
 

@@ -10,15 +10,19 @@
 //! * [`bounds`] — the automated memory-bandwidth bounds analysis behind
 //!   Fig. 10 (the paper's "17 lines of Python");
 //! * [`experiments`] — shared harnesses for the evaluation binaries
-//!   (Tables I–III, Figs. 10–11, the bandwidth study, JUWELS).
+//!   (Tables I–III, Figs. 10–11, the bandwidth study, JUWELS);
+//! * [`checkpoint`] — crash-consistent `FV3CKPT1` checkpoint/restart
+//!   (ISSUE 5; supervision policy lives in `crates/resilience`).
 
 pub mod bounds;
+pub mod checkpoint;
 pub mod driver;
 pub mod experiments;
 pub mod pipeline;
 pub mod profiling;
 
 pub use bounds::{bounds_report, BoundsRow};
+pub use checkpoint::Checkpoint;
 pub use driver::{DistributedDycore, DriverConfig};
 pub use pipeline::{run_pipeline, PipelineReport, PipelineStage};
 pub use profiling::{profile_pipeline_stages, StageProfile};

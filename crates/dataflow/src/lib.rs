@@ -18,6 +18,7 @@ pub mod model;
 pub mod passes;
 pub mod profile;
 pub mod report;
+pub mod snapshot;
 pub mod storage;
 pub mod transforms;
 

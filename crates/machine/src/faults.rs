@@ -1,0 +1,389 @@
+//! Deterministic fault injection: a process-global registry of armed
+//! fault plans, fired at named *sites* compiled into the production
+//! crates (`machine::pool`, `comm::halo`, `fv3core::driver`).
+//!
+//! Design constraints (ISSUE 5):
+//!
+//! * **Zero cost when disabled.** Every site guards its slow path behind
+//!   [`enabled`] — a single relaxed atomic load. No plan armed means no
+//!   lock, no allocation, no branch beyond that load.
+//! * **Deterministic.** A plan carries a seed; any site that needs to
+//!   pick "a random victim" (which halo patch to corrupt, which message
+//!   to drop) derives the index from the seed and the per-site call
+//!   counter via [`det_index`], so a given plan injects the exact same
+//!   faults on every run.
+//! * **Serialized.** [`arm`] returns an [`ArmGuard`] holding a global
+//!   mutex, so concurrent tests that inject faults cannot interleave;
+//!   dropping the guard disarms the registry (the injection log stays
+//!   readable for post-mortems until the next `arm`).
+//!
+//! The registry lives in `machine` because it is the bottom of the crate
+//! stack: `comm`, `dataflow`, and `fv3core` can all reach it without
+//! dependency cycles. Higher-level concerns — parsing `FV3_FAULT_PLAN`,
+//! validating site names, rollback policy — live in `crates/resilience`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Fault sites owned by [`crate::pool`].
+pub const SITE_WORKER_PANIC: &str = "pool.worker_panic";
+/// See [`SITE_WORKER_PANIC`].
+pub const SITE_WORKER_DEATH: &str = "pool.worker_death";
+
+/// What an armed fault does when its site fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Overwrite the target value(s) with NaN.
+    PoisonNan,
+    /// Multiply the target value by a factor (silent data corruption).
+    CorruptFactor(f64),
+    /// Drop a whole halo message (the receiver keeps stale data).
+    DropMessage,
+    /// Sleep this many milliseconds inside the exchange (stall).
+    StallMs(u64),
+    /// Panic the worker thread mid-kernel (caught by the pool, propagated
+    /// to the submitter).
+    PanicWorker,
+    /// Terminate the worker thread entirely (the team shrinks; the pool
+    /// must rebuild on the next region instead of hanging).
+    KillWorker,
+}
+
+/// One armed fault: a site name, trigger conditions, and an action.
+///
+/// `None` conditions match anything; `once` (the default) retires the
+/// spec after its first injection so a rolled-back-and-retried step does
+/// not re-poison itself forever.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Site name, e.g. `"halo.corrupt"`.
+    pub site: String,
+    /// Fire only at this driver step.
+    pub step: Option<u64>,
+    /// Fire only in this module/substep label (e.g. `"k0.s1"`).
+    pub module: Option<String>,
+    /// Fire only on the Nth call of this site (0-based, counted while
+    /// armed).
+    pub at_call: Option<u64>,
+    /// Target field name (poison faults).
+    pub field: Option<String>,
+    /// Target rank (poison / drop faults).
+    pub rank: Option<usize>,
+    /// What to do.
+    pub action: FaultAction,
+    /// Retire after the first injection.
+    pub once: bool,
+}
+
+impl FaultSpec {
+    /// A spec firing on the first matching call, once.
+    pub fn new(site: &str, action: FaultAction) -> Self {
+        FaultSpec {
+            site: site.to_string(),
+            step: None,
+            module: None,
+            at_call: None,
+            field: None,
+            rank: None,
+            action,
+            once: true,
+        }
+    }
+
+    /// Restrict to a driver step.
+    pub fn at_step(mut self, step: u64) -> Self {
+        self.step = Some(step);
+        self
+    }
+
+    /// Restrict to a module label.
+    pub fn in_module(mut self, module: &str) -> Self {
+        self.module = Some(module.to_string());
+        self
+    }
+
+    /// Restrict to the Nth call of the site.
+    pub fn at_call(mut self, call: u64) -> Self {
+        self.at_call = Some(call);
+        self
+    }
+
+    /// Target a field by name.
+    pub fn on_field(mut self, field: &str) -> Self {
+        self.field = Some(field.to_string());
+        self
+    }
+
+    /// Target a rank.
+    pub fn on_rank(mut self, rank: usize) -> Self {
+        self.rank = Some(rank);
+        self
+    }
+
+    /// Fire every time the conditions match, not just once.
+    pub fn repeatable(mut self) -> Self {
+        self.once = false;
+        self
+    }
+}
+
+/// Context a site passes to [`fire`]; sites that do not know the driver
+/// step or module pass `FireCtx::default()`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FireCtx<'a> {
+    pub step: Option<u64>,
+    pub module: Option<&'a str>,
+}
+
+/// One injection that actually happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionEvent {
+    pub site: String,
+    pub action: FaultAction,
+    /// Driver step at injection time, when the site knew it.
+    pub step: Option<u64>,
+    /// Module label at injection time, when the site knew it.
+    pub module: Option<String>,
+    /// 0-based call index of the site at injection time.
+    pub call: u64,
+}
+
+struct Plan {
+    seed: u64,
+    /// `(spec, fired)` pairs.
+    specs: Vec<(FaultSpec, bool)>,
+    /// Per-site call counters (advance on every `fire` while armed).
+    calls: Vec<(String, u64)>,
+    log: Vec<InjectionEvent>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<Plan>> = Mutex::new(None);
+/// Serializes armed sections process-wide (held by [`ArmGuard`]).
+static ARM_LOCK: Mutex<()> = Mutex::new(());
+
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // Fault tests panic on purpose; a poisoned registry lock is expected.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Holds the registry armed; dropping disarms it (the injection log
+/// remains readable until the next [`arm`]).
+pub struct ArmGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ArmGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Arm a fault plan. The returned guard keeps it active; only one plan
+/// can be armed at a time process-wide (callers block here).
+pub fn arm(seed: u64, specs: Vec<FaultSpec>) -> ArmGuard {
+    let lock = recover(ARM_LOCK.lock());
+    *recover(PLAN.lock()) = Some(Plan {
+        seed,
+        specs: specs.into_iter().map(|s| (s, false)).collect(),
+        calls: Vec::new(),
+        log: Vec::new(),
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+    ArmGuard { _lock: lock }
+}
+
+/// Fast path: is any plan armed? One relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Fire a site: returns the matching spec (marking it fired) or `None`.
+///
+/// When the registry is disabled this is a single atomic load.
+#[inline]
+pub fn fire(site: &str, ctx: FireCtx<'_>) -> Option<FaultSpec> {
+    if !enabled() {
+        return None;
+    }
+    fire_slow(site, ctx)
+}
+
+fn fire_slow(site: &str, ctx: FireCtx<'_>) -> Option<FaultSpec> {
+    let mut guard = recover(PLAN.lock());
+    let plan = guard.as_mut()?;
+    let call = {
+        match plan.calls.iter_mut().find(|(s, _)| s == site) {
+            Some((_, c)) => {
+                let v = *c;
+                *c += 1;
+                v
+            }
+            None => {
+                plan.calls.push((site.to_string(), 1));
+                0
+            }
+        }
+    };
+    let hit = plan.specs.iter_mut().find(|(spec, fired)| {
+        spec.site == site
+            && !(spec.once && *fired)
+            && spec.step.is_none_or(|s| ctx.step == Some(s))
+            && spec
+                .module
+                .as_deref()
+                .is_none_or(|m| ctx.module == Some(m))
+            && spec.at_call.is_none_or(|c| c == call)
+    })?;
+    hit.1 = true;
+    let spec = hit.0.clone();
+    plan.log.push(InjectionEvent {
+        site: site.to_string(),
+        action: spec.action.clone(),
+        step: ctx.step,
+        module: ctx.module.map(str::to_string),
+        call,
+    });
+    Some(spec)
+}
+
+/// How many injections this site has performed under the current (or
+/// last) plan.
+pub fn fired_count(site: &str) -> u64 {
+    recover(PLAN.lock())
+        .as_ref()
+        .map_or(0, |p| p.log.iter().filter(|e| e.site == site).count() as u64)
+}
+
+/// Every injection performed under the current (or last) plan.
+pub fn injection_log() -> Vec<InjectionEvent> {
+    recover(PLAN.lock())
+        .as_ref()
+        .map_or_else(Vec::new, |p| p.log.clone())
+}
+
+/// Deterministic victim index in `0..len` derived from the armed plan's
+/// seed, a site-specific salt, and nothing else. Returns 0 when no plan
+/// is armed or `len == 0`.
+pub fn det_index(salt: u64, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let seed = recover(PLAN.lock()).as_ref().map_or(0, |p| p.seed);
+    // splitmix64 — cheap, well-mixed, reproducible.
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % len as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_fires_nothing() {
+        // No guard held: must be a no-op regardless of history.
+        assert!(!enabled() || fire("nope", FireCtx::default()).is_none());
+    }
+
+    #[test]
+    fn matching_and_once_semantics() {
+        let _g = arm(
+            7,
+            vec![
+                FaultSpec::new("a.site", FaultAction::PoisonNan).at_step(2),
+                FaultSpec::new("b.site", FaultAction::StallMs(5)).repeatable(),
+            ],
+        );
+        // Wrong step: no fire.
+        assert!(fire(
+            "a.site",
+            FireCtx {
+                step: Some(1),
+                module: None
+            }
+        )
+        .is_none());
+        // Right step: fires exactly once.
+        let ctx = FireCtx {
+            step: Some(2),
+            module: None,
+        };
+        assert!(fire("a.site", ctx).is_some());
+        assert!(fire("a.site", ctx).is_none(), "once-spec must retire");
+        // Repeatable spec fires every call.
+        assert!(fire("b.site", FireCtx::default()).is_some());
+        assert!(fire("b.site", FireCtx::default()).is_some());
+        assert_eq!(fired_count("a.site"), 1);
+        assert_eq!(fired_count("b.site"), 2);
+        let log = injection_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].site, "a.site");
+        assert_eq!(log[0].step, Some(2));
+    }
+
+    #[test]
+    fn at_call_counts_per_site() {
+        let _g = arm(
+            0,
+            vec![FaultSpec::new("c.site", FaultAction::DropMessage).at_call(2)],
+        );
+        assert!(fire("c.site", FireCtx::default()).is_none()); // call 0
+        assert!(fire("c.site", FireCtx::default()).is_none()); // call 1
+        assert!(fire("c.site", FireCtx::default()).is_some()); // call 2
+        assert!(fire("c.site", FireCtx::default()).is_none());
+    }
+
+    #[test]
+    fn module_matching() {
+        let _g = arm(
+            0,
+            vec![FaultSpec::new("m.site", FaultAction::PoisonNan).in_module("k0.s1")],
+        );
+        assert!(fire(
+            "m.site",
+            FireCtx {
+                step: None,
+                module: Some("k0.s0")
+            }
+        )
+        .is_none());
+        assert!(fire(
+            "m.site",
+            FireCtx {
+                step: None,
+                module: Some("k0.s1")
+            }
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn det_index_is_stable_and_in_range() {
+        let _g = arm(42, vec![]);
+        let a = det_index(1, 100);
+        let b = det_index(1, 100);
+        assert_eq!(a, b);
+        assert!(a < 100);
+        assert_eq!(det_index(1, 0), 0);
+        // Different salts decorrelate.
+        assert_ne!(det_index(1, 1 << 30), det_index(2, 1 << 30));
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        {
+            let _g = arm(0, vec![FaultSpec::new("d.site", FaultAction::PoisonNan)]);
+            assert!(enabled());
+        }
+        assert!(!enabled());
+        assert!(fire("d.site", FireCtx::default()).is_none());
+        // Log survives disarm for post-mortems.
+        assert_eq!(fired_count("d.site"), 0);
+    }
+}

@@ -24,6 +24,7 @@
 //! * network alpha-beta costs for halo exchanges (Fig. 11).
 
 pub mod cpu_model;
+pub mod faults;
 pub mod gpu_model;
 pub mod network;
 pub mod pool;
@@ -31,6 +32,7 @@ pub mod spec;
 pub mod stream;
 
 pub use cpu_model::CpuModel;
+pub use faults::{FaultAction, FaultSpec, FireCtx};
 pub use gpu_model::GpuModel;
 pub use network::NetworkModel;
 pub use pool::Pool;

@@ -16,10 +16,11 @@
 //! and `for_each_chunk` does not return until every worker has checked
 //! back in for that region, so the borrow outlives every use.
 
+use crate::faults::{self, FaultAction, FireCtx, SITE_WORKER_DEATH, SITE_WORKER_PANIC};
 use parking_lot::{Condvar, Mutex};
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Environment variable overriding [`Pool::host`] sizing (a positive
@@ -58,6 +59,12 @@ struct JobState {
     panicked: bool,
     /// Set by the last pool handle's drop; workers exit on seeing it.
     shutdown: bool,
+    /// Background workers currently alive. Decremented by a worker's
+    /// drop guard on *any* exit path — clean shutdown, injected death,
+    /// or a panic escaping the body's `catch_unwind` — so the submitter
+    /// can size `pending` to the team that actually exists and rebuild
+    /// the missing members instead of deadlocking on a ghost check-in.
+    alive: usize,
 }
 
 struct Shared {
@@ -68,11 +75,39 @@ struct Shared {
     /// the worker team drains one region at a time.
     region: Mutex<()>,
     cursor: AtomicUsize,
+    /// Workers respawned after unexpected deaths (poisoned-team rebuilds).
+    rebuilds: AtomicU64,
+}
+
+/// Decrements `alive` when a worker exits; if the worker dies while it
+/// still owes a check-in for the current region (`in_flight`), performs
+/// that check-in too so the submitter never waits forever.
+struct WorkerGuard<'a> {
+    sh: &'a Shared,
+    in_flight: bool,
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.sh.state.lock();
+        st.alive -= 1;
+        if self.in_flight {
+            st.panicked = true;
+            st.pending -= 1;
+            if st.pending == 0 {
+                self.sh.done_cv.notify_all();
+            }
+        }
+    }
 }
 
 impl Shared {
     fn worker_loop(&self) {
         let mut last_epoch = 0u64;
+        let mut guard = WorkerGuard {
+            sh: self,
+            in_flight: false,
+        };
         loop {
             let job = {
                 let mut st = self.state.lock();
@@ -89,7 +124,31 @@ impl Shared {
                     self.work_cv.wait(&mut st);
                 }
             };
+            guard.in_flight = true;
+            // Fault site: terminate this worker thread outright. Check in
+            // for the current region first (the cursor protocol lets the
+            // rest of the team absorb the abandoned chunks), then fall off
+            // the loop so `alive` drops and the next region rebuilds.
+            if faults::enabled() {
+                if let Some(spec) = faults::fire(SITE_WORKER_DEATH, FireCtx::default()) {
+                    if matches!(spec.action, FaultAction::KillWorker) {
+                        let mut st = self.state.lock();
+                        st.pending -= 1;
+                        if st.pending == 0 {
+                            self.done_cv.notify_all();
+                        }
+                        guard.in_flight = false;
+                        return;
+                    }
+                }
+            }
             let ok = catch_unwind(AssertUnwindSafe(|| {
+                // Fault site: panic mid-kernel, as a bad stencil body would.
+                if faults::enabled()
+                    && faults::fire(SITE_WORKER_PANIC, FireCtx::default()).is_some()
+                {
+                    panic!("injected fault: worker panic (site {SITE_WORKER_PANIC})");
+                }
                 drain(&self.cursor, &job);
             }))
             .is_ok();
@@ -98,10 +157,21 @@ impl Shared {
                 st.panicked = true;
             }
             st.pending -= 1;
+            guard.in_flight = false;
             if st.pending == 0 {
                 self.done_cv.notify_all();
             }
         }
+    }
+
+    /// Spawn one background worker (caller must have counted it in
+    /// `alive` already, or do so under the same lock).
+    fn spawn_worker(self: &Arc<Self>, idx: usize) {
+        let sh = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("fv3-pool-{idx}"))
+            .spawn(move || sh.worker_loop())
+            .expect("failed to spawn pool worker");
     }
 }
 
@@ -170,18 +240,16 @@ impl Pool {
                 pending: 0,
                 panicked: false,
                 shutdown: false,
+                alive: workers - 1,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             region: Mutex::new(()),
             cursor: AtomicUsize::new(0),
+            rebuilds: AtomicU64::new(0),
         });
         for w in 0..workers - 1 {
-            let sh = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("fv3-pool-{w}"))
-                .spawn(move || sh.worker_loop())
-                .expect("failed to spawn pool worker");
+            shared.spawn_worker(w);
         }
         let lease = Arc::new(Lease {
             shared: Arc::clone(&shared),
@@ -215,6 +283,24 @@ impl Pool {
         self.workers
     }
 
+    /// Background workers currently alive (excludes the submitting
+    /// thread; always `workers() - 1` for a healthy team).
+    pub fn alive_workers(&self) -> usize {
+        match &self.shared {
+            None => 0,
+            Some(sh) => sh.state.lock().alive,
+        }
+    }
+
+    /// Workers respawned after unexpected deaths (poisoned-team
+    /// rebuilds performed by [`for_each_chunk`](Self::for_each_chunk)).
+    pub fn rebuilds(&self) -> u64 {
+        match &self.shared {
+            None => 0,
+            Some(sh) => sh.rebuilds.load(Ordering::Relaxed),
+        }
+    }
+
     /// Run `body` over every index in `0..len`, in parallel chunks.
     ///
     /// `body` receives a contiguous sub-range; ranges partition `0..len`
@@ -243,10 +329,23 @@ impl Pool {
         let _region = shared.region.lock();
         {
             let mut st = shared.state.lock();
+            // Poisoned-team rebuild: replace workers that died (injected
+            // deaths, or a panic that escaped the body's catch_unwind)
+            // so the team never shrinks permanently and `pending` below
+            // matches the workers that will actually check in.
+            let target = self.workers - 1;
+            if st.alive < target {
+                let missing = target - st.alive;
+                shared.rebuilds.fetch_add(missing as u64, Ordering::Relaxed);
+                for w in 0..missing {
+                    shared.spawn_worker(st.alive + w);
+                }
+                st.alive = target;
+            }
             shared.cursor.store(0, Ordering::Relaxed);
             st.job = Some(job);
             st.epoch += 1;
-            st.pending = self.workers - 1;
+            st.pending = st.alive;
             st.panicked = false;
             shared.work_cv.notify_all();
         }

@@ -1,0 +1,58 @@
+//! Supervised runs: fault-plan parsing, checkpoint cadence, and
+//! rollback-on-blowup recovery (ISSUE 5).
+//!
+//! The layers below provide the mechanisms — `machine::faults` is the
+//! process-global injection registry, `fv3core::checkpoint` the
+//! crash-consistent `FV3CKPT1` restart basis, `comm::halo` the stall
+//! watchdog, `machine::pool` the self-rebuilding worker team. This crate
+//! is the policy on top:
+//!
+//! * [`FaultPlan`] parses the `FV3_FAULT_PLAN` grammar into armed
+//!   [`machine::faults::FaultSpec`]s with validated site names;
+//! * [`Supervisor`] wraps [`fv3core::DistributedDycore::step`] with
+//!   health sampling, periodic checkpoints, and a bounded
+//!   rollback-and-retry loop (halved `dt`, doubled acoustic substeps)
+//!   that turns a mid-run NaN or worker panic into a recovered forecast
+//!   instead of a dead job — or, past the retry budget, into a
+//!   [`SupervisedError`] carrying the [`obs::BlowupReport`] and span
+//!   stack a post-mortem needs.
+//!
+//! With no plan armed and checkpointing off, a supervised run is
+//! bit-identical to calling `step()` in a loop (asserted by
+//! `tests/integration_resilience.rs`).
+
+pub mod fault;
+pub mod supervisor;
+
+pub use fault::FaultPlan;
+pub use supervisor::{
+    FailureKind, RecoveryEvent, RunReport, SupervisedError, Supervisor, SupervisorPolicy,
+};
+
+/// Every fault site compiled into the production crates, by layer.
+pub fn known_sites() -> Vec<&'static str> {
+    let mut sites = vec![
+        machine::faults::SITE_WORKER_PANIC,
+        machine::faults::SITE_WORKER_DEATH,
+    ];
+    sites.extend(comm::halo::FAULT_SITES);
+    sites.extend(fv3core::driver::FAULT_SITES);
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn site_registry_is_complete_and_unique() {
+        let sites = super::known_sites();
+        assert_eq!(sites.len(), 6);
+        let mut dedup = sites.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sites.len(), "duplicate site names");
+        for s in sites {
+            let (layer, name) = s.split_once('.').expect("layer.name convention");
+            assert!(!layer.is_empty() && !name.is_empty());
+        }
+    }
+}

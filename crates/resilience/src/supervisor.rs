@@ -1,0 +1,448 @@
+//! The supervision loop: `run()` wraps `DistributedDycore::step()` with
+//! health sampling, periodic checkpoints, and bounded
+//! rollback-and-retry.
+//!
+//! Recovery ladder, per failed step:
+//!
+//! 1. roll back to the last checkpoint (in-memory always; the same state
+//!    that [`SupervisorPolicy::checkpoint_dir`] persists to disk);
+//! 2. after [`SupervisorPolicy::backoff_after`] plain retries, also back
+//!    off the numerics — `dt` is scaled by
+//!    [`dt_backoff`](SupervisorPolicy::dt_backoff) and the acoustic
+//!    substep count multiplied by
+//!    [`split_factor`](SupervisorPolicy::split_factor) — the standard
+//!    CFL-blowup remedy;
+//! 3. past [`max_retries`](SupervisorPolicy::max_retries), give up with
+//!    a [`SupervisedError`] carrying the last [`BlowupReport`] (field,
+//!    cell, span stack) and the full recovery-event history.
+//!
+//! Worker panics are caught at the step boundary (`catch_unwind`); the
+//! pool rebuilds its team on the next parallel region
+//! (`machine::pool`), so a panicked or killed worker costs one rollback,
+//! not the job.
+
+use fv3core::checkpoint::{step_path, Checkpoint};
+use fv3core::DistributedDycore;
+use machine::faults;
+use obs::{BlowupReport, HealthMonitor, MetricsRegistry};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// What the supervisor does between and after steps.
+#[derive(Debug, Clone)]
+pub struct SupervisorPolicy {
+    /// Persist checkpoints here (`None`: in-memory rollback basis only).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in steps; 0 disables checkpointing entirely —
+    /// failures then exhaust the run immediately (no rollback basis).
+    pub checkpoint_every: u64,
+    /// Retry budget per failing step before giving up.
+    pub max_retries: u32,
+    /// `dt` multiplier applied when backing off (0.5 halves the step).
+    pub dt_backoff: f64,
+    /// Acoustic-substep multiplier applied when backing off.
+    pub split_factor: u32,
+    /// Plain retries (pure rollback) before the numerics back off.
+    pub backoff_after: u32,
+    /// Halo-exchange watchdog deadline, if any.
+    pub stall_deadline: Option<Duration>,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            max_retries: 3,
+            dt_backoff: 0.5,
+            split_factor: 2,
+            backoff_after: 1,
+            stall_deadline: None,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// Defaults overridden by `FV3_CHECKPOINT_DIR`, `FV3_CHECKPOINT_EVERY`,
+    /// `FV3_MAX_RETRIES`, and `FV3_STALL_DEADLINE_MS`.
+    pub fn from_env() -> Self {
+        let mut p = SupervisorPolicy::default();
+        if let Ok(dir) = std::env::var("FV3_CHECKPOINT_DIR") {
+            if !dir.trim().is_empty() {
+                p.checkpoint_dir = Some(PathBuf::from(dir));
+            }
+        }
+        if let Some(every) = env_u64("FV3_CHECKPOINT_EVERY") {
+            p.checkpoint_every = every;
+        }
+        if let Some(r) = env_u64("FV3_MAX_RETRIES") {
+            p.max_retries = r as u32;
+        }
+        if let Some(ms) = env_u64("FV3_STALL_DEADLINE_MS") {
+            p.stall_deadline = Some(Duration::from_millis(ms));
+        }
+        p
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Why a step was retried (or the run abandoned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A prognostic went non-finite.
+    Blowup,
+    /// A health threshold was crossed (CFL, wind, pressure, drift).
+    Violation,
+    /// `step()` panicked (worker panic propagated by the pool).
+    Panic,
+}
+
+impl FailureKind {
+    /// Metric label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::Blowup => "blowup",
+            FailureKind::Violation => "violation",
+            FailureKind::Panic => "panic",
+        }
+    }
+}
+
+/// One recovery action the supervisor took.
+#[derive(Debug, Clone)]
+pub struct RecoveryEvent {
+    /// Step that failed (post-increment index of the failed step).
+    pub step: u64,
+    pub kind: FailureKind,
+    /// Human-readable cause (blowup report, violation list, panic text).
+    pub detail: String,
+    /// Retry ordinal for this failure (1-based).
+    pub retry: u32,
+    /// Step the state was rolled back to.
+    pub rolled_back_to: u64,
+    /// Whether this retry also backed off `dt` / substeps.
+    pub backed_off: bool,
+}
+
+/// Outcome of a completed supervised run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Steps completed (== requested steps on success).
+    pub steps: u64,
+    /// Total retries across the run.
+    pub retries: u32,
+    /// Rollbacks performed.
+    pub restores: u64,
+    /// Checkpoints written to disk.
+    pub checkpoint_writes: u64,
+    /// Bytes written to disk across all checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Wall time spent writing checkpoints.
+    pub checkpoint_write_time: Duration,
+    /// Halo exchanges that overran the stall watchdog.
+    pub halo_stalls: u64,
+    /// Faults injected while this run was active.
+    pub faults_injected: u64,
+    /// Every recovery action, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// Per-step health samples (one per rank per step).
+    pub monitor: HealthMonitor,
+}
+
+impl RunReport {
+    /// True when the run needed no recovery at all.
+    pub fn clean(&self) -> bool {
+        self.retries == 0 && self.events.is_empty()
+    }
+}
+
+/// A supervised run that exhausted its retry budget (or had no rollback
+/// basis).
+#[derive(Debug)]
+pub struct SupervisedError {
+    /// Step that could not be completed.
+    pub step: u64,
+    pub kind: FailureKind,
+    /// Cause of the final failure.
+    pub detail: String,
+    /// Blowup location and span stack, when the failure was numerical.
+    pub blowup: Option<BlowupReport>,
+    /// Recovery history up to the failure.
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl fmt::Display for SupervisedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {} failed ({}) after {} recovery attempt(s): {}",
+            self.step,
+            self.kind.label(),
+            self.events.len(),
+            self.detail
+        )?;
+        if let Some(b) = &self.blowup {
+            write!(f, " [{b}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SupervisedError {}
+
+/// Wraps a dycore with the recovery policy. Owns the health monitor and
+/// a metrics registry recording recovery counters.
+pub struct Supervisor {
+    pub policy: SupervisorPolicy,
+    monitor: HealthMonitor,
+    metrics: MetricsRegistry,
+}
+
+impl Supervisor {
+    /// A supervisor with the given policy and the standard FV3 health
+    /// thresholds.
+    pub fn new(policy: SupervisorPolicy) -> Self {
+        Supervisor {
+            policy,
+            monitor: fv3::health::default_monitor(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// The recovery metrics recorded so far (checkpoint_bytes,
+    /// restore_count, retries, faults_injected, ...).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Advance `d` by `steps` supervised steps. On success the report
+    /// carries the full health and recovery history; on failure the
+    /// error carries the last blowup report and every recovery event.
+    pub fn run(
+        &mut self,
+        d: &mut DistributedDycore,
+        steps: u64,
+    ) -> Result<RunReport, Box<SupervisedError>> {
+        if self.policy.stall_deadline.is_some() {
+            d.set_halo_stall_deadline(self.policy.stall_deadline);
+        }
+        let start = d.step_index();
+        let goal = start + steps;
+        let faults_before = faults::injection_log().len();
+        let stalls_before = d.halo_stalls();
+        let mut events: Vec<RecoveryEvent> = Vec::new();
+        let mut retries_total = 0u32;
+        let mut retries_this_step = 0u32;
+        let mut restores = 0u64;
+        let mut ck_writes = 0u64;
+        let mut ck_bytes = 0u64;
+        let mut ck_time = Duration::ZERO;
+        let checkpointing = self.policy.checkpoint_every > 0;
+        // The in-memory rollback basis; refreshed on the checkpoint
+        // cadence. Disk persistence mirrors it when a dir is configured.
+        let mut basis: Option<Checkpoint> = None;
+        if checkpointing {
+            let t = Instant::now();
+            let ck = Checkpoint::capture(d);
+            if let Some(dir) = &self.policy.checkpoint_dir {
+                let bytes = ck
+                    .write_atomic(&step_path(dir, ck.step))
+                    .map_err(|e| self.io_error(d.step_index(), e, &events))?;
+                ck_writes += 1;
+                ck_bytes += bytes;
+                self.metrics.counter_add("checkpoint_writes", &[], 1);
+                self.metrics.counter_add("checkpoint_bytes", &[], bytes);
+            }
+            ck_time += t.elapsed();
+            basis = Some(ck);
+        }
+
+        while d.step_index() < goal {
+            // The step being attempted (step() increments only on
+            // success; a panic leaves the counter unchanged).
+            let attempting = d.step_index() + 1;
+            let failure = self.try_step(d);
+            match failure {
+                None => {
+                    retries_this_step = 0;
+                    if checkpointing
+                        && (d.step_index() - start).is_multiple_of(self.policy.checkpoint_every)
+                    {
+                        let t = Instant::now();
+                        let ck = Checkpoint::capture(d);
+                        if let Some(dir) = &self.policy.checkpoint_dir {
+                            let bytes = ck
+                                .write_atomic(&step_path(dir, ck.step))
+                                .map_err(|e| self.io_error(d.step_index(), e, &events))?;
+                            ck_writes += 1;
+                            ck_bytes += bytes;
+                            self.metrics.counter_add("checkpoint_writes", &[], 1);
+                            self.metrics.counter_add("checkpoint_bytes", &[], bytes);
+                        }
+                        ck_time += t.elapsed();
+                        basis = Some(ck);
+                    }
+                }
+                Some((kind, detail, blowup)) => {
+                    let failed_step = attempting;
+                    let Some(ck) = &basis else {
+                        return Err(Box::new(SupervisedError {
+                            step: failed_step,
+                            kind,
+                            detail: format!("{detail} (checkpointing disabled: no rollback basis)"),
+                            blowup,
+                            events,
+                        }));
+                    };
+                    if retries_this_step >= self.policy.max_retries {
+                        return Err(Box::new(SupervisedError {
+                            step: failed_step,
+                            kind,
+                            detail,
+                            blowup,
+                            events,
+                        }));
+                    }
+                    retries_this_step += 1;
+                    retries_total += 1;
+                    let backed_off = retries_this_step > self.policy.backoff_after;
+                    d.restore(ck);
+                    restores += 1;
+                    if backed_off {
+                        d.config.dycore.dt *= self.policy.dt_backoff;
+                        d.config.dycore.n_split =
+                            d.config.dycore.n_split.saturating_mul(self.policy.split_factor);
+                    }
+                    self.metrics.counter_add("restore_count", &[], 1);
+                    self.metrics
+                        .counter_add("retries", &[("kind", kind.label())], 1);
+                    events.push(RecoveryEvent {
+                        step: failed_step,
+                        kind,
+                        detail,
+                        retry: retries_this_step,
+                        rolled_back_to: ck.step,
+                        backed_off,
+                    });
+                }
+            }
+        }
+
+        let injected = (faults::injection_log().len() - faults_before) as u64;
+        for ev in faults::injection_log().iter().skip(faults_before) {
+            self.metrics
+                .counter_add("faults_injected", &[("site", &ev.site)], 1);
+        }
+        let stalls = d.halo_stalls() - stalls_before;
+        if stalls > 0 {
+            self.metrics.counter_add("halo_stalls", &[], stalls);
+        }
+        Ok(RunReport {
+            steps,
+            retries: retries_total,
+            restores,
+            checkpoint_writes: ck_writes,
+            checkpoint_bytes: ck_bytes,
+            checkpoint_write_time: ck_time,
+            halo_stalls: stalls,
+            faults_injected: injected,
+            events,
+            monitor: std::mem::replace(&mut self.monitor, fv3::health::default_monitor()),
+        })
+    }
+
+    /// One guarded step: catch panics, then sample health. Returns the
+    /// failure, if any.
+    fn try_step(
+        &mut self,
+        d: &mut DistributedDycore,
+    ) -> Option<(FailureKind, String, Option<BlowupReport>)> {
+        let stepped = catch_unwind(AssertUnwindSafe(|| d.step()));
+        if let Err(payload) = stepped {
+            return Some((FailureKind::Panic, panic_text(&payload), None));
+        }
+        let healthy = d.sample_health(&mut self.monitor, d.step_index());
+        if healthy {
+            return None;
+        }
+        // The last ranks() samples belong to this step; find the worst.
+        let ranks = d.partition.ranks();
+        let n = self.monitor.samples().len();
+        let step_samples = &self.monitor.samples()[n.saturating_sub(ranks)..];
+        let blowup = step_samples.iter().find_map(|s| s.blowup.clone());
+        let detail = step_samples
+            .iter()
+            .flat_map(|s| s.violations.iter().cloned())
+            .chain(blowup.iter().map(|b| b.to_string()))
+            .collect::<Vec<_>>()
+            .join("; ");
+        let kind = if blowup.is_some() {
+            FailureKind::Blowup
+        } else {
+            FailureKind::Violation
+        };
+        Some((kind, detail, blowup))
+    }
+
+    fn io_error(
+        &self,
+        step: u64,
+        e: std::io::Error,
+        events: &[RecoveryEvent],
+    ) -> Box<SupervisedError> {
+        Box::new(SupervisedError {
+            step,
+            kind: FailureKind::Violation,
+            detail: format!("checkpoint write failed: {e}"),
+            blowup: None,
+            events: events.to_vec(),
+        })
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_defaults_are_conservative() {
+        let p = SupervisorPolicy::default();
+        assert_eq!(p.checkpoint_every, 1);
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.dt_backoff, 0.5);
+        assert_eq!(p.split_factor, 2);
+        assert!(p.checkpoint_dir.is_none());
+        assert!(p.stall_deadline.is_none());
+    }
+
+    #[test]
+    fn failure_kind_labels_are_distinct() {
+        let labels: Vec<_> = [
+            FailureKind::Blowup,
+            FailureKind::Violation,
+            FailureKind::Panic,
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        let mut d = labels.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), labels.len());
+    }
+}

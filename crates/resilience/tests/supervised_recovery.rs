@@ -1,0 +1,194 @@
+//! Supervised-run recovery under injected faults (ISSUE 5 tentpole).
+//!
+//! Dedicated test binary: the fault registry is process-global, so each
+//! test holds the `ArmGuard` for its entire body (clean comparison runs
+//! included — by then the once-specs have retired, so nothing fires).
+
+use dataflow::graph::ExpansionAttrs;
+use fv3::dyn_core::DycoreConfig;
+use fv3core::{DistributedDycore, DriverConfig};
+use machine::Pool;
+use resilience::{FailureKind, FaultPlan, Supervisor, SupervisorPolicy};
+use std::time::Duration;
+
+fn dycore() -> DistributedDycore {
+    let cfg = DriverConfig::six_rank(
+        8,
+        3,
+        DycoreConfig {
+            n_split: 1,
+            k_split: 1,
+            dt: 4.0,
+            dddmp: 0.02,
+            nord4_damp: None,
+        },
+    );
+    DistributedDycore::new(cfg, &ExpansionAttrs::tuned())
+}
+
+fn assert_bit_identical(a: &DistributedDycore, b: &DistributedDycore) {
+    assert_eq!(a.step_index(), b.step_index());
+    for (r, (sa, sb)) in a.states.iter().zip(&b.states).enumerate() {
+        for ((name, fa), (_, fb)) in sa.fields().iter().zip(sb.fields().iter()) {
+            let (va, vb) = (fa.export_logical(), fb.export_logical());
+            for (n, (x, y)) in va.iter().zip(&vb).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "rank {r} field {name} element {n}: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nan_blowup_recovers_by_rollback_and_matches_clean_run() {
+    let plan = FaultPlan::parse("seed=1;nan@step=1,field=pt").unwrap();
+    let _guard = plan.arm();
+
+    let mut d = dycore();
+    let mut sup = Supervisor::new(SupervisorPolicy::default());
+    let report = sup.run(&mut d, 3).expect("supervised run recovers");
+
+    assert_eq!(d.step_index(), 3);
+    assert_eq!(report.retries, 1, "one rollback should clear the NaN");
+    assert_eq!(report.restores, 1);
+    assert_eq!(report.faults_injected, 1);
+    assert_eq!(report.events.len(), 1);
+    let ev = &report.events[0];
+    assert_eq!(ev.kind, FailureKind::Blowup);
+    assert!(ev.detail.contains("pt"), "detail names the field: {}", ev.detail);
+    assert!(!ev.backed_off, "first retry is a pure rollback");
+    assert_eq!(
+        sup.metrics().counter_value("restore_count", &[]),
+        1
+    );
+    assert_eq!(
+        sup.metrics()
+            .counter_value("faults_injected", &[("site", "driver.poison_field")]),
+        1
+    );
+
+    // The recovered run is bit-identical to one that never faulted (the
+    // once-spec retired above, so this run is clean).
+    let mut clean = dycore();
+    for _ in 0..3 {
+        clean.step();
+    }
+    assert_bit_identical(&d, &clean);
+}
+
+#[test]
+fn worker_panic_recovers_and_pool_survives() {
+    let plan = FaultPlan::parse("seed=2;panic").unwrap();
+    let _guard = plan.arm();
+
+    let mut d = dycore();
+    let pool = Pool::new(3);
+    d.set_pool(Some(pool.clone()));
+    let mut sup = Supervisor::new(SupervisorPolicy::default());
+    let report = sup.run(&mut d, 2).expect("panic recovered by rollback");
+
+    assert_eq!(d.step_index(), 2);
+    assert!(report.retries >= 1);
+    assert_eq!(report.events[0].kind, FailureKind::Panic);
+    assert!(report.faults_injected >= 1);
+    // The team survived the panic (workers catch and propagate).
+    assert_eq!(pool.alive_workers(), 2);
+
+    // Bit-identity with a clean serial run: the pool changes wall time,
+    // not bits, and the rollback erased the poisoned attempt.
+    let mut clean = dycore();
+    for _ in 0..2 {
+        clean.step();
+    }
+    assert_bit_identical(&d, &clean);
+}
+
+#[test]
+fn killed_worker_is_rebuilt_and_run_completes() {
+    let plan = FaultPlan::parse("seed=3;kill").unwrap();
+    let _guard = plan.arm();
+
+    let mut d = dycore();
+    let pool = Pool::new(3);
+    d.set_pool(Some(pool.clone()));
+    let mut sup = Supervisor::new(SupervisorPolicy::default());
+    // A killed worker does not corrupt the job (its chunks are re-run by
+    // the survivors' work-stealing or checked in by the guard), so the
+    // run may complete with zero retries — the requirement is that it
+    // completes at all instead of hanging.
+    let report = sup.run(&mut d, 2).expect("killed worker must not hang the run");
+    assert_eq!(d.step_index(), 2);
+    assert!(report.faults_injected >= 1);
+    // The team was rebuilt back to full strength on a later region.
+    assert_eq!(pool.alive_workers(), 2);
+    assert!(pool.rebuilds() >= 1);
+}
+
+#[test]
+fn stall_past_watchdog_is_detected_and_counted() {
+    let plan = FaultPlan::parse("seed=4;stall@ms=60").unwrap();
+    let _guard = plan.arm();
+
+    let mut d = dycore();
+    let policy = SupervisorPolicy {
+        stall_deadline: Some(Duration::from_millis(15)),
+        ..SupervisorPolicy::default()
+    };
+    let mut sup = Supervisor::new(policy);
+    let report = sup.run(&mut d, 2).expect("a stall is not fatal");
+    assert_eq!(d.step_index(), 2);
+    assert_eq!(report.halo_stalls, 1, "watchdog counted the stalled exchange");
+    assert_eq!(d.halo_stalls(), 1);
+    assert!(report.faults_injected >= 1);
+    assert_eq!(sup.metrics().counter_value("halo_stalls", &[]), 1);
+}
+
+#[test]
+fn retries_exhausted_yields_blowup_report_with_span_stack() {
+    // A repeatable poison re-fires after every rollback; the supervisor
+    // must give up with the full post-mortem.
+    let plan = FaultPlan::parse("seed=5;nan@repeat=1,field=u").unwrap();
+    let _guard = plan.arm();
+
+    let mut d = dycore();
+    let policy = SupervisorPolicy {
+        max_retries: 2,
+        ..SupervisorPolicy::default()
+    };
+    let mut sup = Supervisor::new(policy);
+    let err = sup.run(&mut d, 2).expect_err("unrecoverable fault must fail");
+    assert_eq!(err.kind, FailureKind::Blowup);
+    assert_eq!(err.events.len(), 2, "both retries recorded");
+    // The poison goes into `u` but propagates through transport before
+    // the health check runs; the report names whichever prognostic the
+    // scan hit first, with the exact cell and the enclosing span stack.
+    let blowup = err.blowup.as_ref().expect("blowup report attached");
+    assert!(
+        fv3::state::PROGNOSTICS.contains(&blowup.field.as_str()),
+        "unknown field {}",
+        blowup.field
+    );
+    assert!(!blowup.value.is_finite());
+    let text = err.to_string();
+    assert!(text.contains("recovery attempt"), "{text}");
+    assert!(text.contains(&blowup.field), "{text}");
+}
+
+#[test]
+fn checkpointing_disabled_fails_fast_without_rollback_basis() {
+    let plan = FaultPlan::parse("seed=6;nan").unwrap();
+    let _guard = plan.arm();
+
+    let mut d = dycore();
+    let policy = SupervisorPolicy {
+        checkpoint_every: 0,
+        ..SupervisorPolicy::default()
+    };
+    let mut sup = Supervisor::new(policy);
+    let err = sup.run(&mut d, 2).expect_err("no basis, no recovery");
+    assert!(err.detail.contains("no rollback basis"), "{}", err.detail);
+    assert!(err.events.is_empty());
+}

@@ -13,66 +13,20 @@
 //! from: a run with K-contiguous storage replays bit-identically against
 //! a capture taken with the FORTRAN I-contiguous layout.
 
-use dataflow::{Array3, Layout};
+use dataflow::snapshot::{put_str, put_u32, Reader};
+use dataflow::Array3;
 use fv3::recorder::StateRecorder;
 use std::io::{Read, Write};
 use std::path::Path;
 
+// The snapshot struct and its binary codec are shared with the
+// `FV3CKPT1` checkpoint format (`fv3core::checkpoint`) and live in
+// `dataflow::snapshot`; re-exported here so existing call sites and the
+// golden-file workflow are unchanged.
+pub use dataflow::snapshot::FieldSnapshot;
+
 /// File magic for the golden binary format, version 1.
 pub const MAGIC: [u8; 8] = *b"FV3GOLD1";
-
-/// One field at one savepoint: name, logical shape, and values in
-/// canonical logical order (halo included).
-#[derive(Debug, Clone, PartialEq)]
-pub struct FieldSnapshot {
-    /// Field name (`"delp"`, `"xfx"`, ...).
-    pub name: String,
-    /// Compute-domain extent `[ni, nj, nk]`.
-    pub domain: [usize; 3],
-    /// Halo width per axis.
-    pub halo: [usize; 3],
-    /// `(ni + 2hi)(nj + 2hj)(nk + 2hk)` values, k outermost / i innermost.
-    pub values: Vec<f64>,
-}
-
-impl FieldSnapshot {
-    /// Snapshot an array (halo included).
-    pub fn capture(name: &str, array: &Array3) -> Self {
-        let l = array.layout();
-        FieldSnapshot {
-            name: name.to_string(),
-            domain: l.domain,
-            halo: l.halo,
-            values: array.export_logical(),
-        }
-    }
-
-    /// Rebuild an array (default FV3 layout) holding the snapshot values.
-    pub fn to_array(&self) -> Array3 {
-        let mut a = Array3::zeros(Layout::fv3_default(self.domain, self.halo));
-        a.import_logical(&self.values);
-        a
-    }
-
-    /// Logical coordinates of flat element `idx` of `values`.
-    pub fn index_of(&self, idx: usize) -> (i64, i64, i64) {
-        let wi = self.domain[0] + 2 * self.halo[0];
-        let wj = self.domain[1] + 2 * self.halo[1];
-        let i = (idx % wi) as i64 - self.halo[0] as i64;
-        let j = ((idx / wi) % wj) as i64 - self.halo[1] as i64;
-        let k = (idx / (wi * wj)) as i64 - self.halo[2] as i64;
-        (i, j, k)
-    }
-
-    /// Whether flat element `idx` lies in the compute domain (not halo).
-    pub fn in_domain(&self, idx: usize) -> bool {
-        let (i, j, k) = self.index_of(idx);
-        let d = self.domain;
-        (0..d[0] as i64).contains(&i)
-            && (0..d[1] as i64).contains(&j)
-            && (0..d[2] as i64).contains(&k)
-    }
-}
 
 /// One instrumentation point: label + ordered fields.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,69 +75,43 @@ impl Capture {
             put_str(&mut out, &sp.label);
             put_u32(&mut out, sp.fields.len() as u32);
             for f in &sp.fields {
-                put_str(&mut out, &f.name);
-                for d in 0..3 {
-                    put_u32(&mut out, f.domain[d] as u32);
-                }
-                for d in 0..3 {
-                    put_u32(&mut out, f.halo[d] as u32);
-                }
-                put_u32(&mut out, f.values.len() as u32);
-                for v in &f.values {
-                    out.extend_from_slice(&v.to_bits().to_le_bytes());
-                }
+                f.encode(&mut out);
             }
         }
         out
     }
 
     /// Parse the `FV3GOLD1` binary format.
+    ///
+    /// Shares its decode path ([`Reader`], [`FieldSnapshot::decode`])
+    /// with the `FV3CKPT1` checkpoint format: truncated, corrupt, or
+    /// wrong-magic input returns a descriptive `Err` — never a panic or
+    /// an unbounded allocation.
     pub fn from_bytes(bytes: &[u8]) -> Result<Capture, String> {
-        let mut r = Reader { bytes, pos: 0 };
-        let magic = r.take(8)?;
+        let mut r = Reader::new(bytes);
+        let magic = r.take(8).map_err(|_| {
+            format!("truncated file: {} bytes is too short for a magic", bytes.len())
+        })?;
         if magic != MAGIC {
             return Err(format!("bad magic {magic:?}: not an FV3GOLD1 file"));
         }
         let n_sp = r.u32()? as usize;
+        // A savepoint costs ≥ 8 bytes on the wire; reject counts the
+        // remaining input cannot possibly hold before allocating.
+        r.check_count(n_sp, 8, "savepoint")?;
         let mut savepoints = Vec::with_capacity(n_sp);
         for _ in 0..n_sp {
             let label = r.string()?;
             let n_fields = r.u32()? as usize;
+            r.check_count(n_fields, 32, "field")?;
             let mut fields = Vec::with_capacity(n_fields);
             for _ in 0..n_fields {
-                let name = r.string()?;
-                let mut domain = [0usize; 3];
-                let mut halo = [0usize; 3];
-                for d in &mut domain {
-                    *d = r.u32()? as usize;
-                }
-                for h in &mut halo {
-                    *h = r.u32()? as usize;
-                }
-                let n_vals = r.u32()? as usize;
-                let expect: usize = (0..3)
-                    .map(|d| domain[d] + 2 * halo[d])
-                    .product();
-                if n_vals != expect {
-                    return Err(format!(
-                        "field '{name}': {n_vals} values for logical extent {expect}"
-                    ));
-                }
-                let mut values = Vec::with_capacity(n_vals);
-                for _ in 0..n_vals {
-                    values.push(f64::from_bits(r.u64()?));
-                }
-                fields.push(FieldSnapshot {
-                    name,
-                    domain,
-                    halo,
-                    values,
-                });
+                fields.push(FieldSnapshot::decode(&mut r)?);
             }
             savepoints.push(Savepoint { label, fields });
         }
-        if r.pos != bytes.len() {
-            return Err(format!("{} trailing bytes", bytes.len() - r.pos));
+        if r.remaining() != 0 {
+            return Err(format!("{} trailing bytes", r.remaining()));
         }
         Ok(Capture { savepoints })
     }
@@ -219,50 +147,10 @@ impl StateRecorder for CaptureRecorder {
     }
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if self.pos + n > self.bytes.len() {
-            return Err(format!(
-                "truncated file: need {n} bytes at offset {}",
-                self.pos
-            ));
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        let n = self.u32()? as usize;
-        String::from_utf8(self.take(n)?.to_vec()).map_err(|e| format!("bad utf-8 string: {e}"))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dataflow::Layout;
 
     fn sample_capture() -> Capture {
         let l = Layout::fv3_default([3, 2, 2], [1, 1, 0]);
@@ -343,6 +231,86 @@ mod tests {
         let mut ok = c.to_bytes();
         ok.push(0);
         assert!(Capture::from_bytes(&ok).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn truncation_at_every_offset_errors_descriptively() {
+        // Satellite (ISSUE 5): no prefix of a valid file may panic the
+        // decoder — every cut must produce an Err.
+        let bytes = sample_capture().to_bytes();
+        for cut in 0..bytes.len() {
+            match Capture::from_bytes(&bytes[..cut]) {
+                Err(e) => assert!(!e.is_empty(), "empty error at cut {cut}"),
+                Ok(_) => panic!("truncated file of {cut}/{} bytes parsed", bytes.len()),
+            }
+        }
+        assert!(Capture::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn implausible_counts_are_rejected_before_allocation() {
+        use dataflow::snapshot::{put_str as ps, put_u32 as p32};
+        // Savepoint count far beyond what the file can hold.
+        let mut bytes = MAGIC.to_vec();
+        p32(&mut bytes, u32::MAX);
+        let err = Capture::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("implausible"), "{err}");
+
+        // Field count beyond the remaining bytes.
+        let mut bytes = MAGIC.to_vec();
+        p32(&mut bytes, 1);
+        ps(&mut bytes, "k0.s0.c_sw");
+        p32(&mut bytes, u32::MAX);
+        let err = Capture::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("implausible"), "{err}");
+
+        // Value count that disagrees with the declared extent.
+        let mut bytes = MAGIC.to_vec();
+        p32(&mut bytes, 1);
+        ps(&mut bytes, "sp");
+        p32(&mut bytes, 1);
+        ps(&mut bytes, "delp");
+        for d in [2u32, 2, 1, 0, 0, 0] {
+            p32(&mut bytes, d);
+        }
+        p32(&mut bytes, 7); // extent is 4
+        let err = Capture::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("logical extent"), "{err}");
+
+        // Dimensions whose product overflows usize.
+        let mut bytes = MAGIC.to_vec();
+        p32(&mut bytes, 1);
+        ps(&mut bytes, "sp");
+        p32(&mut bytes, 1);
+        ps(&mut bytes, "delp");
+        for d in [u32::MAX, u32::MAX, u32::MAX, 0, 0, 0] {
+            p32(&mut bytes, d);
+        }
+        p32(&mut bytes, u32::MAX);
+        let err = Capture::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_labels_are_rejected() {
+        let mut bytes = MAGIC.to_vec();
+        dataflow::snapshot::put_u32(&mut bytes, 1);
+        dataflow::snapshot::put_u32(&mut bytes, 4); // label length
+        bytes.extend_from_slice(&[0xFF, 0xFE, 0xFD, 0xFC]); // invalid UTF-8
+        let err = Capture::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("utf-8"), "{err}");
+    }
+
+    #[test]
+    fn load_maps_decode_errors_to_io_invalid_data() {
+        let dir = std::env::temp_dir().join("fv3_savepoint_harden_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.fv3gold");
+        std::fs::write(&path, b"FV3GOLDX junk").unwrap();
+        let err = Capture::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
