@@ -22,7 +22,8 @@
 //! health sample carries a violation, so CI can use it as a smoke
 //! check.
 
-use bench::profile::{bench_json, profile_case};
+use bench::profile::{bench_json_with_scaling, profile_case};
+use bench::weak_scaling::{study_table, weak_scaling_study};
 use dataflow::report::roofline_table;
 use fv3::dyn_core::DycoreConfig;
 use obs::{compare_runs, RegressionPolicy, BENCH_SCHEMA_VERSION};
@@ -101,6 +102,13 @@ fn main() -> ExitCode {
         run.metrics.counter_value("vm_lanes_scalar", &[])
     );
 
+    // Measured weak-scaling overlap study (ISSUE 6): c8/c48/c96 under
+    // both rank schedules; the c48 overlap lands in BENCH_dycore.json as
+    // top-level non-module fields.
+    let scaling = weak_scaling_study(3, 2);
+    println!("\nweak-scaling overlap study (nk=3, 2 steps, parallel rank schedule):");
+    print!("{}", study_table(&scaling));
+
     // Self-validation: a profile with dead kernels, broken clocks, or an
     // unhealthy model is worse than no profile.
     let mut bad = Vec::new();
@@ -145,8 +153,19 @@ fn main() -> ExitCode {
             }
         }
     }
+    for p in &scaling {
+        if p.halo_bytes == 0 || p.halo_messages == 0 {
+            bad.push(format!("{}: parallel schedule posted no halo traffic", p.case));
+        }
+        if !(0.0..=1.0).contains(&p.overlap_efficiency) {
+            bad.push(format!(
+                "{}: overlap efficiency {} out of range",
+                p.case, p.overlap_efficiency
+            ));
+        }
+    }
 
-    let json = bench_json(&run, attainable, stream.gib_per_s());
+    let json = bench_json_with_scaling(&run, attainable, stream.gib_per_s(), &scaling);
     let writes = [
         ("BENCH_dycore.json", json.clone()),
         ("BENCH_dycore_trace.json", run.tracer.to_chrome_trace()),

@@ -5,3 +5,4 @@
 //! EXPERIMENTS.md.
 
 pub mod profile;
+pub mod weak_scaling;

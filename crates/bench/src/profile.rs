@@ -181,6 +181,7 @@ pub fn profile_case_with_checkpoints(
                 step: step as u64 + 1,
                 config: ck_config,
                 states: vec![state.clone()],
+                basis: None,
             };
             let bytes = ck
                 .write_atomic(&step_path(dir, ck.step))
@@ -252,6 +253,21 @@ pub fn profile_case_with_checkpoints(
 /// `attainable` is the roofline denominator in bytes/s; `stream_gib`
 /// the measured STREAM copy bandwidth it came from.
 pub fn bench_json(run: &ProfileRun, attainable: f64, stream_gib: f64) -> String {
+    bench_json_with_scaling(run, attainable, stream_gib, &[])
+}
+
+/// [`bench_json`] plus the measured weak-scaling overlap study embedded
+/// as *top-level, non-module* fields: a `weak_scaling` array (one object
+/// per resolution point) and, when the study includes the c48 point,
+/// `overlap_efficiency_c48` / `halo_wait_seconds_c48` scalars. The
+/// per-module regression gate compares `modules` rows only, so these
+/// fields record the overlap without entering the >15% gate.
+pub fn bench_json_with_scaling(
+    run: &ProfileRun,
+    attainable: f64,
+    stream_gib: f64,
+    scaling: &[crate::weak_scaling::OverlapPoint],
+) -> String {
     let report = &run.report;
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -284,6 +300,17 @@ pub fn bench_json(run: &ProfileRun, attainable: f64, stream_gib: f64) -> String 
         "  \"roofline_fraction\": {},",
         report.roofline_fraction(attainable)
     );
+    if !scaling.is_empty() {
+        let _ = writeln!(
+            out,
+            "  \"weak_scaling\": {},",
+            crate::weak_scaling::study_json(scaling)
+        );
+        if let Some(p) = scaling.iter().find(|p| p.tile_n == 48) {
+            let _ = writeln!(out, "  \"overlap_efficiency_c48\": {},", p.overlap_efficiency);
+            let _ = writeln!(out, "  \"halo_wait_seconds_c48\": {},", p.halo_wait_seconds);
+        }
+    }
     let _ = writeln!(out, "  \"modules\": [");
     let mut rows: Vec<String> = run
         .rollup

@@ -451,8 +451,9 @@ impl HaloUpdater {
 
 /// Every halo cell of a subdomain with edge `s` and halo width `w`:
 /// four edge strips first, then the diagonal corner blocks — the
-/// canonical enumeration both the exchange and its analytic model walk.
-fn halo_cells(s: i64, w: i64) -> Vec<(i64, i64)> {
+/// canonical enumeration both the exchange and its analytic model walk
+/// (and the [`crate::plan::ExchangePlan`] derives its channels from).
+pub fn halo_cells(s: i64, w: i64) -> Vec<(i64, i64)> {
     let mut cells = Vec::with_capacity((4 * s * w + 4 * w * w) as usize);
     for d in 1..=w {
         for t in 0..s {

@@ -13,7 +13,12 @@
 pub mod geometry;
 pub mod halo;
 pub mod partition;
+pub mod plan;
 
 pub use geometry::{CubeGeometry, Edge, EdgeLink, FaceFrame};
 pub use halo::{rank_arrays, CornerPolicy, ExchangeStats, HaloUpdater, Orientation};
 pub use partition::{HaloSource, Partition, RankId};
+pub use plan::{
+    threaded_exchange_scalar, CellTap, Channel, ExchangePlan, FoldCell, HaloMailboxes, PackField,
+    RecvError,
+};

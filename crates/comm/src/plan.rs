@@ -1,0 +1,693 @@
+//! Message-passing halo exchange: precomputed channel plans and
+//! thread-safe, epoch-tagged mailboxes.
+//!
+//! [`HaloUpdater::exchange_scalar`](crate::HaloUpdater::exchange_scalar)
+//! is a *pull*-style gather: one thread walks every rank's halo and reads
+//! the source interiors directly. Real ranks running on real threads need
+//! the *push* decomposition instead — each rank packs what its neighbours
+//! will need, posts it, and unpacks what its neighbours posted. An
+//! [`ExchangePlan`] precomputes that decomposition from the partition:
+//! one [`Channel`] per directed (source → destination) rank pair, each a
+//! list of (destination halo cell, source interior cell, optional vector
+//! transform) taps derived from the same canonical halo enumeration the
+//! sequential updater walks. Packing reads only pre-exchange interiors
+//! and every halo cell has exactly one writer, so a plan-driven exchange
+//! is bit-identical to `exchange_impl` — `plan_matches_sequential_*` in
+//! the crate tests holds this equivalence down to the ULP.
+//!
+//! [`HaloMailboxes`] is the wire: one slot per channel, holding
+//! epoch-tagged buffers. The double-buffer invariant (at most two
+//! outstanding epochs per channel) falls out of the neighbour-synchronous
+//! step structure: a sender cannot post epoch `e+2` before it has
+//! received (and therefore its receiver has packed) epoch `e+1`, which
+//! implies the receiver consumed the sender's epoch `e`. Receives are
+//! condvar waits with a hard deadline; a rank that panics poisons every
+//! slot so its neighbours unwind instead of hanging — the supervised
+//! rollback path depends on that.
+
+use crate::halo::{halo_cells, ExchangeStats, Orientation};
+use crate::partition::{HaloSource, Partition, RankId};
+use dataflow::Array3;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One halo cell's wire mapping: destination-local halo cell, source-local
+/// interior cell, and the 2×2 frame transform for vector pairs crossing a
+/// tile seam (`None` for intra-tile taps — raw copy).
+#[derive(Debug, Clone, Copy)]
+pub struct CellTap {
+    pub di: i64,
+    pub dj: i64,
+    pub si: i64,
+    pub sj: i64,
+    pub transform: Option<[[i64; 2]; 2]>,
+}
+
+/// All taps from one source rank into one destination rank's halo, in
+/// canonical halo-enumeration order.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    pub src: RankId,
+    pub dst: RankId,
+    pub cells: Vec<CellTap>,
+}
+
+/// One cube-corner fold: copy `(fi, fj)` (an exchanged edge-halo cell)
+/// into the cube-corner halo cell `(ci, cj)` of the same array.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldCell {
+    pub ci: i64,
+    pub cj: i64,
+    pub fi: i64,
+    pub fj: i64,
+}
+
+/// What a channel packs for one field slot.
+pub enum PackField<'a> {
+    /// Scalar field: copy the source value.
+    Scalar(&'a Array3),
+    /// Component `row` (0 = u-like, 1 = v-like) of a vector pair: cross-
+    /// tile taps blend both components through the 2×2 transform, exactly
+    /// as `exchange_impl` does for `exchange_vector`.
+    Vector {
+        primary: &'a Array3,
+        partner: &'a Array3,
+        row: usize,
+    },
+}
+
+/// A precomputed push-style halo exchange for a fixed partition/width.
+#[derive(Debug, Clone)]
+pub struct ExchangePlan {
+    part: Partition,
+    width: usize,
+    channels: Vec<Channel>,
+    /// Channel indices with `src == r`, per rank.
+    sends: Vec<Vec<usize>>,
+    /// Channel indices with `dst == r`, per rank.
+    recvs: Vec<Vec<usize>>,
+    /// Cube-corner folds, per rank.
+    folds: Vec<Vec<FoldCell>>,
+}
+
+impl ExchangePlan {
+    /// Derive the channel plan from the partition's halo sources.
+    pub fn new(part: &Partition, width: usize) -> Self {
+        assert!(
+            width <= part.sub_n,
+            "halo width {} exceeds subdomain size {}",
+            width,
+            part.sub_n
+        );
+        let s = part.sub_n as i64;
+        let w = width as i64;
+        let nranks = part.ranks();
+        let mut channels: Vec<Channel> = Vec::new();
+        let mut index: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut folds = vec![Vec::new(); nranks];
+        // `r` is a rank id driving coords/halo_source lookups, not just a
+        // folds index.
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..nranks {
+            let (tile, _, _) = part.coords(RankId(r));
+            for (i, j) in halo_cells(s, w) {
+                let (src, si, sj, transform) = match part.halo_source(RankId(r), i, j) {
+                    HaloSource::Intra { rank, i: si, j: sj } => (rank, si, sj, None),
+                    HaloSource::Inter {
+                        rank,
+                        i: si,
+                        j: sj,
+                        from_tile,
+                    } => (
+                        rank,
+                        si,
+                        sj,
+                        Some(part.geom.vector_transform(tile, from_tile)),
+                    ),
+                    HaloSource::CubeCorner => continue,
+                };
+                let ch = *index.entry((src.0, r)).or_insert_with(|| {
+                    channels.push(Channel {
+                        src,
+                        dst: RankId(r),
+                        cells: Vec::new(),
+                    });
+                    channels.len() - 1
+                });
+                channels[ch].cells.push(CellTap {
+                    di: i,
+                    dj: j,
+                    si,
+                    sj,
+                    transform,
+                });
+            }
+            // Cube-corner folds, in the sequential updater's enumeration
+            // order (reads only edge-halo cells, so order is immaterial to
+            // the values — kept identical anyway).
+            for di in 1..=w {
+                for dj in 1..=w {
+                    for (ci, cj) in [
+                        (-di, -dj),
+                        (s - 1 + di, -dj),
+                        (-di, s - 1 + dj),
+                        (s - 1 + di, s - 1 + dj),
+                    ] {
+                        if part.halo_source(RankId(r), ci, cj) == HaloSource::CubeCorner {
+                            let (fi, fj) = if di >= dj {
+                                (ci, cj.clamp(0, s - 1))
+                            } else {
+                                (ci.clamp(0, s - 1), cj)
+                            };
+                            folds[r].push(FoldCell { ci, cj, fi, fj });
+                        }
+                    }
+                }
+            }
+        }
+        let mut sends = vec![Vec::new(); nranks];
+        let mut recvs = vec![Vec::new(); nranks];
+        for (c, ch) in channels.iter().enumerate() {
+            sends[ch.src.0].push(c);
+            recvs[ch.dst.0].push(c);
+        }
+        ExchangePlan {
+            part: part.clone(),
+            width,
+            channels,
+            sends,
+            recvs,
+            folds,
+        }
+    }
+
+    /// The partition this plan was derived from.
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// Halo width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of directed channels.
+    pub fn n_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The channel at `idx`.
+    pub fn channel(&self, idx: usize) -> &Channel {
+        &self.channels[idx]
+    }
+
+    /// Channels rank `r` sends on.
+    pub fn sends(&self, r: usize) -> &[usize] {
+        &self.sends[r]
+    }
+
+    /// Channels rank `r` receives on.
+    pub fn recvs(&self, r: usize) -> &[usize] {
+        &self.recvs[r]
+    }
+
+    /// Cube-corner folds of rank `r`.
+    pub fn folds(&self, r: usize) -> &[FoldCell] {
+        &self.folds[r]
+    }
+
+    /// Pack one channel's buffer: fields outer, cells middle, k inner.
+    /// Reads only source-rank interior cells, so packing is valid against
+    /// any pre-exchange state.
+    pub fn pack(&self, ch: usize, nk: i64, fields: &[PackField]) -> Vec<f64> {
+        let cells = &self.channels[ch].cells;
+        let mut buf = Vec::with_capacity(fields.len() * cells.len() * nk as usize);
+        for f in fields {
+            for t in cells {
+                for k in 0..nk {
+                    let v = match f {
+                        PackField::Scalar(a) => a.get(t.si, t.sj, k),
+                        PackField::Vector {
+                            primary,
+                            partner,
+                            row,
+                        } => {
+                            let a = primary.get(t.si, t.sj, k);
+                            match t.transform {
+                                None => a,
+                                Some(m) => {
+                                    let b = partner.get(t.si, t.sj, k);
+                                    let (mu, mv) = (m[*row][0], m[*row][1]);
+                                    let (gu, gv) = if *row == 0 { (a, b) } else { (b, a) };
+                                    mu as f64 * gu + mv as f64 * gv
+                                }
+                            }
+                        }
+                    };
+                    buf.push(v);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Unpack field slot `field_idx` (of `n_fields` packed) from a
+    /// channel buffer into the destination rank's array. Writes only halo
+    /// cells; each halo cell of the destination is written by exactly one
+    /// channel.
+    pub fn unpack_field(
+        &self,
+        ch: usize,
+        buf: &[f64],
+        field_idx: usize,
+        n_fields: usize,
+        nk: i64,
+        arr: &mut Array3,
+    ) {
+        let cells = &self.channels[ch].cells;
+        let per_field = cells.len() * nk as usize;
+        assert_eq!(buf.len(), n_fields * per_field, "channel buffer size");
+        let base = field_idx * per_field;
+        for (c, t) in cells.iter().enumerate() {
+            for k in 0..nk {
+                arr.set(t.di, t.dj, k, buf[base + c * nk as usize + k as usize]);
+            }
+        }
+    }
+
+    /// Apply rank `r`'s cube-corner folds to `arr` (after all of its
+    /// channels have been unpacked into `arr`).
+    pub fn apply_folds(&self, r: usize, nk: i64, arr: &mut Array3) {
+        for f in &self.folds[r] {
+            for k in 0..nk {
+                let v = arr.get(f.fi, f.fj, k);
+                arr.set(f.ci, f.cj, k, v);
+            }
+        }
+    }
+
+    /// The statistics one single-field exchange over this plan produces —
+    /// structurally the same enumeration as
+    /// [`HaloUpdater::exact_stats`](crate::HaloUpdater::exact_stats), so
+    /// the two agree exactly (asserted in the crate tests).
+    pub fn stats(&self, nk: usize) -> ExchangeStats {
+        let s = self.part.sub_n as i64;
+        let nranks = self.part.ranks();
+        let mut msgs = vec![BTreeSet::new(); nranks];
+        let mut bytes = vec![0u64; nranks];
+        let mut by_orientation = [0u64; 5];
+        for ch in &self.channels {
+            msgs[ch.src.0].insert(ch.dst.0);
+            for t in &ch.cells {
+                let cell_bytes = nk as u64 * 8;
+                bytes[ch.src.0] += cell_bytes;
+                by_orientation[Orientation::classify(t.di, t.dj, s).idx()] += cell_bytes;
+            }
+        }
+        ExchangeStats {
+            messages_per_rank: msgs.iter().map(|m| m.len() as u64).max().unwrap_or(0),
+            bytes_per_rank: bytes.iter().copied().max().unwrap_or(0),
+            total_messages: msgs.iter().map(|m| m.len() as u64).sum(),
+            total_bytes: bytes.iter().sum(),
+            bytes_by_orientation: by_orientation,
+        }
+    }
+}
+
+/// Receive failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message with the requested epoch arrived within the deadline —
+    /// the sender is wedged or its message was dropped.
+    Timeout,
+    /// Another rank panicked and poisoned the mailboxes.
+    Poisoned,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "halo recv timed out"),
+            RecvError::Poisoned => write!(f, "halo mailboxes poisoned by a peer failure"),
+        }
+    }
+}
+
+struct Slot {
+    entries: Mutex<VecDeque<(u64, Vec<f64>)>>,
+    cv: Condvar,
+}
+
+/// Thread-safe, epoch-tagged mailboxes: one slot per plan channel.
+pub struct HaloMailboxes {
+    slots: Vec<Slot>,
+    poisoned: std::sync::atomic::AtomicBool,
+}
+
+impl HaloMailboxes {
+    /// One empty slot per channel of `plan`.
+    pub fn for_plan(plan: &ExchangePlan) -> Self {
+        HaloMailboxes {
+            slots: (0..plan.n_channels())
+                .map(|_| Slot {
+                    entries: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Post a buffer for `epoch` on channel `ch` (nonblocking).
+    pub fn post(&self, ch: usize, epoch: u64, buf: Vec<f64>) {
+        let slot = &self.slots[ch];
+        let mut q = slot.entries.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back((epoch, buf));
+        // Neighbour-synchronous steps keep at most two epochs in flight
+        // (double buffering); more means the protocol is broken.
+        debug_assert!(q.len() <= 2, "channel {ch} holds {} epochs", q.len());
+        slot.cv.notify_all();
+    }
+
+    /// Block until the buffer for `epoch` arrives on channel `ch`, up to
+    /// `deadline`. Entries from older epochs (aborted steps) are
+    /// discarded on sight.
+    pub fn recv(&self, ch: usize, epoch: u64, deadline: Duration) -> Result<Vec<f64>, RecvError> {
+        use std::sync::atomic::Ordering;
+        let slot = &self.slots[ch];
+        let t0 = Instant::now();
+        let mut q = slot.entries.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(RecvError::Poisoned);
+            }
+            while let Some((e, _)) = q.front() {
+                if *e < epoch {
+                    q.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if let Some((e, _)) = q.front() {
+                if *e == epoch {
+                    return Ok(q.pop_front().expect("front checked").1);
+                }
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= deadline {
+                return Err(RecvError::Timeout);
+            }
+            let (guard, _timeout) = slot
+                .cv
+                .wait_timeout(q, deadline - elapsed)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+
+    /// Mark the mailboxes failed and wake every waiter (call from a
+    /// panicking rank so neighbours unwind instead of timing out).
+    pub fn poison(&self) {
+        self.poisoned
+            .store(true, std::sync::atomic::Ordering::Release);
+        for slot in &self.slots {
+            let _q = slot.entries.lock().unwrap_or_else(|e| e.into_inner());
+            slot.cv.notify_all();
+        }
+    }
+
+    /// Whether a peer failure poisoned the mailboxes.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Clear all entries and the poison flag (between supervised step
+    /// attempts; must not be called while rank threads are live).
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.entries
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+        }
+        self.poisoned
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+}
+
+/// Run one plan-driven scalar exchange with every rank on its own thread
+/// (the measured "parallel schedule" counterpart of
+/// [`HaloUpdater::exchange_scalar`](crate::HaloUpdater::exchange_scalar)):
+/// each rank packs and posts its sends, then receives, unpacks, and
+/// folds. Returns the measured per-rank statistics, which match
+/// [`ExchangePlan::stats`] and therefore `exact_stats` exactly.
+pub fn threaded_exchange_scalar(
+    plan: &ExchangePlan,
+    boxes: &HaloMailboxes,
+    arrays: &mut [Array3],
+    epoch: u64,
+    deadline: Duration,
+) -> ExchangeStats {
+    let nranks = plan.partition().ranks();
+    assert_eq!(arrays.len(), nranks, "one array per rank");
+    let nk = arrays[0].layout().domain[2] as i64;
+    let s = plan.partition().sub_n as i64;
+    let sent_bytes: Vec<std::sync::atomic::AtomicU64> =
+        (0..nranks).map(|_| Default::default()).collect();
+    let by_orientation: [std::sync::atomic::AtomicU64; 5] = Default::default();
+    let cells: Mutex<Vec<Array3>> = Mutex::new(arrays.to_vec());
+    std::thread::scope(|scope| {
+        let plan = &plan;
+        let boxes = &boxes;
+        let cells = &cells;
+        let sent_bytes = &sent_bytes;
+        let by_orientation = &by_orientation;
+        for r in 0..nranks {
+            scope.spawn(move || {
+                use std::sync::atomic::Ordering;
+                // Pack + post against the pre-exchange snapshot.
+                for &c in plan.sends(r) {
+                    let buf = {
+                        let arrs = cells.lock().unwrap_or_else(|e| e.into_inner());
+                        plan.pack(c, nk, &[PackField::Scalar(&arrs[plan.channel(c).src.0])])
+                    };
+                    sent_bytes[r].fetch_add(buf.len() as u64 * 8, Ordering::Relaxed);
+                    boxes.post(c, epoch, buf);
+                }
+                // Recv + unpack + fold.
+                for &c in plan.recvs(r) {
+                    let buf = boxes
+                        .recv(c, epoch, deadline)
+                        .unwrap_or_else(|e| panic!("rank {r} channel {c}: {e}"));
+                    for t in &plan.channel(c).cells {
+                        by_orientation[Orientation::classify(t.di, t.dj, s).idx()]
+                            .fetch_add(nk as u64 * 8, Ordering::Relaxed);
+                    }
+                    let mut arrs = cells.lock().unwrap_or_else(|e| e.into_inner());
+                    plan.unpack_field(c, &buf, 0, 1, nk, &mut arrs[r]);
+                }
+                let mut arrs = cells.lock().unwrap_or_else(|e| e.into_inner());
+                plan.apply_folds(r, nk, &mut arrs[r]);
+            });
+        }
+    });
+    let out = cells.into_inner().unwrap_or_else(|e| e.into_inner());
+    for (dst, src) in arrays.iter_mut().zip(out) {
+        *dst = src;
+    }
+    let msgs_per_rank = (0..nranks).map(|r| plan.sends(r).len() as u64).max();
+    ExchangeStats {
+        messages_per_rank: msgs_per_rank.unwrap_or(0),
+        bytes_per_rank: sent_bytes
+            .iter()
+            .map(|b| b.load(std::sync::atomic::Ordering::Relaxed))
+            .max()
+            .unwrap_or(0),
+        total_messages: (0..nranks).map(|r| plan.sends(r).len() as u64).sum(),
+        total_bytes: sent_bytes
+            .iter()
+            .map(|b| b.load(std::sync::atomic::Ordering::Relaxed))
+            .sum(),
+        bytes_by_orientation: [
+            by_orientation[0].load(std::sync::atomic::Ordering::Relaxed),
+            by_orientation[1].load(std::sync::atomic::Ordering::Relaxed),
+            by_orientation[2].load(std::sync::atomic::Ordering::Relaxed),
+            by_orientation[3].load(std::sync::atomic::Ordering::Relaxed),
+            by_orientation[4].load(std::sync::atomic::Ordering::Relaxed),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::halo::{rank_arrays, CornerPolicy, HaloUpdater};
+
+    fn fill(part: &Partition, arrays: &mut [Array3], salt: f64) {
+        let s = part.sub_n as i64;
+        let nk = arrays[0].layout().domain[2] as i64;
+        for (r, arr) in arrays.iter_mut().enumerate() {
+            for k in 0..nk {
+                for j in 0..s {
+                    for i in 0..s {
+                        let v = (r as f64 * 1.37 + i as f64 * 0.11 + j as f64 * 0.77
+                            + k as f64 * 3.1
+                            + salt)
+                            .sin();
+                        arr.set(i, j, k, v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn assert_bitwise_eq(a: &[Array3], b: &[Array3], what: &str) {
+        for (r, (x, y)) in a.iter().zip(b).enumerate() {
+            let (xs, ys) = (x.export_logical(), y.export_logical());
+            for (n, (p, q)) in xs.iter().zip(ys.iter()).enumerate() {
+                assert!(
+                    p.to_bits() == q.to_bits(),
+                    "{what}: rank {r} flat index {n}: {p:?} vs {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_scalar_matches_sequential_exchange_bitwise() {
+        for (tile_n, rt, w, nk) in [(8, 1, 4, 3), (8, 2, 2, 2), (12, 3, 3, 2)] {
+            let part = Partition::new(tile_n, rt);
+            let up = HaloUpdater::new(part.clone(), w, CornerPolicy::Fold);
+            let plan = ExchangePlan::new(&part, w);
+            let mut seq = rank_arrays(&part, nk, w);
+            fill(&part, &mut seq, 0.25);
+            let mut par = seq.clone();
+            up.exchange_scalar(&mut seq);
+            let boxes = HaloMailboxes::for_plan(&plan);
+            threaded_exchange_scalar(&plan, &boxes, &mut par, 1, Duration::from_secs(10));
+            assert_bitwise_eq(&seq, &par, &format!("c{tile_n} rt={rt} w={w}"));
+        }
+    }
+
+    #[test]
+    fn plan_vector_matches_sequential_exchange_bitwise() {
+        let part = Partition::new(8, 1);
+        let w = 4;
+        let up = HaloUpdater::new(part.clone(), w, CornerPolicy::Fold);
+        let plan = ExchangePlan::new(&part, w);
+        let mut us = rank_arrays(&part, 3, w);
+        let mut vs = rank_arrays(&part, 3, w);
+        fill(&part, &mut us, 0.1);
+        fill(&part, &mut vs, 0.9);
+        // Plan path: single-phase pack of both components from the
+        // pre-exchange state (u's unpack only writes halo cells, so v's
+        // pack reads are unaffected by ordering).
+        let (mut pu, mut pv) = (us.clone(), vs.clone());
+        up.exchange_vector(&mut us, &mut vs);
+        let nk = 3i64;
+        let mut bufs = Vec::new();
+        for c in 0..plan.n_channels() {
+            let src = plan.channel(c).src.0;
+            bufs.push(plan.pack(
+                c,
+                nk,
+                &[
+                    PackField::Vector {
+                        primary: &pu[src],
+                        partner: &pv[src],
+                        row: 0,
+                    },
+                    PackField::Vector {
+                        primary: &pv[src],
+                        partner: &pu[src],
+                        row: 1,
+                    },
+                ],
+            ));
+        }
+        for (c, buf) in bufs.iter().enumerate() {
+            let dst = plan.channel(c).dst.0;
+            plan.unpack_field(c, buf, 0, 2, nk, &mut pu[dst]);
+            plan.unpack_field(c, buf, 1, 2, nk, &mut pv[dst]);
+        }
+        for r in 0..part.ranks() {
+            plan.apply_folds(r, nk, &mut pu[r]);
+            plan.apply_folds(r, nk, &mut pv[r]);
+        }
+        assert_bitwise_eq(&us, &pu, "vector u");
+        assert_bitwise_eq(&vs, &pv, "vector v");
+    }
+
+    #[test]
+    fn plan_stats_match_exact_stats_at_scale() {
+        // The weak-scaling partitions: c8 (6 ranks), c48 (24 ranks), c96
+        // (96 ranks). Plan-derived stats must equal the analytic closed
+        // forms of the sequential updater.
+        for (tile_n, rt, w, nk) in [(8, 1, 4, 6), (48, 2, 4, 6), (96, 4, 4, 6)] {
+            let part = Partition::new(tile_n, rt);
+            let up = HaloUpdater::new(part.clone(), w, CornerPolicy::Leave);
+            let plan = ExchangePlan::new(&part, w);
+            assert_eq!(
+                plan.stats(nk),
+                up.exact_stats(nk),
+                "c{tile_n} rt={rt} w={w} nk={nk}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_exchange_reports_exact_stats() {
+        let part = Partition::new(48, 2);
+        let w = 4;
+        let up = HaloUpdater::new(part.clone(), w, CornerPolicy::Fold);
+        let plan = ExchangePlan::new(&part, w);
+        let mut arrays = rank_arrays(&part, 2, w);
+        fill(&part, &mut arrays, 0.5);
+        let boxes = HaloMailboxes::for_plan(&plan);
+        let measured = threaded_exchange_scalar(&plan, &boxes, &mut arrays, 1, Duration::from_secs(10));
+        assert_eq!(measured, up.exact_stats(2));
+    }
+
+    #[test]
+    fn mailbox_recv_times_out_instead_of_hanging() {
+        let part = Partition::new(8, 1);
+        let plan = ExchangePlan::new(&part, 2);
+        let boxes = HaloMailboxes::for_plan(&plan);
+        let t0 = Instant::now();
+        let err = boxes.recv(0, 7, Duration::from_millis(50)).unwrap_err();
+        assert_eq!(err, RecvError::Timeout);
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn mailbox_poison_wakes_waiters() {
+        let part = Partition::new(8, 1);
+        let plan = ExchangePlan::new(&part, 2);
+        let boxes = std::sync::Arc::new(HaloMailboxes::for_plan(&plan));
+        let b2 = boxes.clone();
+        let h = std::thread::spawn(move || b2.recv(0, 1, Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        boxes.poison();
+        assert_eq!(h.join().unwrap().unwrap_err(), RecvError::Poisoned);
+        boxes.reset();
+        assert!(!boxes.is_poisoned());
+    }
+
+    #[test]
+    fn mailbox_discards_stale_epochs_after_reset_cycles() {
+        let part = Partition::new(8, 1);
+        let plan = ExchangePlan::new(&part, 2);
+        let boxes = HaloMailboxes::for_plan(&plan);
+        boxes.post(3, 1, vec![1.0]);
+        boxes.post(3, 2, vec![2.0]);
+        // Asking for epoch 2 discards the stale epoch-1 entry.
+        let got = boxes.recv(3, 2, Duration::from_millis(50)).unwrap();
+        assert_eq!(got, vec![2.0]);
+        boxes.reset();
+        assert_eq!(
+            boxes.recv(3, 2, Duration::from_millis(10)).unwrap_err(),
+            RecvError::Timeout
+        );
+    }
+}

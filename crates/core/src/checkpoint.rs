@@ -39,6 +39,19 @@ use std::path::{Path, PathBuf};
 /// 8-byte magic prefix of the checkpoint format.
 pub const MAGIC: &[u8; 8] = b"FV3CKPT1";
 
+/// In-memory provenance of a checkpoint: which driver instance captured
+/// it and at which mutation-clock reading. Lets
+/// [`DistributedDycore::restore`] skip ranks whose state has not changed
+/// since the capture (rank-aware rollback). Never serialized — a
+/// checkpoint loaded from disk has no basis and restores every rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointBasis {
+    /// Process-unique id of the capturing [`DistributedDycore`].
+    pub instance: u64,
+    /// The driver's mutation clock at capture time.
+    pub clock: u64,
+}
+
 /// A captured restart basis: step counter, configuration, and every
 /// rank's prognostic state.
 #[derive(Debug, Clone)]
@@ -49,6 +62,9 @@ pub struct Checkpoint {
     pub config: DriverConfig,
     /// One prognostic state per rank, in rank order.
     pub states: Vec<DycoreState>,
+    /// In-memory capture provenance (see [`CheckpointBasis`]); `None`
+    /// for checkpoints read back from disk or built by hand.
+    pub basis: Option<CheckpointBasis>,
 }
 
 impl Checkpoint {
@@ -58,6 +74,7 @@ impl Checkpoint {
             step: d.step_index(),
             config: d.config,
             states: d.states.clone(),
+            basis: Some(d.mutation_basis()),
         }
     }
 
@@ -199,6 +216,7 @@ impl Checkpoint {
             step,
             config,
             states,
+            basis: None,
         })
     }
 

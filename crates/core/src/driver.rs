@@ -2,13 +2,16 @@
 //! sphere, each executing the orchestrated program, with real halo
 //! exchanges in between.
 //!
-//! Ranks run sequentially within one process (the DESIGN.md
-//! substitution); the halo updater performs the actual packing and
+//! Ranks run either sequentially within one process (the DESIGN.md
+//! substitution) or on real threads with compute/communication overlap
+//! ([`RankSchedule::Parallel`], see [`crate::parallel`]); both schedules
+//! are bit-identical. The halo updater performs the actual packing and
 //! orientation transforms of Section IV-C, and its statistics feed the
 //! alpha-beta network model for the scaling studies (Fig. 11).
 
+use crate::parallel::{RankSchedule, StepCache};
 use comm::{CornerPolicy, HaloUpdater, Partition, RankId};
-use dataflow::exec::{DataStore, ExecHooks, Executor};
+use dataflow::exec::{DataStore, ExecHooks};
 use dataflow::graph::{ExpansionAttrs, Sdfg};
 use dataflow::{Array3, DataId};
 use fv3::dyn_core::{
@@ -74,13 +77,43 @@ pub struct DistributedDycore {
     /// is bit-identical across pool widths (`parallel_pool_matches_serial`
     /// in `dataflow::exec`), so this changes wall time only.
     pool: Option<Pool>,
+    /// How ranks are scheduled within a substep (bit-identical either way).
+    pub(crate) schedule: RankSchedule,
+    /// Cached per-substep machinery: programs, pinned executors, exchange
+    /// plan, mailboxes. Invalidated on config/pool changes.
+    pub(crate) cache: Option<StepCache>,
+    /// Monotonic epoch tag for parallel mailbox exchanges.
+    pub(crate) halo_epoch: u64,
+    /// Hard deadline for parallel halo receives (a missing message panics
+    /// the rank instead of hanging it).
+    pub(crate) recv_timeout: Duration,
+    /// Soft stall deadline mirrored from the watchdog: parallel receives
+    /// slower than this count as stalls without failing the step.
+    pub(crate) soft_stall: Option<Duration>,
+    /// Process-unique id anchoring [`crate::CheckpointBasis`] lineage.
+    pub(crate) instance_id: u64,
+    /// Monotonic mutation clock, bumped whenever rank state changes.
+    pub(crate) mut_clock: u64,
+    /// Per-rank clock value of the last state mutation (for rank-aware
+    /// rollback: ranks untouched since a checkpoint's basis skip restore).
+    pub(crate) mutated_at: Vec<u64>,
+    /// Per-rank soft halo stalls under the parallel schedule.
+    pub(crate) rank_stalls: Vec<u64>,
+    /// Total soft stalls under the parallel schedule.
+    pub(crate) parallel_stalls: u64,
+    /// Accumulated compute/comm overlap timings (parallel schedule only).
+    pub(crate) overlap: obs::OverlapStats,
+    /// Measured wire bytes posted under the parallel schedule.
+    pub(crate) halo_bytes_posted: u64,
+    /// Measured messages posted under the parallel schedule.
+    pub(crate) halo_messages_posted: u64,
 }
 
-struct RankHooks<'a> {
-    ids: &'a DycoreIds,
+pub(crate) struct RankHooks<'a> {
+    pub(crate) ids: &'a DycoreIds,
     /// Deferred halo requests: the actual exchange happens between rank
     /// sweeps (ranks run one state-machine step at a time in lock-step).
-    pending: Vec<Vec<DataId>>,
+    pub(crate) pending: Vec<Vec<DataId>>,
 }
 
 impl ExecHooks for RankHooks<'_> {
@@ -123,6 +156,7 @@ impl DistributedDycore {
             states.push(state);
         }
         let updater = HaloUpdater::new(partition.clone(), HALO, CornerPolicy::Fold);
+        let nranks = partition.ranks();
         DistributedDycore {
             config,
             partition,
@@ -133,6 +167,19 @@ impl DistributedDycore {
             updater,
             step_index: 0,
             pool: None,
+            schedule: RankSchedule::from_env(),
+            cache: None,
+            halo_epoch: 0,
+            recv_timeout: crate::parallel::recv_timeout_from_env(),
+            soft_stall: None,
+            instance_id: crate::parallel::next_instance_id(),
+            mut_clock: 0,
+            mutated_at: vec![0; nranks],
+            rank_stalls: vec![0; nranks],
+            parallel_stalls: 0,
+            overlap: obs::OverlapStats::default(),
+            halo_bytes_posted: 0,
+            halo_messages_posted: 0,
         }
     }
 
@@ -164,7 +211,14 @@ impl DistributedDycore {
     /// Deliberately does *not* touch `self.config`: a supervisor that
     /// backed off the time step keeps the backed-off value across the
     /// rollback.
-    pub fn restore(&mut self, ck: &crate::checkpoint::Checkpoint) {
+    ///
+    /// The restore is *rank-aware*: when the checkpoint carries a
+    /// [`crate::CheckpointBasis`] from this very driver instance, only
+    /// ranks mutated since that basis are rewritten — one rank's stall
+    /// does not roll back its neighbours' untouched states. Checkpoints
+    /// from disk or another instance restore every rank. Returns the
+    /// number of ranks actually restored.
+    pub fn restore(&mut self, ck: &crate::checkpoint::Checkpoint) -> usize {
         assert_eq!(
             (ck.config.tile_n, ck.config.rt, ck.config.nk),
             (self.config.tile_n, self.config.rt, self.config.nk),
@@ -175,8 +229,32 @@ impl DistributedDycore {
             self.partition.ranks(),
             "checkpoint rank count does not cover this partition"
         );
-        self.states = ck.states.clone();
+        let known = ck
+            .basis
+            .filter(|b| b.instance == self.instance_id && b.clock <= self.mut_clock);
+        let mut restored = 0;
+        for r in 0..self.partition.ranks() {
+            let clean = known.is_some_and(|b| self.mutated_at[r] <= b.clock);
+            if !clean {
+                self.states[r] = ck.states[r].clone();
+                restored += 1;
+            }
+        }
+        if let Some(b) = known {
+            for m in &mut self.mutated_at {
+                *m = (*m).min(b.clock);
+            }
+        } else {
+            // Unknown lineage: every rank was rewritten; stamp them all
+            // at a fresh clock tick.
+            self.mut_clock += 1;
+            let c = self.mut_clock;
+            for m in &mut self.mutated_at {
+                *m = c;
+            }
+        }
         self.step_index = ck.step;
+        restored
     }
 
     /// Write an `FV3CKPT1` checkpoint of the current state; returns the
@@ -192,8 +270,11 @@ impl DistributedDycore {
 
     /// Run rank programs on a worker pool (bit-identical to serial; see
     /// the `pool` field note). `None` reverts to serial execution.
+    /// Under [`RankSchedule::Parallel`] the pool instead sizes the rank
+    /// thread scope. Invalidates the step cache.
     pub fn set_pool(&mut self, pool: Option<Pool>) {
         self.pool = pool;
+        self.cache = None;
     }
 
     /// The installed worker pool, if any.
@@ -201,15 +282,59 @@ impl DistributedDycore {
         self.pool.as_ref()
     }
 
-    /// Arm (or disarm) the halo stall watchdog (see
-    /// [`HaloUpdater::set_stall_deadline`]).
-    pub fn set_halo_stall_deadline(&mut self, deadline: Option<Duration>) {
-        self.updater.set_stall_deadline(deadline);
+    /// Select the rank schedule (sequential lock-step vs threaded with
+    /// compute/comm overlap). Both produce bit-identical states.
+    pub fn set_rank_schedule(&mut self, schedule: RankSchedule) {
+        self.schedule = schedule;
     }
 
-    /// Halo exchanges that overran the stall deadline.
+    /// The active rank schedule.
+    pub fn rank_schedule(&self) -> RankSchedule {
+        self.schedule
+    }
+
+    /// Hard deadline for parallel halo receives; on expiry the receiving
+    /// rank poisons the mailboxes and panics (supervisor rolls back).
+    pub fn set_halo_recv_timeout(&mut self, deadline: Duration) {
+        self.recv_timeout = deadline;
+    }
+
+    /// Accumulated compute/comm overlap timings (parallel schedule).
+    pub fn overlap_stats(&self) -> obs::OverlapStats {
+        self.overlap
+    }
+
+    /// Take and reset the accumulated overlap timings.
+    pub fn take_overlap_stats(&mut self) -> obs::OverlapStats {
+        std::mem::take(&mut self.overlap)
+    }
+
+    /// Per-rank soft halo stalls under the parallel schedule.
+    pub fn rank_stalls(&self) -> &[u64] {
+        &self.rank_stalls
+    }
+
+    /// Measured wire traffic posted by the parallel schedule since
+    /// construction, as `(bytes, messages)`. One substep posts every
+    /// packed field over every channel, so across a run this must equal
+    /// the [`comm::ExchangePlan::stats`] closed form times the number of
+    /// packed fields times the substep count (asserted in
+    /// `tests/weak_scaling.rs`).
+    pub fn halo_traffic_posted(&self) -> (u64, u64) {
+        (self.halo_bytes_posted, self.halo_messages_posted)
+    }
+
+    /// Arm (or disarm) the halo stall watchdog (see
+    /// [`HaloUpdater::set_stall_deadline`]). Under the parallel schedule
+    /// the same deadline classifies slow receives as soft stalls.
+    pub fn set_halo_stall_deadline(&mut self, deadline: Option<Duration>) {
+        self.updater.set_stall_deadline(deadline);
+        self.soft_stall = deadline;
+    }
+
+    /// Halo exchanges that overran the stall deadline (both schedules).
     pub fn halo_stalls(&self) -> u64 {
-        self.updater.stall_count()
+        self.updater.stall_count() + self.parallel_stalls
     }
 
     /// Replace the expanded program (after optimization passes). The new
@@ -226,6 +351,12 @@ impl DistributedDycore {
 
     /// Exchange halos of the given state fields across all ranks.
     fn exchange(&mut self, names: &[&str]) {
+        // Every rank's halo is rewritten: mark all states mutated.
+        self.mut_clock += 1;
+        let clock = self.mut_clock;
+        for r in 0..self.partition.ranks() {
+            self.mark_rank_mutated(r, clock);
+        }
         // u and v exchange as a vector pair; everything else as scalars.
         let vector_pair = names.contains(&"u") && names.contains(&"v");
         if vector_pair {
@@ -275,50 +406,21 @@ impl DistributedDycore {
     pub fn step(&mut self) {
         let config = self.config.dycore;
         let _step_span = obs::tracing::global_span("step", "driver_step");
-        // One acoustic substep at a time, so halos stay current.
-        let sub = DycoreConfig {
-            n_split: 1,
-            k_split: 1,
-            ..config
-        };
-        let sub_prog = build_dycore_program(self.partition.sub_n, self.config.nk, sub);
-        let mut sub_expanded = sub_prog.sdfg.clone();
-        // Reuse the same expansion as installed? The per-substep program
-        // is structurally identical; tuned attrs are a good default.
-        sub_expanded.expand_libraries(&ExpansionAttrs::tuned());
-        let exec = match &self.pool {
-            Some(p) => Executor::new(p.clone()),
-            None => Executor::serial(),
-        };
-
+        // One acoustic substep at a time, so halos stay current. The
+        // per-substep program, its expansion/split, and the executors are
+        // cached across steps (`crate::parallel::StepCache`).
+        self.ensure_step_cache();
+        let cache = self.cache.take().expect("step cache built");
+        if self.schedule == RankSchedule::Parallel {
+            cache.boxes.reset();
+        }
         for ks in 0..config.k_split {
             for ns in 0..config.n_split {
-                let _acoustic_span =
-                    obs::tracing::global_span("acoustic", &format!("k{ks}.s{ns}"));
-                self.exchange(&["u", "v", "w", "delp", "pt", "q"]);
-                if faults::enabled() {
-                    self.maybe_poison(&format!("k{ks}.s{ns}"));
-                }
-                for r in 0..self.partition.ranks() {
-                    let _rank_span =
-                        obs::tracing::global_span("rank", &format!("rank{r}"));
-                    let mut store = DataStore::for_sdfg(&sub_expanded);
-                    if let Some(m) = obs::metrics::global() {
-                        let bytes: usize =
-                            (0..store.len()).map(|i| store.get(DataId(i)).layout().len * 8).sum();
-                        m.gauge_high_water("store_bytes", &[], bytes as f64);
-                        m.counter_add("rank_runs", &[], 1);
-                    }
-                    load_state(&mut store, &sub_prog.ids, &self.states[r], &self.grids[r]);
-                    let mut hooks = RankHooks {
-                        ids: &sub_prog.ids,
-                        pending: Vec::new(),
-                    };
-                    exec.run(&sub_expanded, &mut store, &sub_prog.params, &mut hooks);
-                    // The per-substep program embeds exactly one halo
-                    // marker, satisfied by the exchange above.
-                    debug_assert_eq!(hooks.pending.len(), 1);
-                    extract_state(&store, &sub_prog.ids, &mut self.states[r]);
+                let module = format!("k{ks}.s{ns}");
+                let _acoustic_span = obs::tracing::global_span("acoustic", &module);
+                match self.schedule {
+                    RankSchedule::Sequential => self.sequential_substep(&cache, &module),
+                    RankSchedule::Parallel => self.parallel_substep(&cache, &module),
                 }
             }
             // Remap runs inside each rank's program already (k_split = 1
@@ -326,28 +428,72 @@ impl DistributedDycore {
             // acceptable for the reproduction: remapping to the same
             // reference is idempotent.
         }
+        self.cache = Some(cache);
         self.step_index += 1;
         if let Some(m) = obs::metrics::global() {
             m.counter_add("driver_steps", &[], 1);
         }
     }
 
-    /// [`SITE_POISON`]: overwrite one interior cell of a prognostic field
-    /// with NaN, as a numerical blowup would.
-    fn maybe_poison(&mut self, module: &str) {
+    /// One acoustic substep under the sequential rank schedule: exchange
+    /// halos, then run every rank in turn on the calling thread.
+    pub(crate) fn sequential_substep(&mut self, cache: &StepCache, module: &str) {
+        self.exchange(&["u", "v", "w", "delp", "pt", "q"]);
+        if faults::enabled() {
+            if let Some((rank, field)) = self.plan_poison(module) {
+                self.apply_poison(rank, &field);
+            }
+        }
+        for r in 0..self.partition.ranks() {
+            let _rank_span = obs::tracing::global_span("rank", &format!("rank{r}"));
+            let mut store = DataStore::for_sdfg(&cache.sub_expanded);
+            if let Some(m) = obs::metrics::global() {
+                let bytes: usize = (0..store.len())
+                    .map(|i| store.get(DataId(i)).layout().len * 8)
+                    .sum();
+                m.gauge_high_water("store_bytes", &[], bytes as f64);
+                m.counter_add("rank_runs", &[], 1);
+            }
+            load_state(&mut store, &cache.sub_prog.ids, &self.states[r], &self.grids[r]);
+            let mut hooks = RankHooks {
+                ids: &cache.sub_prog.ids,
+                pending: Vec::new(),
+            };
+            cache
+                .exec_seq
+                .run(&cache.sub_expanded, &mut store, &cache.sub_prog.params, &mut hooks);
+            // The per-substep program embeds exactly one halo marker,
+            // satisfied by the exchange above.
+            debug_assert_eq!(hooks.pending.len(), 1);
+            extract_state(&store, &cache.sub_prog.ids, &mut self.states[r]);
+        }
+    }
+
+    /// [`SITE_POISON`]: decide whether (and where) to poison one interior
+    /// cell of a prognostic field this substep.
+    pub(crate) fn plan_poison(&self, module: &str) -> Option<(usize, String)> {
         let ctx = FireCtx {
             step: Some(self.step_index),
             module: Some(module),
         };
-        if let Some(spec) = faults::fire(SITE_POISON, ctx) {
+        faults::fire(SITE_POISON, ctx).map(|spec| {
             let rank = spec
                 .rank
                 .unwrap_or_else(|| faults::det_index(0xf1e1d, self.partition.ranks()))
                 .min(self.partition.ranks() - 1);
-            let field = spec.field.as_deref().unwrap_or("pt");
-            let mid = (self.partition.sub_n / 2) as i64;
-            self.states[rank].field_mut(field).set(mid, mid, 0, f64::NAN);
-        }
+            let field = spec.field.unwrap_or_else(|| "pt".to_string());
+            (rank, field)
+        })
+    }
+
+    /// Overwrite one interior cell of `field` on `rank` with NaN, as a
+    /// numerical blowup would; marks the rank mutated.
+    pub(crate) fn apply_poison(&mut self, rank: usize, field: &str) {
+        let mid = (self.partition.sub_n / 2) as i64;
+        self.states[rank].field_mut(field).set(mid, mid, 0, f64::NAN);
+        self.mut_clock += 1;
+        let clock = self.mut_clock;
+        self.mark_rank_mutated(rank, clock);
     }
 
     /// Record one health sample per rank into `monitor` (the driver-level

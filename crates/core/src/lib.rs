@@ -12,17 +12,22 @@
 //! * [`experiments`] — shared harnesses for the evaluation binaries
 //!   (Tables I–III, Figs. 10–11, the bandwidth study, JUWELS);
 //! * [`checkpoint`] — crash-consistent `FV3CKPT1` checkpoint/restart
-//!   (ISSUE 5; supervision policy lives in `crates/resilience`).
+//!   (ISSUE 5; supervision policy lives in `crates/resilience`);
+//! * [`parallel`] — true parallel rank execution with compute/comm
+//!   overlap (ISSUE 6): interior/rind split, epoch-tagged mailboxes,
+//!   bit-identical to the sequential schedule.
 
 pub mod bounds;
 pub mod checkpoint;
 pub mod driver;
 pub mod experiments;
+pub mod parallel;
 pub mod pipeline;
 pub mod profiling;
 
 pub use bounds::{bounds_report, BoundsRow};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointBasis};
 pub use driver::{DistributedDycore, DriverConfig};
+pub use parallel::RankSchedule;
 pub use pipeline::{run_pipeline, PipelineReport, PipelineStage};
 pub use profiling::{profile_pipeline_stages, StageProfile};

@@ -1,0 +1,498 @@
+//! True parallel rank execution with compute/communication overlap.
+//!
+//! The sequential driver runs ranks one after another with a pull-style
+//! halo gather between rounds. This module runs every rank on its own
+//! thread ([`machine::Pool::rank_scope`]) and decomposes each acoustic
+//! substep into the message-passing schedule a real MPI dycore uses:
+//!
+//! 1. **pack + post** — each rank packs its own pre-substep interiors
+//!    for its neighbours ([`comm::ExchangePlan`]) and posts the buffers
+//!    into epoch-tagged mailboxes ([`comm::HaloMailboxes`]);
+//! 2. **interior compute** — while the wires drain, the rank runs the
+//!    interior program derived by [`dataflow::split_for_overlap`]: the
+//!    leading kernel chain clipped to columns that provably never read a
+//!    halo cell;
+//! 3. **wait + unpack + fold** — receive every inbound channel (hard
+//!    deadline; a missing message panics the rank instead of hanging),
+//!    unpack into the store's halo cells, apply cube-corner folds;
+//! 4. **rind compute** — run the boundary strips plus the original
+//!    suffix (copies, vertical remap callback), then extract the state.
+//!
+//! **Bit-identity.** The parallel schedule produces bit-identical states
+//! to the sequential one, step for step: packing reads only pre-substep
+//! interiors (so the exchanged values equal the sequential exchange's —
+//! `comm::plan` holds this to 0 ULP), the interior program never touches
+//! a halo cell (`dataflow::overlap` tests), and unpack/fold land before
+//! any rind statement reads a halo — the same value ends up in every
+//! cell in the same per-column statement order. `core/tests/
+//! parallel_schedule_diff.rs` asserts the end-to-end equality.
+//!
+//! **Failure containment.** A rank that panics (recv timeout after a
+//! dropped message, poisoned mailbox, kernel panic) poisons every
+//! mailbox slot so blocked peers unwind instead of hanging; the panic
+//! propagates to the caller after all rank threads have joined, where
+//! the supervisor rolls back. Per-rank mutation tracking
+//! ([`DistributedDycore::restore`]) keeps that rollback rank-aware:
+//! ranks that never reached their state extraction are not rewritten.
+
+use crate::checkpoint::CheckpointBasis;
+use crate::driver::{DistributedDycore, RankHooks};
+use comm::halo::{SITE_HALO_CORRUPT, SITE_HALO_DROP, SITE_HALO_STALL};
+use comm::{ExchangePlan, HaloMailboxes, PackField};
+use dataflow::exec::{DataStore, Executor};
+use dataflow::graph::{ExpansionAttrs, Sdfg};
+use dataflow::SplitPrograms;
+use fv3::dyn_core::{
+    build_dycore_program, extract_state, load_state, DycoreConfig, DycoreIds, DycoreProgram,
+};
+use fv3::state::{DycoreState, HALO};
+use machine::faults::{self, FaultAction, FireCtx};
+use machine::pool::Pool;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the driver runs its ranks within one acoustic substep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankSchedule {
+    /// One rank after another on the calling thread, pull-style halo
+    /// gather between rounds (the original driver schedule).
+    #[default]
+    Sequential,
+    /// Every rank on its own thread, push-style mailbox exchange with
+    /// the halo latency hidden behind interior compute. Bit-identical to
+    /// [`RankSchedule::Sequential`].
+    Parallel,
+}
+
+/// Environment toggle consulted by [`RankSchedule::from_env`].
+pub const RANK_SCHEDULE_ENV: &str = "FV3_RANK_SCHEDULE";
+/// Environment override for the hard halo-receive deadline, in ms.
+pub const HALO_RECV_TIMEOUT_ENV: &str = "FV3_HALO_RECV_TIMEOUT_MS";
+/// Default hard halo-receive deadline.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(10);
+
+impl RankSchedule {
+    /// Read the schedule from [`RANK_SCHEDULE_ENV`] (`parallel` /
+    /// `threads` select [`RankSchedule::Parallel`]; anything else, or
+    /// unset, stays sequential).
+    pub fn from_env() -> Self {
+        match std::env::var(RANK_SCHEDULE_ENV) {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "parallel" | "threads" | "threaded" => RankSchedule::Parallel,
+                _ => RankSchedule::Sequential,
+            },
+            Err(_) => RankSchedule::Sequential,
+        }
+    }
+}
+
+/// The hard receive deadline: env override or the default.
+pub(crate) fn recv_timeout_from_env() -> Duration {
+    std::env::var(HALO_RECV_TIMEOUT_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_RECV_TIMEOUT)
+}
+
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+/// Process-unique driver instance id (for checkpoint basis tracking).
+pub(crate) fn next_instance_id() -> u64 {
+    NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Everything about a substep that is invariant across steps for a fixed
+/// configuration: the per-substep program, its expansion, the
+/// interior/rind split, pinned executors (one per graph, so their
+/// compiled-kernel caches stay warm), and the exchange plan + mailboxes.
+/// Rebuilt when the dycore configuration or worker pool changes.
+pub(crate) struct StepCache {
+    key: StepKey,
+    pub(crate) sub_prog: DycoreProgram,
+    pub(crate) sub_expanded: Sdfg,
+    pub(crate) split: Option<SplitPrograms>,
+    /// Sequential-path executor (worker-pool backed when one is set).
+    pub(crate) exec_seq: Executor,
+    /// Rank-thread executors run inline (`Pool::new(1)`): the ranks
+    /// themselves are the parallelism. One executor per graph keeps the
+    /// per-`(uid, generation)` kernel caches from evicting each other.
+    pub(crate) exec_full: Executor,
+    pub(crate) exec_interior: Executor,
+    pub(crate) exec_rind: Executor,
+    pub(crate) plan: Arc<ExchangePlan>,
+    pub(crate) boxes: Arc<HaloMailboxes>,
+}
+
+#[derive(PartialEq, Eq)]
+pub(crate) struct StepKey {
+    dt: u64,
+    dddmp: u64,
+    nord4: Option<u64>,
+    sub_n: usize,
+    nk: usize,
+}
+
+impl StepKey {
+    fn of(d: &DistributedDycore) -> Self {
+        let c = d.config.dycore;
+        StepKey {
+            dt: c.dt.to_bits(),
+            dddmp: c.dddmp.to_bits(),
+            nord4: c.nord4_damp.map(f64::to_bits),
+            sub_n: d.partition.sub_n,
+            nk: d.config.nk,
+        }
+    }
+}
+
+/// One rank's substep timings and flags, reported back to the driver.
+struct RankOutcome {
+    pack: Duration,
+    interior: Duration,
+    wait: Duration,
+    rind: Duration,
+    stalled: bool,
+    had_interior: bool,
+    /// Wire traffic this rank actually posted (all packed fields).
+    bytes_posted: u64,
+    messages_posted: u64,
+}
+
+/// The six exchanged prognostics, in pack order (u/v as a vector pair).
+fn pack_fields(s: &DycoreState) -> [PackField<'_>; 6] {
+    [
+        PackField::Vector {
+            primary: &s.u,
+            partner: &s.v,
+            row: 0,
+        },
+        PackField::Vector {
+            primary: &s.v,
+            partner: &s.u,
+            row: 1,
+        },
+        PackField::Scalar(&s.w),
+        PackField::Scalar(&s.delp),
+        PackField::Scalar(&s.pt),
+        PackField::Scalar(&s.q),
+    ]
+}
+
+fn exchanged_ids(ids: &DycoreIds) -> [dataflow::DataId; 6] {
+    [ids.u, ids.v, ids.w, ids.delp, ids.pt, ids.q]
+}
+
+/// Per-substep fault plan, derived on the main thread so injection
+/// decisions stay deterministic regardless of rank interleaving.
+#[derive(Default)]
+struct FaultPlan {
+    /// Rank that sleeps this long before posting its sends.
+    stall: Option<(usize, u64)>,
+    /// Destination rank whose inbound messages are dropped (its recvs
+    /// time out — the parallel analogue of a lost message).
+    drop_dst: Option<usize>,
+    /// (channel, factor) — corrupt one packed value on the wire; a NaN
+    /// factor poisons instead of scaling.
+    corrupt: Option<(usize, f64)>,
+    /// Pre-packed send buffers of a poisoned rank (packed before the
+    /// poison landed, matching the sequential exchange-then-poison
+    /// ordering).
+    prepacked: Option<(usize, Vec<PackedSend>)>,
+}
+
+/// One packed send buffer: (channel index, wire payload).
+type PackedSend = (usize, Vec<f64>);
+
+impl DistributedDycore {
+    /// Build (or keep) the cached per-substep machinery for the current
+    /// configuration.
+    pub(crate) fn ensure_step_cache(&mut self) {
+        let key = StepKey::of(self);
+        if self.cache.as_ref().is_some_and(|c| c.key == key) {
+            return;
+        }
+        let sub = DycoreConfig {
+            n_split: 1,
+            k_split: 1,
+            ..self.config.dycore
+        };
+        let sub_prog = build_dycore_program(self.partition.sub_n, self.config.nk, sub);
+        let mut sub_expanded = sub_prog.sdfg.clone();
+        sub_expanded.expand_libraries(&ExpansionAttrs::tuned());
+        let split = dataflow::split_for_overlap(&sub_expanded, self.partition.sub_n);
+        let plan = Arc::new(ExchangePlan::new(&self.partition, HALO));
+        let boxes = Arc::new(HaloMailboxes::for_plan(&plan));
+        let exec_seq = match self.pool() {
+            Some(p) => Executor::new(p.clone()),
+            None => Executor::serial(),
+        };
+        self.cache = Some(StepCache {
+            key,
+            sub_prog,
+            sub_expanded,
+            split,
+            exec_seq,
+            exec_full: Executor::serial(),
+            exec_interior: Executor::serial(),
+            exec_rind: Executor::serial(),
+            plan,
+            boxes,
+        });
+    }
+
+    /// Fire this substep's halo/poison faults on the main thread and
+    /// translate them into the parallel schedule's terms.
+    fn plan_faults(&mut self, cache: &StepCache, module: &str) -> FaultPlan {
+        let mut fp = FaultPlan::default();
+        if !faults::enabled() {
+            return fp;
+        }
+        let ranks = self.partition.ranks();
+        let nk = self.config.nk as i64;
+        if let Some(spec) = faults::fire(SITE_HALO_STALL, FireCtx::default()) {
+            if let FaultAction::StallMs(ms) = spec.action {
+                let r = spec
+                    .rank
+                    .unwrap_or_else(|| faults::det_index(0x57a11, ranks))
+                    .min(ranks - 1);
+                fp.stall = Some((r, ms));
+            }
+        }
+        if let Some(spec) = faults::fire(SITE_HALO_DROP, FireCtx::default()) {
+            let t = spec
+                .rank
+                .unwrap_or_else(|| faults::det_index(0xd209, ranks))
+                .min(ranks - 1);
+            fp.drop_dst = Some(t);
+        }
+        if let Some(spec) = faults::fire(SITE_HALO_CORRUPT, FireCtx::default()) {
+            let ch = faults::det_index(0x1a10, cache.plan.n_channels());
+            let f = match spec.action {
+                FaultAction::CorruptFactor(f) => f,
+                _ => f64::NAN,
+            };
+            fp.corrupt = Some((ch, f));
+        }
+        if let Some((rank, field)) = self.plan_poison(module) {
+            // Pack the victim's sends *before* poisoning, so neighbours
+            // see pre-poison interiors exactly as under the sequential
+            // exchange-then-poison ordering.
+            let bufs = cache
+                .plan
+                .sends(rank)
+                .iter()
+                .map(|&ch| (ch, cache.plan.pack(ch, nk, &pack_fields(&self.states[rank]))))
+                .collect();
+            fp.prepacked = Some((rank, bufs));
+            self.apply_poison(rank, &field);
+        }
+        fp
+    }
+
+    /// One acoustic substep under the parallel rank schedule.
+    /// Bit-identical to the sequential substep; panics (after poisoning
+    /// the mailboxes and joining all rank threads) on lost messages or
+    /// rank failures, leaving per-rank mutation flags accurate for a
+    /// rank-aware rollback.
+    pub(crate) fn parallel_substep(&mut self, cache: &StepCache, module: &str) {
+        let ranks = self.partition.ranks();
+        let nk = self.config.nk as i64;
+        self.halo_epoch += 1;
+        let epoch = self.halo_epoch;
+        self.mut_clock += 1;
+        let clock = self.mut_clock;
+        let fplan = self.plan_faults(cache, module);
+
+        let plan = &*cache.plan;
+        let boxes = &*cache.boxes;
+        let ids = &cache.sub_prog.ids;
+        let params = &cache.sub_prog.params[..];
+        let sub_expanded = &cache.sub_expanded;
+        let split = cache.split.as_ref();
+        let recv_timeout = self.recv_timeout;
+        let soft_stall = self.soft_stall;
+        let grids = &self.grids;
+
+        let rank_pool = self.pool().cloned().unwrap_or_else(|| Pool::new(1));
+        let cells: Vec<Mutex<&mut DycoreState>> =
+            self.states.iter_mut().map(Mutex::new).collect();
+        let outcomes: Vec<Mutex<Option<RankOutcome>>> =
+            (0..ranks).map(|_| Mutex::new(None)).collect();
+        // Set just before a rank starts writing its state back: a panic
+        // mid-extract still marks the rank dirty for the rollback.
+        let mutating: Vec<AtomicBool> = (0..ranks).map(|_| AtomicBool::new(false)).collect();
+
+        let body = |r: usize| {
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let t0 = Instant::now();
+                if let Some((sr, ms)) = fplan.stall {
+                    if sr == r {
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                }
+                let mut state = cells[r].lock().unwrap_or_else(|e| e.into_inner());
+
+                // 1. Pack own interiors, post to every outbound channel.
+                let prepacked = fplan
+                    .prepacked
+                    .as_ref()
+                    .filter(|(pr, _)| *pr == r)
+                    .map(|(_, bufs)| bufs);
+                let (mut bytes_posted, mut messages_posted) = (0u64, 0u64);
+                match prepacked {
+                    Some(bufs) => {
+                        for (ch, buf) in bufs {
+                            if fplan.drop_dst == Some(plan.channel(*ch).dst.0) {
+                                continue;
+                            }
+                            bytes_posted += buf.len() as u64 * 8;
+                            messages_posted += 1;
+                            boxes.post(*ch, epoch, buf.clone());
+                        }
+                    }
+                    None => {
+                        for &ch in plan.sends(r) {
+                            if fplan.drop_dst == Some(plan.channel(ch).dst.0) {
+                                continue;
+                            }
+                            let mut buf = plan.pack(ch, nk, &pack_fields(&state));
+                            if let Some((cch, f)) = fplan.corrupt {
+                                if cch == ch && !buf.is_empty() {
+                                    let v = faults::det_index(0x1a11, buf.len());
+                                    buf[v] = if f.is_nan() { f64::NAN } else { buf[v] * f };
+                                }
+                            }
+                            bytes_posted += buf.len() as u64 * 8;
+                            messages_posted += 1;
+                            boxes.post(ch, epoch, buf);
+                        }
+                    }
+                }
+                let t_pack = t0.elapsed();
+
+                // 2. Interior compute while the wires drain.
+                let mut store = DataStore::for_sdfg(sub_expanded);
+                load_state(&mut store, ids, &state, &grids[r]);
+                if let Some(m) = obs::metrics::global() {
+                    m.counter_add("rank_runs", &[], 1);
+                }
+                let mut hooks = RankHooks {
+                    ids,
+                    pending: Vec::new(),
+                };
+                let t1 = Instant::now();
+                if let Some(sp) = split {
+                    cache
+                        .exec_interior
+                        .run(&sp.interior, &mut store, params, &mut hooks);
+                }
+                let t_interior = t1.elapsed();
+
+                // 3. Receive, unpack into the store's halos, fold corners.
+                let t2 = Instant::now();
+                let exch = exchanged_ids(ids);
+                for &ch in plan.recvs(r) {
+                    match boxes.recv(ch, epoch, recv_timeout) {
+                        Ok(buf) => {
+                            for (fi, id) in exch.iter().enumerate() {
+                                plan.unpack_field(ch, &buf, fi, exch.len(), nk, store.get_mut(*id));
+                            }
+                        }
+                        Err(e) => {
+                            boxes.poison();
+                            panic!("rank {r}: halo recv on channel {ch} failed: {e}");
+                        }
+                    }
+                }
+                for id in exch {
+                    plan.apply_folds(r, nk, store.get_mut(id));
+                }
+                let t_wait = t2.elapsed();
+                let stalled = soft_stall.is_some_and(|d| t_wait > d);
+
+                // 4. Rind compute (boundary strips + suffix), extract.
+                let t3 = Instant::now();
+                match split {
+                    Some(sp) => {
+                        cache.exec_rind.run(&sp.rind, &mut store, params, &mut hooks);
+                    }
+                    None => {
+                        cache
+                            .exec_full
+                            .run(sub_expanded, &mut store, params, &mut hooks);
+                    }
+                }
+                mutating[r].store(true, Ordering::Release);
+                extract_state(&store, ids, &mut state);
+                let t_rind = t3.elapsed();
+                RankOutcome {
+                    pack: t_pack,
+                    interior: t_interior,
+                    wait: t_wait,
+                    rind: t_rind,
+                    stalled,
+                    had_interior: split.is_some_and(|s| s.has_interior()),
+                    bytes_posted,
+                    messages_posted,
+                }
+            }));
+            match run {
+                Ok(out) => {
+                    *outcomes[r].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                }
+                Err(p) => {
+                    // Wake every peer blocked on this rank, then let the
+                    // panic propagate through the rank scope.
+                    boxes.poison();
+                    resume_unwind(p);
+                }
+            }
+        };
+
+        let scope = catch_unwind(AssertUnwindSafe(|| rank_pool.rank_scope(ranks, body)));
+
+        // Merge per-rank results (also on the failure path, so mutation
+        // flags and stall counters stay accurate for the rollback).
+        for r in 0..ranks {
+            if mutating[r].load(Ordering::Acquire) {
+                self.mark_rank_mutated(r, clock);
+            }
+            if let Some(o) = outcomes[r].lock().unwrap_or_else(|e| e.into_inner()).take() {
+                if o.stalled {
+                    self.rank_stalls[r] += 1;
+                    self.parallel_stalls += 1;
+                    if let Some(m) = obs::metrics::global() {
+                        m.counter_add("halo_stalls", &[], 1);
+                    }
+                }
+                self.overlap
+                    .record_substep(o.pack, o.interior, o.wait, o.rind, o.had_interior);
+                self.halo_bytes_posted += o.bytes_posted;
+                self.halo_messages_posted += o.messages_posted;
+            }
+        }
+        self.overlap.publish();
+        if let Some(m) = obs::metrics::global() {
+            m.counter_add("parallel_substeps", &[], 1);
+        }
+        if let Err(p) = scope {
+            resume_unwind(p);
+        }
+    }
+
+    /// Mark rank `r`'s state as mutated at `clock`.
+    pub(crate) fn mark_rank_mutated(&mut self, r: usize, clock: u64) {
+        self.mutated_at[r] = self.mutated_at[r].max(clock);
+    }
+
+    /// The current mutation basis (for [`crate::Checkpoint::capture`]).
+    pub fn mutation_basis(&self) -> CheckpointBasis {
+        CheckpointBasis {
+            instance: self.instance_id,
+            clock: self.mut_clock,
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Weak-scaling halo-traffic test (ISSUE 6 satellite): the wire bytes
+//! and message counts the parallel schedule *actually posts* at c48
+//! (rt=2, 24 ranks) and c96 (rt=4, 96 ranks) must equal the
+//! [`comm::ExchangePlan::stats`] closed forms, and — because both
+//! resolutions keep the same 24-cell subdomain — the per-rank traffic
+//! must be identical while the totals scale with the rank count. This is
+//! the measured analogue of the paper's weak-scaling argument (Fig. 11):
+//! communication per rank stays flat as the cube grows.
+
+use comm::{ExchangePlan, Partition};
+use dataflow::graph::ExpansionAttrs;
+use fv3::dyn_core::DycoreConfig;
+use fv3::state::HALO;
+use fv3core::{DistributedDycore, DriverConfig, RankSchedule};
+
+/// Fields packed per channel buffer (u, v, w, delp, pt, q).
+const PACKED_FIELDS: u64 = 6;
+const NK: usize = 2;
+const STEPS: u64 = 2;
+
+fn config(tile_n: usize, rt: usize) -> DriverConfig {
+    DriverConfig {
+        tile_n,
+        rt,
+        nk: NK,
+        dycore: DycoreConfig {
+            n_split: 1,
+            k_split: 1,
+            dt: 2.0,
+            dddmp: 0.02,
+            nord4_damp: None,
+        },
+    }
+}
+
+/// Run `STEPS` steps under the parallel schedule and return the measured
+/// (bytes, messages) alongside the plan's closed-form stats.
+fn measure(tile_n: usize, rt: usize) -> ((u64, u64), comm::ExchangeStats, f64) {
+    let mut d = DistributedDycore::new(config(tile_n, rt), &ExpansionAttrs::tuned());
+    d.set_rank_schedule(RankSchedule::Parallel);
+    for _ in 0..STEPS {
+        d.step();
+    }
+    let plan = ExchangePlan::new(&Partition::new(tile_n, rt), HALO);
+    let stats = plan.stats(NK);
+    (d.halo_traffic_posted(), stats, d.overlap_stats().efficiency())
+}
+
+#[test]
+fn measured_c48_traffic_matches_closed_form() {
+    let ((bytes, msgs), stats, efficiency) = measure(48, 2);
+    // n_split = k_split = 1: one exchange per step, every packed field
+    // over every channel.
+    assert_eq!(bytes, PACKED_FIELDS * stats.total_bytes * STEPS);
+    assert_eq!(msgs, stats.total_messages * STEPS);
+    // Satellite 3: the overlap the run reports is a real, positive
+    // fraction — latency was actually hidden behind interior compute.
+    assert!(
+        efficiency > 0.0 && efficiency <= 1.0,
+        "c48 overlap efficiency out of range: {efficiency}"
+    );
+}
+
+#[test]
+fn measured_c96_traffic_matches_closed_form() {
+    let ((bytes, msgs), stats, _) = measure(96, 4);
+    assert_eq!(bytes, PACKED_FIELDS * stats.total_bytes * STEPS);
+    assert_eq!(msgs, stats.total_messages * STEPS);
+}
+
+#[test]
+fn per_rank_traffic_is_flat_under_weak_scaling() {
+    // Same 24-cell subdomain at both resolutions: per-rank halo traffic
+    // must not grow with the cube, totals must scale with rank count.
+    let p48 = ExchangePlan::new(&Partition::new(48, 2), HALO).stats(NK);
+    let p96 = ExchangePlan::new(&Partition::new(96, 4), HALO).stats(NK);
+    // Not exactly equal: at rt=2 every rank touches a cube corner (7
+    // neighbours, missing-corner cells unsent), while rt=4 has
+    // tile-interior ranks with the full 8-neighbourhood. The busiest
+    // rank's bytes may grow by that corner sliver only — never with the
+    // cube size.
+    assert_eq!(p48.messages_per_rank, 7, "rt=2: every rank at a cube corner");
+    assert_eq!(p96.messages_per_rank, 8, "rt=4: full 8-neighbourhood");
+    let growth = p96.bytes_per_rank as f64 / p48.bytes_per_rank as f64;
+    assert!(
+        (1.0..1.05).contains(&growth),
+        "per-rank bytes must stay flat under weak scaling, got x{growth}"
+    );
+    let (r48, r96) = (
+        Partition::new(48, 2).ranks() as u64,
+        Partition::new(96, 4).ranks() as u64,
+    );
+    assert_eq!(r96, 4 * r48);
+    // Totals scale close to linearly in ranks; cube corners/edges keep
+    // the ratio from being exact, so bound it instead.
+    let ratio = p96.total_bytes as f64 / p48.total_bytes as f64;
+    assert!(
+        (3.5..=4.5).contains(&ratio),
+        "total bytes should scale ~4x with ranks, got {ratio}"
+    );
+}

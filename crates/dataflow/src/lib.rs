@@ -15,6 +15,7 @@ pub mod expr;
 pub mod graph;
 pub mod kernel;
 pub mod model;
+pub mod overlap;
 pub mod passes;
 pub mod profile;
 pub mod report;
@@ -34,5 +35,6 @@ pub use kernel::{
     RegionStrategy, Schedule, Stmt,
 };
 pub use model::{CostModel, KernelModel, ModelReport};
+pub use overlap::{split_for_overlap, SplitPrograms};
 pub use profile::{KernelProfileStat, ProfileReport, Profiler, TraceEvent};
 pub use storage::{Array3, Axis, Layout, StorageOrder};

@@ -1,0 +1,292 @@
+//! Interior/rind split equivalence: running `split_for_overlap`'s
+//! interior program then its rind program on one store must be
+//! bit-identical to running the original program — for stencil chains
+//! with growing extents, horizontal regions, vertical solvers with
+//! locals, and copy/callback suffixes.
+
+use dataflow::exec::{validate_sdfg, DataStore, Executor, NoHooks, VmMode};
+use dataflow::graph::{DataflowNode, Sdfg, State};
+use dataflow::kernel::{
+    Anchor, AxisInterval, Domain, Extent2, KOrder, Kernel, LValue, Region2, Schedule, Stmt,
+};
+use dataflow::overlap::split_for_overlap;
+use dataflow::{DataId, Expr, Layout, LocalId};
+
+const N: usize = 24;
+const NK: usize = 3;
+const HALO: usize = 3;
+
+fn layout() -> Layout {
+    Layout::fv3_default([N, N, NK], [HALO, HALO, 0])
+}
+
+/// A synthetic substep: exchange marker, then a chain of kernels with
+/// nonzero read radii, a region-restricted edge fixup, a forward solver
+/// with a local, and a whole-array copy suffix.
+fn build_program() -> (Sdfg, DataId, DataId) {
+    let mut g = Sdfg::new("overlap_case");
+    let a = g.add_container("a", layout(), false);
+    let b = g.add_container("b", layout(), true);
+    let c = g.add_container("c", layout(), true);
+    let out = g.add_container("out", layout(), false);
+
+    let dom = Domain::from_shape([N, N, NK]);
+
+    // k1: 5-point average of `a` into `b`, with an extent so k2 can read
+    // b at an offset (the extent pushes b's writes beyond the domain).
+    let mut k1 = Kernel::new("k1_avg", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+    k1.stmts.push(Stmt {
+        lvalue: LValue::Field(b),
+        expr: Expr::bin(
+            dataflow::BinOp::Mul,
+            Expr::c(0.2),
+            Expr::bin(
+                dataflow::BinOp::Add,
+                Expr::bin(
+                    dataflow::BinOp::Add,
+                    Expr::load(a, -1, 0, 0),
+                    Expr::load(a, 1, 0, 0),
+                ),
+                Expr::bin(
+                    dataflow::BinOp::Add,
+                    Expr::bin(
+                        dataflow::BinOp::Add,
+                        Expr::load(a, 0, -1, 0),
+                        Expr::load(a, 0, 1, 0),
+                    ),
+                    Expr::load(a, 0, 0, 0),
+                ),
+            ),
+        ),
+        k_range: AxisInterval::FULL,
+        region: None,
+        extent: Extent2 {
+            i_lo: 1,
+            i_hi: 1,
+            j_lo: 1,
+            j_hi: 1,
+        },
+    });
+
+    // k2: wider cross of `b` into `c`, plus a region-restricted west-edge
+    // fixup statement (exercises region × strip interaction).
+    let mut k2 = Kernel::new("k2_cross", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+    k2.stmts.push(Stmt::full(
+        LValue::Field(c),
+        Expr::bin(
+            dataflow::BinOp::Add,
+            Expr::bin(
+                dataflow::BinOp::Add,
+                Expr::load(b, -2, 0, 0),
+                Expr::load(b, 2, 0, 0),
+            ),
+            Expr::bin(
+                dataflow::BinOp::Add,
+                Expr::load(b, 0, -2, 0),
+                Expr::load(b, 0, 2, 0),
+            ),
+        ),
+    ));
+    k2.stmts.push(Stmt {
+        lvalue: LValue::Field(c),
+        expr: Expr::bin(
+            dataflow::BinOp::Mul,
+            Expr::c(1.5),
+            Expr::load(b, 0, 0, 0),
+        ),
+        k_range: AxisInterval::FULL,
+        region: Some(Region2 {
+            i: AxisInterval::new(Anchor::Start(0), Anchor::Start(2)),
+            j: AxisInterval::FULL,
+        }),
+        extent: Extent2::ZERO,
+    });
+
+    // k3: forward vertical solver with a per-column local accumulator
+    // reading `c` at a horizontal offset (locals must stay column-local
+    // across the split).
+    let mut k3 = Kernel::new("k3_fwd", dom, KOrder::Forward, Schedule::gpu_vertical());
+    k3.n_locals = 1;
+    let acc = LocalId(0);
+    k3.stmts.push(Stmt::full(
+        LValue::Local(acc),
+        Expr::bin(
+            dataflow::BinOp::Add,
+            Expr::Local(acc),
+            Expr::load(c, 1, -1, 0),
+        ),
+    ));
+    let mut k0 = Stmt::full(LValue::Field(out), Expr::Local(acc));
+    k0.k_range = AxisInterval::at_start(0);
+    k3.stmts.push(k0);
+    let mut krest = Stmt::full(
+        LValue::Field(out),
+        Expr::bin(
+            dataflow::BinOp::Add,
+            Expr::Local(acc),
+            Expr::load(out, 0, 0, -1),
+        ),
+    );
+    krest.k_range = AxisInterval::new(Anchor::Start(1), Anchor::End(0));
+    k3.stmts.push(krest);
+
+    let mut st = State::new("main");
+    st.nodes.push(DataflowNode::HaloExchange { fields: vec![a] });
+    st.nodes.push(DataflowNode::Kernel(k1));
+    st.nodes.push(DataflowNode::Kernel(k2));
+    st.nodes.push(DataflowNode::Kernel(k3));
+    // Suffix: whole-container copy (runs only in the rind program).
+    st.nodes.push(DataflowNode::Copy { src: out, dst: c });
+    g.add_state(st);
+    (g, a, c)
+}
+
+fn seeded_store(g: &Sdfg, a: DataId) -> DataStore {
+    let mut store = DataStore::for_sdfg(g);
+    let arr = store.get_mut(a);
+    let l = arr.layout().clone();
+    let (h, n, nk) = (l.halo[0] as i64, l.domain[0] as i64, l.domain[2] as i64);
+    for k in 0..nk {
+        for j in -h..n + h {
+            for i in -h..n + h {
+                arr.set(i, j, k, (i as f64 * 0.7 + j as f64 * 1.3 + k as f64 * 2.9).sin());
+            }
+        }
+    }
+    store
+}
+
+fn assert_store_bitwise_eq(x: &DataStore, y: &DataStore, what: &str) {
+    assert_eq!(x.len(), y.len());
+    for d in 0..x.len() {
+        let (xa, ya) = (x.get(DataId(d)), y.get(DataId(d)));
+        let (xs, ys) = (xa.export_logical(), ya.export_logical());
+        for (n, (p, q)) in xs.iter().zip(ys.iter()).enumerate() {
+            assert!(
+                p.to_bits() == q.to_bits(),
+                "{what}: container {d} flat index {n}: {p:?} vs {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn split_programs_are_bit_identical_to_the_original() {
+    let (g, a, _) = build_program();
+    validate_sdfg(&g).unwrap();
+    let split = split_for_overlap(&g, N).expect("program shape splits");
+    assert_eq!(split.n_prefix, 3);
+    assert_eq!(split.exchanged, vec![a]);
+    assert!(split.has_interior(), "N={N} leaves real interior work");
+    // Margins follow the recurrence r=[1,2,1] -> R=[1,3,5].
+    assert_eq!(split.margins, vec![1, 3, 5]);
+    validate_sdfg(&split.interior).unwrap();
+    validate_sdfg(&split.rind).unwrap();
+
+    for mode in [VmMode::Scalar, VmMode::Lanes] {
+        let exec = Executor::with_mode(machine::Pool::new(1), mode);
+        let mut full = seeded_store(&g, a);
+        exec.run(&g, &mut full, &[], &mut NoHooks);
+
+        let mut halves = seeded_store(&g, a);
+        exec.run(&split.interior, &mut halves, &[], &mut NoHooks);
+        exec.run(&split.rind, &mut halves, &[], &mut NoHooks);
+
+        assert_store_bitwise_eq(&full, &halves, &format!("{mode:?}"));
+    }
+}
+
+#[test]
+fn interior_program_never_reads_or_writes_halo_cells() {
+    // Poison every halo cell of every container; the interior program
+    // must produce the same interior values as when halos are clean, and
+    // must leave the poisoned halos untouched (that is what makes it safe
+    // to run before the exchange lands).
+    let (g, a, _) = build_program();
+    let split = split_for_overlap(&g, N).expect("splits");
+
+    let exec = Executor::serial();
+    let mut clean = seeded_store(&g, a);
+    exec.run(&split.interior, &mut clean, &[], &mut NoHooks);
+
+    let mut poisoned = seeded_store(&g, a);
+    for d in 0..poisoned.len() {
+        let arr = poisoned.get_mut(DataId(d));
+        let l = arr.layout().clone();
+        let (h, n, nk) = (l.halo[0] as i64, l.domain[0] as i64, l.domain[2] as i64);
+        for k in 0..nk {
+            for j in -h..n + h {
+                for i in -h..n + h {
+                    if i < 0 || i >= n || j < 0 || j >= n {
+                        arr.set(i, j, k, f64::NAN);
+                    }
+                }
+            }
+        }
+    }
+    exec.run(&split.interior, &mut poisoned, &[], &mut NoHooks);
+    for d in 0..clean.len() {
+        let (ca, pa) = (clean.get(DataId(d)), poisoned.get(DataId(d)));
+        let l = ca.layout().clone();
+        let (n, nk) = (l.domain[0] as i64, l.domain[2] as i64);
+        for k in 0..nk {
+            for j in 0..n {
+                for i in 0..n {
+                    let (cv, pv) = (ca.get(i, j, k), pa.get(i, j, k));
+                    assert!(
+                        cv.to_bits() == pv.to_bits(),
+                        "container {d} ({i},{j},{k}): {cv} vs {pv}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tiny_domains_degrade_to_all_rind_but_stay_correct() {
+    // With N=8 the margin recurrence exceeds N/2 for the later kernels;
+    // the split must still be bit-identical (degenerate interior).
+    const SMALL: usize = 8;
+    let mut g = Sdfg::new("tiny");
+    let l = Layout::fv3_default([SMALL, SMALL, 2], [2, 2, 0]);
+    let a = g.add_container("a", l.clone(), false);
+    let b = g.add_container("b", l, false);
+    let dom = Domain::from_shape([SMALL, SMALL, 2]);
+    let mut st = State::new("main");
+    st.nodes.push(DataflowNode::HaloExchange { fields: vec![a] });
+    for m in 0..4 {
+        let mut k = Kernel::new(
+            format!("w{m}"),
+            dom,
+            KOrder::Parallel,
+            Schedule::gpu_horizontal(),
+        );
+        let (src, dst) = if m % 2 == 0 { (a, b) } else { (b, a) };
+        k.stmts.push(Stmt::full(
+            LValue::Field(dst),
+            Expr::bin(
+                dataflow::BinOp::Add,
+                Expr::load(src, -2, 0, 0),
+                Expr::load(src, 0, 2, 0),
+            ),
+        ));
+        st.nodes.push(DataflowNode::Kernel(k));
+    }
+    g.add_state(st);
+    let split = split_for_overlap(&g, SMALL).expect("splits");
+    // Margins 2,4,6,8: on an 8-wide domain only the first kernel's box
+    // ([2,6)) is nonempty; the rest land entirely in the rind program.
+    assert_eq!(split.margins, vec![2, 4, 6, 8]);
+    let interior_kernels = split.interior.states[0].nodes.len();
+    assert_eq!(interior_kernels, 1, "deep-margin kernels degrade to all-rind");
+
+    let exec = Executor::serial();
+    let mut full = seeded_store(&g, a);
+    exec.run(&g, &mut full, &[], &mut NoHooks);
+    let mut halves = seeded_store(&g, a);
+    exec.run(&split.interior, &mut halves, &[], &mut NoHooks);
+    exec.run(&split.rind, &mut halves, &[], &mut NoHooks);
+    assert_store_bitwise_eq(&full, &halves, "tiny");
+}
+

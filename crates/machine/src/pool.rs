@@ -27,6 +27,10 @@ use std::sync::Arc;
 /// integer; invalid or zero values are ignored).
 pub const WORKERS_ENV: &str = "FV3_WORKERS";
 
+/// Process-wide count of rank-level leases served (see
+/// [`Pool::rank_scope`]).
+static RANK_LEASES: AtomicU64 = AtomicU64::new(0);
+
 /// A type-erased parallel region: a borrowed `Fn(Range<usize>) + Sync`
 /// body plus the trampoline that downcasts and calls it.
 ///
@@ -369,6 +373,60 @@ impl Pool {
         }
     }
 
+    /// Run `body(r)` for every rank in `0..ranks`, each on its own
+    /// dedicated OS thread (a *rank-level lease*, as opposed to the
+    /// region-level chunks of [`for_each_chunk`](Self::for_each_chunk)).
+    ///
+    /// Rank bodies block on each other (halo mailbox receives), so they
+    /// must not share the bounded worker team — `ranks` may exceed
+    /// `workers()`, and a worker waiting on a peer that cannot be
+    /// scheduled would deadlock. Dedicated scoped threads sidestep that:
+    /// every rank is always runnable. Kernel-level parallelism inside a
+    /// rank body still goes through this pool's region protocol.
+    ///
+    /// If any rank body panics, the first panic payload is re-raised on
+    /// the caller after *all* rank threads have exited (bodies must
+    /// arrange their own wakeups — e.g. mailbox poisoning — so peers
+    /// blocked on the panicked rank unwind rather than hang).
+    pub fn rank_scope<F>(&self, ranks: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        RANK_LEASES.fetch_add(ranks as u64, Ordering::Relaxed);
+        if ranks <= 1 {
+            if ranks == 1 {
+                body(0);
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..ranks)
+                .map(|r| {
+                    let b = &body;
+                    std::thread::Builder::new()
+                        .name(format!("fv3-rank-{r}"))
+                        .spawn_scoped(s, move || b(r))
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+            let mut payload = None;
+            for h in handles {
+                if let Err(p) = h.join() {
+                    payload.get_or_insert(p);
+                }
+            }
+            if let Some(p) = payload {
+                resume_unwind(p);
+            }
+        });
+    }
+
+    /// Total rank-level leases served by [`rank_scope`](Self::rank_scope)
+    /// across all pools since process start.
+    pub fn rank_leases() -> u64 {
+        RANK_LEASES.load(Ordering::Relaxed)
+    }
+
     /// Map-reduce over `0..len`: each chunk produces a partial value via
     /// `body`, combined pairwise with `combine` starting from `identity`.
     ///
@@ -496,6 +554,52 @@ mod tests {
             total.fetch_add(r.len() as u64, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn rank_scope_runs_every_rank_on_its_own_thread() {
+        let pool = Pool::new(2);
+        let before = Pool::rank_leases();
+        let ids = Mutex::new(std::collections::HashSet::new());
+        let hits: Vec<AtomicU64> = (0..12).map(|_| AtomicU64::new(0)).collect();
+        pool.rank_scope(12, |r| {
+            hits[r].fetch_add(1, Ordering::Relaxed);
+            ids.lock().insert(std::thread::current().id());
+        });
+        for (r, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "rank {r}");
+        }
+        // More ranks than workers, all genuinely concurrent threads.
+        assert_eq!(ids.lock().len(), 12);
+        assert_eq!(Pool::rank_leases() - before, 12);
+    }
+
+    #[test]
+    fn rank_scope_can_block_on_peers_beyond_worker_count() {
+        // A barrier across more ranks than workers: only possible when
+        // every rank has a dedicated thread (pool workers would deadlock).
+        let pool = Pool::new(1);
+        let barrier = std::sync::Barrier::new(8);
+        pool.rank_scope(8, |_| {
+            barrier.wait();
+        });
+    }
+
+    #[test]
+    fn rank_scope_propagates_panics_after_joining_all() {
+        let pool = Pool::new(2);
+        let done = AtomicU64::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.rank_scope(6, |r| {
+                if r == 3 {
+                    panic!("rank 3 failed");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(caught.is_err());
+        // Every non-panicking rank still ran to completion (joined).
+        assert_eq!(done.load(Ordering::Relaxed), 5);
     }
 
     #[test]

@@ -30,10 +30,12 @@
 pub mod health;
 pub mod json;
 pub mod metrics;
+pub mod overlap;
 pub mod regression;
 pub mod tracing;
 
 pub use health::{BlowupReport, HealthMonitor, HealthSample, HealthThresholds};
 pub use metrics::{emit_jsonl, HistogramData, MetricsRegistry};
+pub use overlap::OverlapStats;
 pub use regression::{compare_runs, RegressionPolicy, RegressionReport, BENCH_SCHEMA_VERSION};
 pub use tracing::{SpanGuard, Tracer};

@@ -138,6 +138,12 @@ pub struct RunReport {
     pub retries: u32,
     /// Rollbacks performed.
     pub restores: u64,
+    /// Rank states actually rewritten across all rollbacks. The restore
+    /// is rank-aware ([`DistributedDycore::restore`]): ranks untouched
+    /// since the rollback basis (e.g. a rank whose stalled substep never
+    /// completed) keep their state, so one rank's failure does not
+    /// rewrite its neighbours' completed epochs.
+    pub ranks_restored: u64,
     /// Checkpoints written to disk.
     pub checkpoint_writes: u64,
     /// Bytes written to disk across all checkpoints.
@@ -239,6 +245,7 @@ impl Supervisor {
         let mut retries_total = 0u32;
         let mut retries_this_step = 0u32;
         let mut restores = 0u64;
+        let mut ranks_restored = 0u64;
         let mut ck_writes = 0u64;
         let mut ck_bytes = 0u64;
         let mut ck_time = Duration::ZERO;
@@ -311,8 +318,10 @@ impl Supervisor {
                     retries_this_step += 1;
                     retries_total += 1;
                     let backed_off = retries_this_step > self.policy.backoff_after;
-                    d.restore(ck);
+                    let rewritten = d.restore(ck) as u64;
                     restores += 1;
+                    ranks_restored += rewritten;
+                    self.metrics.counter_add("ranks_restored", &[], rewritten);
                     if backed_off {
                         d.config.dycore.dt *= self.policy.dt_backoff;
                         d.config.dycore.n_split =
@@ -346,6 +355,7 @@ impl Supervisor {
             steps,
             retries: retries_total,
             restores,
+            ranks_restored,
             checkpoint_writes: ck_writes,
             checkpoint_bytes: ck_bytes,
             checkpoint_write_time: ck_time,
@@ -364,7 +374,9 @@ impl Supervisor {
     ) -> Option<(FailureKind, String, Option<BlowupReport>)> {
         let stepped = catch_unwind(AssertUnwindSafe(|| d.step()));
         if let Err(payload) = stepped {
-            return Some((FailureKind::Panic, panic_text(&payload), None));
+            // `&*payload`: deref the box so the downcast sees the payload
+            // itself, not `Box<dyn Any>` (which would never match).
+            return Some((FailureKind::Panic, panic_text(&*payload), None));
         }
         let healthy = d.sample_health(&mut self.monitor, d.step_index());
         if healthy {

@@ -1,0 +1,134 @@
+//! Rank-aware rollback under the parallel rank schedule (ISSUE 6
+//! satellite): when one rank's halo messages are lost, the recv deadline
+//! fails that rank — and only ranks that actually completed the substep
+//! are rewritten by the rollback. One rank's stall must not roll back
+//! its neighbours' completed epochs, and soft stalls are attributed to
+//! the ranks that waited, not to the whole job.
+
+use dataflow::graph::ExpansionAttrs;
+use fv3::dyn_core::DycoreConfig;
+use fv3core::{DistributedDycore, DriverConfig, RankSchedule};
+use resilience::{FailureKind, FaultPlan, Supervisor, SupervisorPolicy};
+use std::time::Duration;
+
+fn dycore() -> DistributedDycore {
+    let cfg = DriverConfig::six_rank(
+        8,
+        3,
+        DycoreConfig {
+            n_split: 1,
+            k_split: 1,
+            dt: 4.0,
+            dddmp: 0.02,
+            nord4_damp: None,
+        },
+    );
+    DistributedDycore::new(cfg, &ExpansionAttrs::tuned())
+}
+
+fn assert_bit_identical(a: &DistributedDycore, b: &DistributedDycore) {
+    assert_eq!(a.step_index(), b.step_index());
+    for (r, (sa, sb)) in a.states.iter().zip(&b.states).enumerate() {
+        for ((name, fa), (_, fb)) in sa.fields().iter().zip(sb.fields().iter()) {
+            let (va, vb) = (fa.export_logical(), fb.export_logical());
+            for (n, (x, y)) in va.iter().zip(&vb).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "rank {r} field {name} element {n}: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dropped_halo_message_rolls_back_only_completed_ranks() {
+    let plan = FaultPlan::parse("seed=11;drop").unwrap();
+    let _guard = plan.arm();
+
+    let mut d = dycore();
+    d.set_rank_schedule(RankSchedule::Parallel);
+    // Short hard deadline so the starved rank fails fast instead of
+    // waiting out the 10 s default.
+    d.set_halo_recv_timeout(Duration::from_millis(250));
+    let mut sup = Supervisor::new(SupervisorPolicy::default());
+    let report = sup.run(&mut d, 2).expect("drop is recovered by rollback");
+
+    assert_eq!(d.step_index(), 2);
+    assert_eq!(report.retries, 1, "one rollback clears the lost message");
+    assert_eq!(report.restores, 1);
+    assert_eq!(report.events[0].kind, FailureKind::Panic);
+    assert!(
+        report.events[0].detail.contains("halo recv"),
+        "panic names the starved receive: {}",
+        report.events[0].detail
+    );
+    // Rank-aware rollback: the starved rank never completed its substep,
+    // so its (untouched) state is not rewritten — 5 of 6 ranks restore.
+    assert_eq!(
+        report.ranks_restored, 5,
+        "only completed ranks should be rewritten"
+    );
+    assert_eq!(sup.metrics().counter_value("ranks_restored", &[]), 5);
+
+    // The recovered run is bit-identical to one that never faulted.
+    let mut clean = dycore();
+    for _ in 0..2 {
+        clean.step();
+    }
+    assert_bit_identical(&d, &clean);
+}
+
+#[test]
+fn parallel_soft_stall_is_counted_per_waiting_rank() {
+    let plan = FaultPlan::parse("seed=12;stall@ms=80").unwrap();
+    let _guard = plan.arm();
+
+    let mut d = dycore();
+    d.set_rank_schedule(RankSchedule::Parallel);
+    let policy = SupervisorPolicy {
+        stall_deadline: Some(Duration::from_millis(15)),
+        ..SupervisorPolicy::default()
+    };
+    let mut sup = Supervisor::new(policy);
+    let report = sup.run(&mut d, 2).expect("a soft stall is not fatal");
+
+    assert_eq!(d.step_index(), 2);
+    assert!(report.clean(), "soft stalls must not trigger rollback");
+    assert!(
+        report.halo_stalls >= 1,
+        "the watchdog should see the stalled exchange"
+    );
+    // Attribution is per rank: the sleeper's neighbours waited past the
+    // deadline, but at least one rank (the sleeper itself, and any
+    // non-adjacent tile) never stalled.
+    let stalls = d.rank_stalls();
+    assert!(stalls.iter().any(|&s| s > 0), "no rank recorded the stall");
+    assert!(
+        stalls.contains(&0),
+        "a stall on one rank must not be charged to every rank: {stalls:?}"
+    );
+
+    // Numerics are unaffected: a slow message is still the right message.
+    let mut clean = dycore();
+    for _ in 0..2 {
+        clean.step();
+    }
+    assert_bit_identical(&d, &clean);
+}
+
+#[test]
+fn restore_from_foreign_checkpoint_rewrites_every_rank() {
+    // A checkpoint loaded from another driver instance has no usable
+    // basis: the conservative path restores all ranks.
+    let mut a = dycore();
+    a.step();
+    let ck = fv3core::Checkpoint::capture(&a);
+    let bytes = ck.to_bytes();
+    let foreign = fv3core::Checkpoint::from_bytes(&bytes).expect("roundtrip");
+    let mut b = dycore();
+    b.step();
+    assert_eq!(b.restore(&foreign), b.partition.ranks());
+    assert_bit_identical(&a, &b);
+}

@@ -11,7 +11,11 @@
 //! change; the replay tests in `tests/golden_replay.rs` will fail with a
 //! divergence report until the file matches the code again.
 
-use validate::reference::{capture_reference, golden_path, SEED_N, SEED_NK, SEED_STEPS};
+use validate::reference::{
+    capture_reference, distributed_golden_path, distributed_seed_config, golden_path,
+    DIST_SEED_STEPS, SEED_N, SEED_NK, SEED_STEPS,
+};
+use validate::stages::capture_executed_distributed;
 
 fn main() {
     let capture = capture_reference(SEED_STEPS);
@@ -30,4 +34,24 @@ fn main() {
         SEED_NK,
     );
     println!("wrote {} ({bytes} bytes)", path.display());
+
+    // The distributed anchor: all 6 tiles under the sequential rank
+    // schedule (the parallel schedule must match it bit for bit).
+    let dist = capture_executed_distributed(
+        distributed_seed_config(),
+        DIST_SEED_STEPS,
+        fv3core::RankSchedule::Sequential,
+    );
+    let dpath = distributed_golden_path();
+    dist.save(&dpath)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", dpath.display()));
+    let dbytes = std::fs::metadata(&dpath).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "captured {} distributed savepoints over {} step(s) of the 6-rank c{}L{} case",
+        dist.savepoints.len(),
+        DIST_SEED_STEPS,
+        SEED_N,
+        SEED_NK,
+    );
+    println!("wrote {} ({dbytes} bytes)", dpath.display());
 }

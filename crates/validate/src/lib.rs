@@ -36,4 +36,6 @@ pub use compare::{
 };
 pub use invariants::{check_finite, check_invariants, ConservationLedger, InvariantReport};
 pub use savepoint::{Capture, CaptureRecorder, FieldSnapshot, Savepoint};
-pub use stages::{capture_executed, check_pipeline_bit_identity, run_stage_on};
+pub use stages::{
+    capture_executed, capture_executed_distributed, check_pipeline_bit_identity, run_stage_on,
+};

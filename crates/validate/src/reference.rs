@@ -69,6 +69,26 @@ pub fn golden_path() -> PathBuf {
         .join("baseline_seed.fv3gold")
 }
 
+/// Steps the distributed (6-rank) golden capture integrates.
+pub const DIST_SEED_STEPS: usize = 4;
+
+/// The distributed seed case: the full c8L6 cubed sphere, one rank per
+/// tile, stepped with the seed dycore configuration. This is the
+/// schedule-equivalence anchor (ISSUE 6): the sequential and parallel
+/// rank schedules must both reproduce its checked-in capture bit for
+/// bit.
+pub fn distributed_seed_config() -> fv3core::DriverConfig {
+    fv3core::DriverConfig::six_rank(SEED_N, SEED_NK, seed_config())
+}
+
+/// Where the checked-in distributed golden capture lives.
+pub fn distributed_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join("golden")
+        .join("distributed_seed.fv3gold")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -92,6 +92,35 @@ pub fn capture_executed(
     capture
 }
 
+/// Run the *distributed* dycore (all 6 cube tiles, real halo exchanges)
+/// for `steps` timesteps under the given rank `schedule`, savepointing
+/// every rank's prognostic state after every step as `t{N}.r{R}.state`.
+/// The labels line up between runs, so [`crate::compare_capture`] of a
+/// [`RankSchedule::Sequential`](fv3core::RankSchedule) and a
+/// [`RankSchedule::Parallel`](fv3core::RankSchedule) capture yields a
+/// first-divergence report naming the exact step, rank, field, and index
+/// where the threaded schedule departed from the lock-step reference.
+/// (ISSUE 6 schedule-equivalence guard.)
+pub fn capture_executed_distributed(
+    config: fv3core::DriverConfig,
+    steps: usize,
+    schedule: fv3core::RankSchedule,
+) -> Capture {
+    let mut d = fv3core::DistributedDycore::new(config, &ExpansionAttrs::tuned());
+    d.set_rank_schedule(schedule);
+    let mut capture = Capture::default();
+    for step in 0..steps {
+        d.step();
+        for (r, state) in d.states.iter().enumerate() {
+            capture.savepoints.push(Savepoint::capture(
+                &format!("t{step}.r{r}.state"),
+                &state.fields(),
+            ));
+        }
+    }
+    capture
+}
+
 /// Snapshot a state's prognostics under the stage's Table III label.
 fn stage_savepoint(stage: PipelineStage, state: &DycoreState) -> Savepoint {
     Savepoint::capture(stage.label(), &state.fields())
