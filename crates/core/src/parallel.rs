@@ -327,6 +327,10 @@ impl DistributedDycore {
 
         let body = |r: usize| {
             let run = catch_unwind(AssertUnwindSafe(|| {
+                // Span parity with the sequential schedule: the tracer is
+                // thread-safe, so rank spans land in the same registry
+                // even though each rank runs on its own worker thread.
+                let _rank_span = obs::tracing::global_span("rank", &format!("rank{r}"));
                 let t0 = Instant::now();
                 if let Some((sr, ms)) = fplan.stall {
                     if sr == r {

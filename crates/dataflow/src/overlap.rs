@@ -40,10 +40,12 @@
 //!   reads reach only `R_l + r_l - 1` columns in);
 //! * *output*: interior and rind column sets are disjoint per kernel.
 //!
-//! When `2·R_m ≥ n` a kernel's interior box is empty: the split is still
-//! correct (everything lands in the rind) but hides nothing — the driver
-//! reports zero overlap for such resolutions (e.g. c8 with halo-4
-//! stencils) and real overlap at c48 and up.
+//! When `2·R_m ≥ n` a kernel's interior box is empty: the cut points are
+//! clamped (`b_hi = max(b_hi, b_lo)`) so the W/E strips still partition
+//! each row exactly once, the split stays correct (everything lands in
+//! the rind) but hides nothing — the driver reports zero overlap for
+//! such resolutions (e.g. c8 with halo-4 stencils) and real overlap at
+//! c48 and up.
 
 use crate::graph::{DataflowNode, Sdfg};
 use crate::kernel::{Anchor, AxisInterval, Extent2, Kernel, Region2, Stmt};
@@ -184,6 +186,11 @@ fn kernel_from_rects(k: &Kernel, suffix: &str, parts: &[(usize, Rect)]) -> Optio
 /// statement subsequence in original program order — the four strips of
 /// one statement are pairwise disjoint.
 fn split_kernel(k: &Kernel, b_lo: i64, b_hi: i64) -> (Option<Kernel>, Option<Kernel>) {
+    // When the interior box is inverted (2·R > n) the cut points cross;
+    // clamping keeps the W/E strips a partition of each row. Without
+    // this, [b_hi, b_lo) lands in both strips and in-place statements
+    // (x = x + y) double-apply there, breaking bit-identity.
+    let b_hi = b_hi.max(b_lo);
     let mut interior: Vec<(usize, Rect)> = Vec::new();
     let mut rind: Vec<(usize, Rect)> = Vec::new();
     for (si, s) in k.stmts.iter().enumerate() {

@@ -273,11 +273,27 @@ fn tiny_domains_degrade_to_all_rind_but_stay_correct() {
         ));
         st.nodes.push(DataflowNode::Kernel(k));
     }
+    // w4: in-place accumulate — reads its own lvalue at offset 0. Any
+    // column executed twice (e.g. overlapping W/E strips when the
+    // interior box inverts) doubles-applies and diverges bitwise, so
+    // this kernel is what makes the degenerate split actually testable:
+    // the a↔b ping-pong kernels above are value-idempotent per column.
+    let mut acc = Kernel::new("w4_acc", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+    acc.stmts.push(Stmt::full(
+        LValue::Field(a),
+        Expr::bin(
+            dataflow::BinOp::Add,
+            Expr::load(a, 0, 0, 0),
+            Expr::load(b, -2, 0, 0),
+        ),
+    ));
+    st.nodes.push(DataflowNode::Kernel(acc));
     g.add_state(st);
     let split = split_for_overlap(&g, SMALL).expect("splits");
-    // Margins 2,4,6,8: on an 8-wide domain only the first kernel's box
-    // ([2,6)) is nonempty; the rest land entirely in the rind program.
-    assert_eq!(split.margins, vec![2, 4, 6, 8]);
+    // Margins 2,4,6,8,10: on an 8-wide domain only the first kernel's
+    // box ([2,6)) is nonempty; the rest land entirely in the rind
+    // program with empty (clamped) interior boxes.
+    assert_eq!(split.margins, vec![2, 4, 6, 8, 10]);
     let interior_kernels = split.interior.states[0].nodes.len();
     assert_eq!(interior_kernels, 1, "deep-margin kernels degrade to all-rind");
 

@@ -6,6 +6,7 @@
 use dataflow::graph::ExpansionAttrs;
 use fv3::dyn_core::DycoreConfig;
 use fv3core::driver::{DistributedDycore, DriverConfig};
+use fv3core::RankSchedule;
 
 #[test]
 fn driver_step_records_spans_metrics_and_health() {
@@ -22,6 +23,13 @@ fn driver_step_records_spans_metrics_and_health() {
         },
     };
     let mut d = DistributedDycore::new(cfg, &ExpansionAttrs::tuned());
+    // The span hierarchy asserted below (one halo span per exchanged
+    // field set, oriented halo_bytes counters) is the sequential central
+    // exchange's shape; pin it so `FV3_RANK_SCHEDULE=parallel` in the
+    // environment (the CI tier-1 parallel gate) can't change what this
+    // phase measures. The parallel schedule's own observability is
+    // asserted in a second phase at the end of this test.
+    d.set_rank_schedule(RankSchedule::Sequential);
 
     let tracer = obs::Tracer::new();
     let metrics = obs::MetricsRegistry::new();
@@ -83,4 +91,34 @@ fn driver_step_records_spans_metrics_and_health() {
     // The chrome trace round-trips through the dataflow parser.
     let parsed = dataflow::profile::parse_chrome_trace(&tracer.to_chrome_trace()).unwrap();
     assert_eq!(parsed.len(), events.len());
+
+    // Phase 2: the parallel schedule. Halo traffic moves to per-channel
+    // mailbox posts accounted by the overlap stats rather than central
+    // halo spans, but step/acoustic/rank spans and the rank_runs counter
+    // keep the same shape (rank spans now come from worker threads).
+    d.set_rank_schedule(RankSchedule::Parallel);
+    let ptracer = obs::Tracer::new();
+    let pmetrics = obs::MetricsRegistry::new();
+    obs::tracing::install_global(&ptracer);
+    obs::metrics::install_global(&pmetrics);
+    d.step();
+    obs::tracing::uninstall_global();
+    obs::metrics::uninstall_global();
+
+    let pevents = ptracer.finished();
+    let pcount = |cat: &str| pevents.iter().filter(|e| e.cat == cat).count();
+    assert_eq!(pcount("step"), 1);
+    assert_eq!(pcount("acoustic"), 2);
+    assert_eq!(pcount("rank"), 2 * d.partition.ranks());
+    assert_eq!(pmetrics.counter_value("parallel_substeps", &[]), 2);
+    assert_eq!(
+        pmetrics.counter_value("rank_runs", &[]),
+        2 * d.partition.ranks() as u64
+    );
+    // Every rank's substep timings were folded in and published.
+    let stats = d.overlap_stats();
+    assert_eq!(stats.substeps, 2 * d.partition.ranks() as u64);
+    assert!(pmetrics.gauge_value("overlap_efficiency", &[]).is_some());
+    let (bytes_posted, messages_posted) = d.halo_traffic_posted();
+    assert!(bytes_posted > 0 && messages_posted > 0);
 }
