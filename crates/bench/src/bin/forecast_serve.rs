@@ -1,0 +1,190 @@
+//! `forecast_serve`: the forecast-as-a-service front door, RAMP-style.
+//!
+//! ```text
+//! forecast_serve init   [key=value ...]   # cold-start probe: one request,
+//!                                         # report the compile bill
+//! forecast_serve submit [key=value ...]   # submit a batch, print one line
+//!                                         # per outcome
+//! forecast_serve run    [key=value ...]   # soak: warmup + measured burst,
+//!                                         # emit RUN_metrics.jsonl /
+//!                                         # RUN_health.jsonl, gate the
+//!                                         # service contract
+//! ```
+//!
+//! Keys (all optional): `requests=N slots=N steps=N tile_n=N nk=N`.
+//! Defaults are the CI soak shape (8 requests, 2 slots, 2 steps, c8L6).
+//!
+//! `run` exits nonzero unless the service contract held: every request
+//! completed, none failed, zero kernel compilations after the warmup
+//! request, and nonzero measured throughput/latency. The serve-soak CI
+//! job parses its `RUN_metrics.jsonl` for `requests_completed` and the
+//! latency gauges.
+
+use bench::serve_load::{serve_load, ServeLoadConfig};
+use engine::{EngineConfig, ForecastEngine};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: forecast_serve <init|submit|run> [requests=N] [slots=N] [steps=N] [tile_n=N] [nk=N]");
+    ExitCode::FAILURE
+}
+
+fn parse_config(args: &[String]) -> Result<ServeLoadConfig, String> {
+    let mut cfg = ServeLoadConfig::default();
+    for arg in args {
+        let (key, value) = arg
+            .split_once('=')
+            .ok_or_else(|| format!("'{arg}' is not key=value"))?;
+        let n: usize = value
+            .parse()
+            .map_err(|e| format!("bad {key} '{value}': {e}"))?;
+        match key {
+            "requests" => cfg.requests = n,
+            "slots" => cfg.slots = n,
+            "steps" => cfg.steps = n as u64,
+            "tile_n" => cfg.tile_n = n,
+            "nk" => cfg.nk = n,
+            other => return Err(format!("unknown key '{other}'")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// `init`: prove the environment serves at all — start an engine, run
+/// one request, report the compile bill it paid.
+fn cmd_init(cfg: ServeLoadConfig) -> ExitCode {
+    let engine = ForecastEngine::start(EngineConfig {
+        slots: cfg.slots,
+        ..EngineConfig::from_env()
+    });
+    let id = engine.submit(cfg.request().with_label("init"));
+    let out = engine.wait(id);
+    match out.result {
+        Ok(rep) => {
+            println!(
+                "init ok: request {} ran {} steps in {:.3}s, compiled {} kernels ({} hits)",
+                out.id, rep.steps, out.run_seconds, rep.cache_misses, rep.cache_hits
+            );
+            engine.shutdown();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("init FAILED: request {}: {e}", out.id);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `submit`: one-shot client — submit the batch, print an outcome line
+/// per request as each finishes.
+fn cmd_submit(cfg: ServeLoadConfig) -> ExitCode {
+    let engine = ForecastEngine::start(EngineConfig {
+        slots: cfg.slots,
+        queue_cap: cfg.requests.max(1),
+        ..EngineConfig::from_env()
+    });
+    let ids: Vec<_> = (0..cfg.requests)
+        .map(|i| engine.submit(cfg.request().with_label(&format!("batch-{i}"))))
+        .collect();
+    let mut failed = 0u64;
+    for id in ids {
+        let out = engine.wait(id);
+        match &out.result {
+            Ok(rep) => println!(
+                "{} {} ok steps={} latency={:.3}s warm={} misses={}",
+                out.id, out.label, rep.steps, out.latency_seconds(), rep.warm_start, rep.cache_misses
+            ),
+            Err(e) => {
+                failed += 1;
+                println!("{} {} FAILED: {e}", out.id, out.label);
+            }
+        }
+    }
+    let stats = engine.shutdown();
+    println!(
+        "submitted={} completed={} failed={} cache_hits={} cache_misses={}",
+        stats.submitted, stats.completed, stats.failed, stats.cache_hits, stats.cache_misses
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `run`: the measured soak. Emits the JSONL channels and gates the
+/// service contract.
+fn cmd_run(cfg: ServeLoadConfig) -> ExitCode {
+    println!(
+        "serve soak: {} requests x {} steps over {} slots (c{}L{})",
+        cfg.requests, cfg.steps, cfg.slots, cfg.tile_n, cfg.nk
+    );
+    let rep = serve_load(cfg);
+    std::fs::write("RUN_metrics.jsonl", &rep.metrics_jsonl).expect("write RUN_metrics.jsonl");
+    std::fs::write("RUN_health.jsonl", &rep.health_jsonl).expect("write RUN_health.jsonl");
+    println!(
+        "completed={}/{} failed={} warmup_misses={} steady_state_misses={} warm_acquires={}",
+        rep.completed, rep.requests, rep.failed, rep.warmup_misses, rep.steady_state_misses,
+        rep.warm_acquires
+    );
+    println!(
+        "throughput={:.2} req/s p50={:.3}s p99={:.3}s max={:.3}s over {:.3}s",
+        rep.requests_per_second,
+        rep.p50_latency_seconds,
+        rep.p99_latency_seconds,
+        rep.max_latency_seconds,
+        rep.total_seconds
+    );
+
+    let mut bad = Vec::new();
+    if rep.completed != rep.requests as u64 {
+        bad.push(format!(
+            "lost requests: completed {} of {}",
+            rep.completed, rep.requests
+        ));
+    }
+    if rep.failed > 0 {
+        bad.push(format!("{} requests failed", rep.failed));
+    }
+    if rep.warmup_misses == 0 {
+        bad.push("warmup compiled nothing (case not cold?)".to_string());
+    }
+    if rep.steady_state_misses > 0 {
+        bad.push(format!(
+            "steady state recompiled {} kernels after the warmup request",
+            rep.steady_state_misses
+        ));
+    }
+    if !(rep.requests_per_second > 0.0 && rep.p99_latency_seconds > 0.0) {
+        bad.push("degenerate throughput/latency measurement".to_string());
+    }
+    if bad.is_empty() {
+        println!("serve soak ok");
+        ExitCode::SUCCESS
+    } else {
+        for b in &bad {
+            eprintln!("serve soak FAILED: {b}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let cfg = match parse_config(&args[1..]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("forecast_serve: {e}");
+            return usage();
+        }
+    };
+    match cmd.as_str() {
+        "init" => cmd_init(cfg),
+        "submit" => cmd_submit(cfg),
+        "run" => cmd_run(cfg),
+        _ => usage(),
+    }
+}

@@ -22,7 +22,8 @@
 //! health sample carries a violation, so CI can use it as a smoke
 //! check.
 
-use bench::profile::{bench_json_with_scaling, profile_case};
+use bench::profile::{bench_json_full, profile_case};
+use bench::serve_load::{serve_load, ServeLoadConfig};
 use bench::weak_scaling::{study_table, weak_scaling_study};
 use dataflow::report::roofline_table;
 use fv3::dyn_core::DycoreConfig;
@@ -109,6 +110,24 @@ fn main() -> ExitCode {
     println!("\nweak-scaling overlap study (nk=3, 2 steps, parallel rank schedule):");
     print!("{}", study_table(&scaling));
 
+    // Forecast-as-a-service load study (ISSUE 7): a warmup request plus
+    // a measured burst through the persistent engine; sustained req/s
+    // and tail latency land in BENCH_dycore.json as the top-level
+    // `serve` object (non-gated, like `weak_scaling`).
+    let serve = serve_load(ServeLoadConfig::default());
+    println!(
+        "\nserve load ({} requests x {} steps over {} slots): {:.2} req/s, \
+         p50 {:.1} ms, p99 {:.1} ms, {} steady-state recompiles, {} warm acquires",
+        serve.requests,
+        serve.steps,
+        serve.slots,
+        serve.requests_per_second,
+        serve.p50_latency_seconds * 1e3,
+        serve.p99_latency_seconds * 1e3,
+        serve.steady_state_misses,
+        serve.warm_acquires
+    );
+
     // Self-validation: a profile with dead kernels, broken clocks, or an
     // unhealthy model is worse than no profile.
     let mut bad = Vec::new();
@@ -164,8 +183,20 @@ fn main() -> ExitCode {
             ));
         }
     }
+    if !serve.is_clean() {
+        bad.push(format!(
+            "serve load broke the service contract: completed {}/{}, {} failed, \
+             {} steady-state recompiles, {:.2} req/s, p99 {:.4}s",
+            serve.completed,
+            serve.requests,
+            serve.failed,
+            serve.steady_state_misses,
+            serve.requests_per_second,
+            serve.p99_latency_seconds
+        ));
+    }
 
-    let json = bench_json_with_scaling(&run, attainable, stream.gib_per_s(), &scaling);
+    let json = bench_json_full(&run, attainable, stream.gib_per_s(), &scaling, Some(&serve));
     let writes = [
         ("BENCH_dycore.json", json.clone()),
         ("BENCH_dycore_trace.json", run.tracer.to_chrome_trace()),

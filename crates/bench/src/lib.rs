@@ -5,4 +5,5 @@
 //! EXPERIMENTS.md.
 
 pub mod profile;
+pub mod serve_load;
 pub mod weak_scaling;

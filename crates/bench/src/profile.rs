@@ -268,6 +268,22 @@ pub fn bench_json_with_scaling(
     stream_gib: f64,
     scaling: &[crate::weak_scaling::OverlapPoint],
 ) -> String {
+    bench_json_full(run, attainable, stream_gib, scaling, None)
+}
+
+/// [`bench_json_with_scaling`] plus the forecast-service load study
+/// embedded as a top-level `serve` object (sustained requests/second,
+/// p50/p99/max submit-to-finish latency, steady-state compile count).
+/// Like `weak_scaling`, it sits outside the `modules` array, so the
+/// per-module >15% regression gate never compares it; the serve-soak CI
+/// job owns its regression story instead.
+pub fn bench_json_full(
+    run: &ProfileRun,
+    attainable: f64,
+    stream_gib: f64,
+    scaling: &[crate::weak_scaling::OverlapPoint],
+    serve: Option<&crate::serve_load::ServeLoadReport>,
+) -> String {
     let report = &run.report;
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -310,6 +326,9 @@ pub fn bench_json_with_scaling(
             let _ = writeln!(out, "  \"overlap_efficiency_c48\": {},", p.overlap_efficiency);
             let _ = writeln!(out, "  \"halo_wait_seconds_c48\": {},", p.halo_wait_seconds);
         }
+    }
+    if let Some(s) = serve {
+        let _ = writeln!(out, "  \"serve\": {},", s.to_json());
     }
     let _ = writeln!(out, "  \"modules\": [");
     let mut rows: Vec<String> = run
@@ -449,6 +468,30 @@ mod tests {
         let json = bench_json(&run, 1e9, 1.0);
         assert!(!json.contains("checkpoint_write\""));
         assert!(json.contains("\"checkpoint_writes\": 0"));
+    }
+
+    #[test]
+    fn serve_fields_embed_outside_the_module_gate() {
+        let run = profile_case(8, 4, 1, small_config());
+        let serve = crate::serve_load::serve_load(crate::serve_load::ServeLoadConfig {
+            requests: 2,
+            slots: 2,
+            steps: 1,
+            tile_n: 8,
+            nk: 3,
+        });
+        let json = bench_json_full(&run, 1e9, 1.0, &[], Some(&serve));
+        assert!(json.contains("\"serve\": {\"requests\": 2"));
+        assert_eq!(obs::regression::schema_version(&json), Ok(2));
+        let report =
+            obs::compare_runs(&json, &json, &obs::RegressionPolicy::default()).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        // The serve object is top-level, like weak_scaling: adding it
+        // must not perturb the per-module regression gate.
+        let without = bench_json(&run, 1e9, 1.0);
+        let report =
+            obs::compare_runs(&without, &json, &obs::RegressionPolicy::default()).unwrap();
+        assert!(report.is_clean(), "serve fields leaked into the gate: {}", report.render());
     }
 
     #[test]

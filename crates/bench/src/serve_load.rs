@@ -1,0 +1,280 @@
+//! `serve_load`: a traffic generator for [`engine::ForecastEngine`].
+//!
+//! Measures what a one-shot profile cannot: the *service* view of the
+//! dycore — sustained requests/second and tail latency when a burst of
+//! tenants shares one persistent engine, and whether the shared
+//! compiled-kernel cache really reaches steady state (every request
+//! after the warmup must report zero `kernel_cache_misses`).
+//!
+//! The protocol mirrors the soak suite: one serialized warmup request
+//! pays the case's compile bill, then `requests` concurrent submissions
+//! race through `slots` run slots while the generator records
+//! submit-to-finish latency per request. The report embeds into
+//! `BENCH_dycore.json` as top-level, non-module fields (the per-module
+//! regression gate ignores them, like `weak_scaling`), and its metrics
+//! and per-request health streams ride the usual JSONL channels.
+
+use engine::{EngineConfig, ForecastEngine, ForecastRequest, Scenario};
+use fv3::dyn_core::DycoreConfig;
+use fv3core::DriverConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Traffic shape for one load run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLoadConfig {
+    /// Requests in the measured burst (after the warmup).
+    pub requests: usize,
+    /// Engine run slots.
+    pub slots: usize,
+    /// Steps per request.
+    pub steps: u64,
+    /// Cube resolution per request.
+    pub tile_n: usize,
+    /// Vertical levels per request.
+    pub nk: usize,
+}
+
+impl Default for ServeLoadConfig {
+    fn default() -> Self {
+        ServeLoadConfig {
+            requests: 8,
+            slots: 2,
+            steps: 2,
+            tile_n: 8,
+            nk: 6,
+        }
+    }
+}
+
+impl ServeLoadConfig {
+    /// The request every tenant submits.
+    pub fn request(&self) -> ForecastRequest {
+        let config = DriverConfig::six_rank(
+            self.tile_n,
+            self.nk,
+            DycoreConfig {
+                n_split: 1,
+                k_split: 1,
+                dt: 4.0,
+                dddmp: 0.02,
+                nord4_damp: None,
+            },
+        );
+        ForecastRequest::new(Scenario::BaroclinicWave, config, self.steps)
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct ServeLoadReport {
+    /// The traffic shape that produced this report.
+    pub requests: usize,
+    pub slots: usize,
+    pub steps: u64,
+    /// Burst requests that completed / failed.
+    pub completed: u64,
+    pub failed: u64,
+    /// Kernel compilations the warmup request paid (the case's bill).
+    pub warmup_misses: u64,
+    /// Kernel compilations paid by the burst — must be 0: the service is
+    /// in steady state after the first request.
+    pub steady_state_misses: u64,
+    /// Burst requests that reused a parked warm instance.
+    pub warm_acquires: u64,
+    /// Wall time of the measured burst.
+    pub total_seconds: f64,
+    /// Sustained throughput of the burst.
+    pub requests_per_second: f64,
+    /// Submit-to-finish latency percentiles (nearest-rank) and max.
+    pub p50_latency_seconds: f64,
+    pub p99_latency_seconds: f64,
+    pub max_latency_seconds: f64,
+    /// Final cumulative engine-metrics snapshot (JSONL).
+    pub metrics_jsonl: String,
+    /// Per-step health of every burst request, each line tagged with its
+    /// request id.
+    pub health_jsonl: String,
+}
+
+impl ServeLoadReport {
+    /// True when the run sustained the service contract: everything
+    /// completed, nothing failed, nothing recompiled, and the clock
+    /// actually advanced.
+    pub fn is_clean(&self) -> bool {
+        self.completed == self.requests as u64
+            && self.failed == 0
+            && self.steady_state_misses == 0
+            && self.total_seconds > 0.0
+            && self.requests_per_second > 0.0
+            && self.p99_latency_seconds > 0.0
+    }
+
+    /// The `"serve"` object embedded in `BENCH_dycore.json` (top-level,
+    /// outside the per-module regression gate).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\": {}, \"slots\": {}, \"steps_per_request\": {}, \
+             \"completed\": {}, \"failed\": {}, \"warmup_misses\": {}, \
+             \"steady_state_misses\": {}, \"warm_acquires\": {}, \
+             \"total_seconds\": {}, \"requests_per_second\": {}, \
+             \"p50_latency_seconds\": {}, \"p99_latency_seconds\": {}, \
+             \"max_latency_seconds\": {}}}",
+            self.requests,
+            self.slots,
+            self.steps,
+            self.completed,
+            self.failed,
+            self.warmup_misses,
+            self.steady_state_misses,
+            self.warm_acquires,
+            self.total_seconds,
+            self.requests_per_second,
+            self.p50_latency_seconds,
+            self.p99_latency_seconds,
+            self.max_latency_seconds
+        )
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Run one load shape against a fresh persistent engine and measure it.
+pub fn serve_load(cfg: ServeLoadConfig) -> ServeLoadReport {
+    let engine = ForecastEngine::start(EngineConfig {
+        slots: cfg.slots,
+        queue_cap: cfg.requests.max(1) + 1,
+        ..EngineConfig::default()
+    });
+
+    // Warmup: one serialized request compiles the case so the burst
+    // below measures the service steady state, not cold start.
+    let warm = engine.submit(cfg.request().with_label("warmup"));
+    let warmup_misses = match engine.wait(warm).result {
+        Ok(rep) => rep.cache_misses,
+        Err(e) => panic!("serve_load warmup failed: {e}"),
+    };
+
+    let t0 = Instant::now();
+    let ids: Vec<_> = (0..cfg.requests)
+        .map(|i| engine.submit(cfg.request().with_label(&format!("load-{i}"))))
+        .collect();
+
+    let mut latencies = Vec::with_capacity(cfg.requests);
+    let mut steady_state_misses = 0u64;
+    let mut warm_acquires = 0u64;
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut health_jsonl = String::new();
+    for id in ids {
+        let out = engine.wait(id);
+        latencies.push(out.latency_seconds());
+        match out.result {
+            Ok(rep) => {
+                completed += 1;
+                steady_state_misses += rep.cache_misses;
+                warm_acquires += rep.warm_start as u64;
+                // Tag each health line with the request that produced it
+                // so one stream carries every tenant.
+                let tag = format!("{{\"request\": \"{}\", ", out.id);
+                for line in rep.health_jsonl().lines() {
+                    let _ = writeln!(health_jsonl, "{}", line.replacen('{', &tag, 1));
+                }
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let total_seconds = t0.elapsed().as_secs_f64();
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let requests_per_second = if total_seconds > 0.0 {
+        completed as f64 / total_seconds
+    } else {
+        0.0
+    };
+
+    // Record the derived service-level numbers on the engine's registry
+    // so the final snapshot carries them next to the request counters.
+    let m = engine.metrics();
+    m.gauge_set("requests_per_second", &[], requests_per_second);
+    m.gauge_set("request_p50_seconds", &[], percentile(&latencies, 0.50));
+    m.gauge_set("request_p99_seconds", &[], percentile(&latencies, 0.99));
+    let metrics_jsonl = obs::emit_jsonl(m, cfg.requests as u64);
+
+    let report = ServeLoadReport {
+        requests: cfg.requests,
+        slots: cfg.slots,
+        steps: cfg.steps,
+        completed,
+        failed,
+        warmup_misses,
+        steady_state_misses,
+        warm_acquires,
+        total_seconds,
+        requests_per_second,
+        p50_latency_seconds: percentile(&latencies, 0.50),
+        p99_latency_seconds: percentile(&latencies, 0.99),
+        max_latency_seconds: latencies.last().copied().unwrap_or(0.0),
+        metrics_jsonl,
+        health_jsonl,
+    };
+    engine.shutdown();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServeLoadConfig {
+        ServeLoadConfig {
+            requests: 4,
+            slots: 2,
+            steps: 1,
+            tile_n: 8,
+            nk: 3,
+        }
+    }
+
+    #[test]
+    fn load_run_reaches_steady_state_and_reports_latency() {
+        let rep = serve_load(tiny());
+        assert!(rep.is_clean(), "unclean serve run: {rep:?}");
+        assert_eq!(rep.completed, 4);
+        assert!(rep.warmup_misses > 0, "warmup must pay the compile bill");
+        assert_eq!(rep.steady_state_misses, 0);
+        assert!(rep.p50_latency_seconds <= rep.p99_latency_seconds);
+        assert!(rep.p99_latency_seconds <= rep.max_latency_seconds);
+        assert_eq!(rep.health_jsonl.lines().count(), 4 * 6, "one line per rank per step");
+        assert!(rep.health_jsonl.contains("\"request\": \"r"));
+        assert!(rep.metrics_jsonl.contains("requests_per_second"));
+    }
+
+    #[test]
+    fn serve_json_is_a_flat_object() {
+        let rep = serve_load(ServeLoadConfig {
+            requests: 2,
+            ..tiny()
+        });
+        let json = rep.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"requests_per_second\": "));
+        assert!(json.contains("\"p99_latency_seconds\": "));
+        assert!(json.contains("\"steady_state_misses\": 0"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.99), 4.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+}

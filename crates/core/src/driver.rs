@@ -9,7 +9,7 @@
 //! orientation transforms of Section IV-C, and its statistics feed the
 //! alpha-beta network model for the scaling studies (Fig. 11).
 
-use crate::parallel::{RankSchedule, StepCache};
+use crate::parallel::{CompiledSubstep, RankSchedule, StepCache};
 use comm::{CornerPolicy, HaloUpdater, Partition, RankId};
 use dataflow::exec::{DataStore, ExecHooks};
 use dataflow::graph::{ExpansionAttrs, Sdfg};
@@ -24,6 +24,7 @@ use fv3::state::{DycoreState, HALO};
 use machine::faults::{self, FireCtx};
 use machine::pool::Pool;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Fault site: poison one interior cell of a prognostic field right
@@ -64,8 +65,10 @@ pub struct DistributedDycore {
     pub config: DriverConfig,
     pub partition: Partition,
     pub program: DycoreProgram,
-    /// Per-rank grids.
-    pub grids: Vec<Grid>,
+    /// Per-rank grids. Behind an `Arc` so a serving engine can share one
+    /// computed set of grid metadata across every tenant of a
+    /// (scenario, config) case; grids are immutable after construction.
+    pub grids: Arc<Vec<Grid>>,
     /// Per-rank prognostic states.
     pub states: Vec<DycoreState>,
     /// Expanded program (shared by all ranks).
@@ -82,6 +85,16 @@ pub struct DistributedDycore {
     /// Cached per-substep machinery: programs, pinned executors, exchange
     /// plan, mailboxes. Invalidated on config/pool changes.
     pub(crate) cache: Option<StepCache>,
+    /// Shared compile bundle installed by a serving engine
+    /// ([`set_shared_substep`](Self::set_shared_substep)): adopted by
+    /// [`crate::parallel`]'s `ensure_step_cache` whenever it matches the
+    /// current configuration and worker team, so tenants of one engine
+    /// share a single compiled-kernel cache.
+    pub(crate) shared_substep: Option<Arc<CompiledSubstep>>,
+    /// Compiled-kernel cache hits across all rank program runs.
+    pub(crate) exec_cache_hits: u64,
+    /// Compiled-kernel cache misses (compilations) across all runs.
+    pub(crate) exec_cache_misses: u64,
     /// Monotonic epoch tag for parallel mailbox exchanges.
     pub(crate) halo_epoch: u64,
     /// Hard deadline for parallel halo receives (a missing message panics
@@ -130,6 +143,19 @@ impl DistributedDycore {
     /// Set up the partition, grids, initial states, and the expanded
     /// program under the given expansion attributes.
     pub fn new(config: DriverConfig, attrs: &ExpansionAttrs) -> Self {
+        Self::new_with_grids(config, attrs, None)
+    }
+
+    /// Like [`new`](Self::new), but adopting `shared_grids` instead of
+    /// recomputing grid metadata when a compatible set is supplied — the
+    /// serving engine passes one `Arc` per (scenario, config) case so
+    /// all tenants read the same grids. An incompatible set (wrong rank
+    /// count) is ignored and grids are computed fresh.
+    pub fn new_with_grids(
+        config: DriverConfig,
+        attrs: &ExpansionAttrs,
+        shared_grids: Option<Arc<Vec<Grid>>>,
+    ) -> Self {
         let partition = Partition::new(config.tile_n, config.rt);
         let sub_n = partition.sub_n;
         let program = build_dycore_program(sub_n, config.nk, config.dycore);
@@ -137,22 +163,29 @@ impl DistributedDycore {
         expanded.expand_libraries(attrs);
         dataflow::exec::validate_sdfg(&expanded).expect("dycore program validates");
 
-        let mut grids = Vec::with_capacity(partition.ranks());
+        let grids = match shared_grids.filter(|g| g.len() == partition.ranks()) {
+            Some(g) => g,
+            None => {
+                let mut grids = Vec::with_capacity(partition.ranks());
+                for r in 0..partition.ranks() {
+                    let (tile, rx, ry) = partition.coords(RankId(r));
+                    grids.push(Grid::compute(
+                        &partition.geom.faces[tile],
+                        config.tile_n,
+                        rx,
+                        ry,
+                        sub_n,
+                        HALO,
+                        config.nk,
+                    ));
+                }
+                Arc::new(grids)
+            }
+        };
         let mut states = Vec::with_capacity(partition.ranks());
-        for r in 0..partition.ranks() {
-            let (tile, rx, ry) = partition.coords(RankId(r));
-            let grid = Grid::compute(
-                &partition.geom.faces[tile],
-                config.tile_n,
-                rx,
-                ry,
-                sub_n,
-                HALO,
-                config.nk,
-            );
+        for grid in grids.iter() {
             let mut state = DycoreState::zeros(sub_n, config.nk);
-            init_baroclinic(&mut state, &grid, &BaroclinicConfig::default());
-            grids.push(grid);
+            init_baroclinic(&mut state, grid, &BaroclinicConfig::default());
             states.push(state);
         }
         let updater = HaloUpdater::new(partition.clone(), HALO, CornerPolicy::Fold);
@@ -169,6 +202,9 @@ impl DistributedDycore {
             pool: None,
             schedule: RankSchedule::from_env(),
             cache: None,
+            shared_substep: None,
+            exec_cache_hits: 0,
+            exec_cache_misses: 0,
             halo_epoch: 0,
             recv_timeout: crate::parallel::recv_timeout_from_env(),
             soft_stall: None,
@@ -280,6 +316,40 @@ impl DistributedDycore {
     /// The installed worker pool, if any.
     pub fn pool(&self) -> Option<&Pool> {
         self.pool.as_ref()
+    }
+
+    /// Install a shared substep compile bundle (see
+    /// [`CompiledSubstep`]). The bundle is adopted on the next step iff
+    /// it was built for this driver's configuration and worker team;
+    /// otherwise the driver silently builds its own. Invalidates the
+    /// step cache.
+    pub fn set_shared_substep(&mut self, sub: Arc<CompiledSubstep>) {
+        self.shared_substep = Some(sub);
+        self.cache = None;
+    }
+
+    /// The shared substep bundle this driver was offered, if any.
+    pub fn shared_substep(&self) -> Option<&Arc<CompiledSubstep>> {
+        self.shared_substep.as_ref()
+    }
+
+    /// Cumulative compiled-kernel cache `(hits, misses)` over every rank
+    /// program run this driver performed. With a shared substep bundle,
+    /// misses count only compilations this driver itself triggered —
+    /// a warm tenant reads zero new misses.
+    pub fn exec_cache_counters(&self) -> (u64, u64) {
+        (self.exec_cache_hits, self.exec_cache_misses)
+    }
+
+    /// Fold one execution report's kernel-cache traffic into the driver
+    /// counters and the global metrics registry, if one is installed.
+    pub(crate) fn note_kernel_cache(&mut self, hits: u64, misses: u64) {
+        self.exec_cache_hits += hits;
+        self.exec_cache_misses += misses;
+        if let Some(m) = obs::metrics::global() {
+            m.counter_add("kernel_cache_hits", &[], hits);
+            m.counter_add("kernel_cache_misses", &[], misses);
+        }
     }
 
     /// Select the rank schedule (sequential lock-step vs threaded with
@@ -446,7 +516,8 @@ impl DistributedDycore {
         }
         for r in 0..self.partition.ranks() {
             let _rank_span = obs::tracing::global_span("rank", &format!("rank{r}"));
-            let mut store = DataStore::for_sdfg(&cache.sub_expanded);
+            let sub = &cache.sub;
+            let mut store = DataStore::for_sdfg(&sub.sub_expanded);
             if let Some(m) = obs::metrics::global() {
                 let bytes: usize = (0..store.len())
                     .map(|i| store.get(DataId(i)).layout().len * 8)
@@ -454,18 +525,19 @@ impl DistributedDycore {
                 m.gauge_high_water("store_bytes", &[], bytes as f64);
                 m.counter_add("rank_runs", &[], 1);
             }
-            load_state(&mut store, &cache.sub_prog.ids, &self.states[r], &self.grids[r]);
+            load_state(&mut store, &sub.sub_prog.ids, &self.states[r], &self.grids[r]);
             let mut hooks = RankHooks {
-                ids: &cache.sub_prog.ids,
+                ids: &sub.sub_prog.ids,
                 pending: Vec::new(),
             };
-            cache
-                .exec_seq
-                .run(&cache.sub_expanded, &mut store, &cache.sub_prog.params, &mut hooks);
+            let rep =
+                sub.exec_seq
+                    .run(&sub.sub_expanded, &mut store, &sub.sub_prog.params, &mut hooks);
             // The per-substep program embeds exactly one halo marker,
             // satisfied by the exchange above.
             debug_assert_eq!(hooks.pending.len(), 1);
-            extract_state(&store, &cache.sub_prog.ids, &mut self.states[r]);
+            extract_state(&store, &sub.sub_prog.ids, &mut self.states[r]);
+            self.note_kernel_cache(rep.cache_hits, rep.cache_misses);
         }
     }
 

@@ -28,6 +28,6 @@ pub mod profiling;
 pub use bounds::{bounds_report, BoundsRow};
 pub use checkpoint::{Checkpoint, CheckpointBasis};
 pub use driver::{DistributedDycore, DriverConfig};
-pub use parallel::RankSchedule;
+pub use parallel::{CompiledSubstep, RankSchedule};
 pub use pipeline::{run_pipeline, PipelineReport, PipelineStage};
 pub use profiling::{profile_pipeline_stages, StageProfile};

@@ -36,7 +36,7 @@
 //! ranks that never reached their state extraction are not rewritten.
 
 use crate::checkpoint::CheckpointBasis;
-use crate::driver::{DistributedDycore, RankHooks};
+use crate::driver::{DistributedDycore, DriverConfig, RankHooks};
 use comm::halo::{SITE_HALO_CORRUPT, SITE_HALO_DROP, SITE_HALO_STALL};
 use comm::{ExchangePlan, HaloMailboxes, PackField};
 use dataflow::exec::{DataStore, Executor};
@@ -104,12 +104,16 @@ pub(crate) fn next_instance_id() -> u64 {
     NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Everything about a substep that is invariant across steps for a fixed
-/// configuration: the per-substep program, its expansion, the
-/// interior/rind split, pinned executors (one per graph, so their
-/// compiled-kernel caches stay warm), and the exchange plan + mailboxes.
-/// Rebuilt when the dycore configuration or worker pool changes.
-pub(crate) struct StepCache {
+/// Everything about a substep that is invariant across steps *and across
+/// driver instances* for a fixed configuration: the per-substep program
+/// (one `Sdfg` instance, so one `(uid, generation)` cache namespace), its
+/// expansion, the interior/rind split, and pinned executors whose
+/// compiled-kernel caches stay warm. The executors are `Sync` (kernel
+/// compilation happens under their internal cache lock), so one bundle
+/// can be shared by many concurrently-running tenants — this is the
+/// compile-once/run-many substrate the serving engine (`crates/engine`)
+/// hands out per `(scenario, config)`: tenant N+1 pays zero compilation.
+pub struct CompiledSubstep {
     key: StepKey,
     pub(crate) sub_prog: DycoreProgram,
     pub(crate) sub_expanded: Sdfg,
@@ -122,11 +126,68 @@ pub(crate) struct StepCache {
     pub(crate) exec_full: Executor,
     pub(crate) exec_interior: Executor,
     pub(crate) exec_rind: Executor,
+    /// Worker team `exec_seq` is pinned to (`None`: inline serial).
+    pool: Option<Pool>,
+}
+
+impl CompiledSubstep {
+    /// Build the substep bundle for `config`, pinning the sequential-path
+    /// executor to `pool`. Kernel compilation itself is lazy: the first
+    /// run through each executor populates its cache.
+    pub fn build(config: &DriverConfig, pool: Option<&Pool>) -> Self {
+        let key = StepKey::of_config(config);
+        let sub = DycoreConfig {
+            n_split: 1,
+            k_split: 1,
+            ..config.dycore
+        };
+        let sub_n = config.tile_n / config.rt;
+        let sub_prog = build_dycore_program(sub_n, config.nk, sub);
+        let mut sub_expanded = sub_prog.sdfg.clone();
+        sub_expanded.expand_libraries(&ExpansionAttrs::tuned());
+        let split = dataflow::split_for_overlap(&sub_expanded, sub_n);
+        let exec_seq = match pool {
+            Some(p) => Executor::new(p.clone()),
+            None => Executor::serial(),
+        };
+        CompiledSubstep {
+            key,
+            sub_prog,
+            sub_expanded,
+            split,
+            exec_seq,
+            exec_full: Executor::serial(),
+            exec_interior: Executor::serial(),
+            exec_rind: Executor::serial(),
+            pool: pool.cloned(),
+        }
+    }
+
+    /// True when this bundle serves `key` on `pool`'s worker team — the
+    /// condition under which a driver may adopt it instead of building
+    /// its own.
+    pub(crate) fn matches(&self, key: &StepKey, pool: Option<&Pool>) -> bool {
+        self.key == *key
+            && match (&self.pool, pool) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.same_team(b),
+                _ => false,
+            }
+    }
+}
+
+/// Per-driver-instance substep machinery: the (possibly shared) compile
+/// bundle plus this instance's exchange plan and epoch-tagged mailboxes.
+/// Mailboxes are deliberately *not* shared across tenants — each driver
+/// owns its halo epochs, so concurrent tenants cannot cross-deliver.
+/// Rebuilt when the dycore configuration or worker pool changes.
+pub(crate) struct StepCache {
+    pub(crate) sub: Arc<CompiledSubstep>,
     pub(crate) plan: Arc<ExchangePlan>,
     pub(crate) boxes: Arc<HaloMailboxes>,
 }
 
-#[derive(PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub(crate) struct StepKey {
     dt: u64,
     dddmp: u64,
@@ -136,14 +197,14 @@ pub(crate) struct StepKey {
 }
 
 impl StepKey {
-    fn of(d: &DistributedDycore) -> Self {
-        let c = d.config.dycore;
+    pub(crate) fn of_config(config: &DriverConfig) -> Self {
+        let c = config.dycore;
         StepKey {
             dt: c.dt.to_bits(),
             dddmp: c.dddmp.to_bits(),
             nord4: c.nord4_damp.map(f64::to_bits),
-            sub_n: d.partition.sub_n,
-            nk: d.config.nk,
+            sub_n: config.tile_n / config.rt,
+            nk: config.nk,
         }
     }
 }
@@ -159,6 +220,9 @@ struct RankOutcome {
     /// Wire traffic this rank actually posted (all packed fields).
     bytes_posted: u64,
     messages_posted: u64,
+    /// Compiled-kernel cache traffic from this rank's program runs.
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 /// The six exchanged prognostics, in pack order (u/v as a vector pair).
@@ -208,39 +272,27 @@ type PackedSend = (usize, Vec<f64>);
 
 impl DistributedDycore {
     /// Build (or keep) the cached per-substep machinery for the current
-    /// configuration.
+    /// configuration. An installed shared bundle
+    /// ([`DistributedDycore::set_shared_substep`]) is adopted when it
+    /// matches the configuration and worker team; a supervisor that backs
+    /// off `dt` changes the [`StepKey`] and falls back to a private
+    /// bundle, so backed-off tenants never pollute the shared cache.
     pub(crate) fn ensure_step_cache(&mut self) {
-        let key = StepKey::of(self);
-        if self.cache.as_ref().is_some_and(|c| c.key == key) {
+        let key = StepKey::of_config(&self.config);
+        if self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.sub.matches(&key, self.pool()))
+        {
             return;
         }
-        let sub = DycoreConfig {
-            n_split: 1,
-            k_split: 1,
-            ..self.config.dycore
+        let sub = match &self.shared_substep {
+            Some(s) if s.matches(&key, self.pool()) => Arc::clone(s),
+            _ => Arc::new(CompiledSubstep::build(&self.config, self.pool())),
         };
-        let sub_prog = build_dycore_program(self.partition.sub_n, self.config.nk, sub);
-        let mut sub_expanded = sub_prog.sdfg.clone();
-        sub_expanded.expand_libraries(&ExpansionAttrs::tuned());
-        let split = dataflow::split_for_overlap(&sub_expanded, self.partition.sub_n);
         let plan = Arc::new(ExchangePlan::new(&self.partition, HALO));
         let boxes = Arc::new(HaloMailboxes::for_plan(&plan));
-        let exec_seq = match self.pool() {
-            Some(p) => Executor::new(p.clone()),
-            None => Executor::serial(),
-        };
-        self.cache = Some(StepCache {
-            key,
-            sub_prog,
-            sub_expanded,
-            split,
-            exec_seq,
-            exec_full: Executor::serial(),
-            exec_interior: Executor::serial(),
-            exec_rind: Executor::serial(),
-            plan,
-            boxes,
-        });
+        self.cache = Some(StepCache { sub, plan, boxes });
     }
 
     /// Fire this substep's halo/poison faults on the main thread and
@@ -308,10 +360,10 @@ impl DistributedDycore {
 
         let plan = &*cache.plan;
         let boxes = &*cache.boxes;
-        let ids = &cache.sub_prog.ids;
-        let params = &cache.sub_prog.params[..];
-        let sub_expanded = &cache.sub_expanded;
-        let split = cache.split.as_ref();
+        let ids = &cache.sub.sub_prog.ids;
+        let params = &cache.sub.sub_prog.params[..];
+        let sub_expanded = &cache.sub.sub_expanded;
+        let split = cache.sub.split.as_ref();
         let recv_timeout = self.recv_timeout;
         let soft_stall = self.soft_stall;
         let grids = &self.grids;
@@ -388,10 +440,14 @@ impl DistributedDycore {
                     pending: Vec::new(),
                 };
                 let t1 = Instant::now();
+                let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
                 if let Some(sp) = split {
-                    cache
+                    let rep = cache
+                        .sub
                         .exec_interior
                         .run(&sp.interior, &mut store, params, &mut hooks);
+                    cache_hits += rep.cache_hits;
+                    cache_misses += rep.cache_misses;
                 }
                 let t_interior = t1.elapsed();
 
@@ -419,16 +475,15 @@ impl DistributedDycore {
 
                 // 4. Rind compute (boundary strips + suffix), extract.
                 let t3 = Instant::now();
-                match split {
-                    Some(sp) => {
-                        cache.exec_rind.run(&sp.rind, &mut store, params, &mut hooks);
-                    }
-                    None => {
-                        cache
-                            .exec_full
-                            .run(sub_expanded, &mut store, params, &mut hooks);
-                    }
-                }
+                let rep = match split {
+                    Some(sp) => cache.sub.exec_rind.run(&sp.rind, &mut store, params, &mut hooks),
+                    None => cache
+                        .sub
+                        .exec_full
+                        .run(sub_expanded, &mut store, params, &mut hooks),
+                };
+                cache_hits += rep.cache_hits;
+                cache_misses += rep.cache_misses;
                 mutating[r].store(true, Ordering::Release);
                 extract_state(&store, ids, &mut state);
                 let t_rind = t3.elapsed();
@@ -441,6 +496,8 @@ impl DistributedDycore {
                     had_interior: split.is_some_and(|s| s.has_interior()),
                     bytes_posted,
                     messages_posted,
+                    cache_hits,
+                    cache_misses,
                 }
             }));
             match run {
@@ -476,6 +533,7 @@ impl DistributedDycore {
                     .record_substep(o.pack, o.interior, o.wait, o.rind, o.had_interior);
                 self.halo_bytes_posted += o.bytes_posted;
                 self.halo_messages_posted += o.messages_posted;
+                self.note_kernel_cache(o.cache_hits, o.cache_misses);
             }
         }
         self.overlap.publish();

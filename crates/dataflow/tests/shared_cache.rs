@@ -1,0 +1,137 @@
+//! ISSUE 7 satellite 4: the executor's compiled-kernel cache is keyed
+//! per-`Sdfg` *instance* — its namespace is the graph's `(uid,
+//! generation)`, and `Clone` mints a fresh uid. Multi-tenant serving
+//! must therefore hold ONE program instance per (scenario, config) and
+//! run every tenant through it (which is exactly what
+//! `engine::ForecastEngine` does via `fv3core::CompiledSubstep`):
+//!
+//! * tenants sharing one instance compile each kernel exactly once in
+//!   total, even when they race, and run bit-identically;
+//! * tenants holding per-tenant *clones* of the same program thrash the
+//!   cache — every alternation recompiles from scratch, forever.
+
+use dataflow::exec::{DataStore, Executor, NoHooks};
+use dataflow::graph::{DataflowNode, Sdfg, State};
+use dataflow::kernel::{Domain, KOrder, Kernel, LValue, Schedule, Stmt};
+use dataflow::storage::{Array3, Layout, StorageOrder};
+use dataflow::{DataId, Expr};
+
+const N: usize = 8;
+/// Kernels in the program == compile units == the cold-start miss bill.
+const KERNELS: u64 = 2;
+
+/// A two-kernel program: `b = a * 2`, then `c = b + a`.
+fn two_kernel_program() -> (Sdfg, Vec<DataId>) {
+    let mut g = Sdfg::new("tenant_prog");
+    let l = Layout::new([N, N, 4], [0, 0, 0], StorageOrder::IContiguous, 1);
+    let ids: Vec<DataId> = ["a", "b", "c"]
+        .iter()
+        .map(|nm| g.add_container(*nm, l.clone(), false))
+        .collect();
+    let mut k1 = Kernel::new(
+        "double",
+        Domain::from_shape([N, N, 4]),
+        KOrder::Parallel,
+        Schedule::gpu_horizontal(),
+    );
+    k1.stmts.push(Stmt::full(
+        LValue::Field(ids[1]),
+        Expr::load(ids[0], 0, 0, 0) * Expr::c(2.0),
+    ));
+    let mut k2 = Kernel::new(
+        "sum",
+        Domain::from_shape([N, N, 4]),
+        KOrder::Parallel,
+        Schedule::gpu_horizontal(),
+    );
+    k2.stmts.push(Stmt::full(
+        LValue::Field(ids[2]),
+        Expr::load(ids[1], 0, 0, 0) + Expr::load(ids[0], 0, 0, 0),
+    ));
+    let mut s = State::new("s");
+    s.nodes.push(DataflowNode::Kernel(k1));
+    s.nodes.push(DataflowNode::Kernel(k2));
+    g.add_state(s);
+    (g, ids)
+}
+
+fn tenant_store(g: &Sdfg, ids: &[DataId], tenant: i64) -> DataStore {
+    let mut store = DataStore::for_sdfg(g);
+    *store.get_mut(ids[0]) = Array3::from_fn(g.layout_of(ids[0]), |i, j, k| {
+        0.25 + ((tenant * 13 + i * 7 + j * 5 + k * 3).rem_euclid(17)) as f64 * 0.125
+    });
+    store
+}
+
+#[test]
+fn tenants_sharing_one_instance_compile_once_total() {
+    let (g, ids) = two_kernel_program();
+    let exec = Executor::serial();
+    const TENANTS: i64 = 4;
+    const RUNS_EACH: usize = 3;
+
+    // Tenants race through ONE executor + ONE program instance, each
+    // with private data. The compile happens under the executor's cache
+    // lock, so the whole fleet pays the bill exactly once.
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|t| {
+                let (g, exec, ids) = (&g, &exec, &ids);
+                scope.spawn(move || {
+                    let mut store = tenant_store(g, ids, t);
+                    (0..RUNS_EACH)
+                        .map(|_| exec.run(g, &mut store, &[], &mut NoHooks))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let misses: u64 = reports.iter().flatten().map(|r| r.cache_misses).sum();
+    let hits: u64 = reports.iter().flatten().map(|r| r.cache_hits).sum();
+    assert_eq!(misses, KERNELS, "the fleet compiles each kernel exactly once");
+    assert_eq!(
+        hits,
+        KERNELS * (TENANTS as u64 * RUNS_EACH as u64) - KERNELS,
+        "every launch after the first compile is a hit"
+    );
+
+    // Sharing is a pure perf transform: same inputs, same bits.
+    let mut s1 = tenant_store(&g, &ids, 1);
+    let mut s2 = tenant_store(&g, &ids, 1);
+    exec.run(&g, &mut s1, &[], &mut NoHooks);
+    Executor::serial().run(&g, &mut s2, &[], &mut NoHooks);
+    for d in &ids {
+        for (x, y) in s1.get(*d).raw().iter().zip(s2.get(*d).raw()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn tenants_on_clones_thrash_the_cache_forever() {
+    let (g, ids) = two_kernel_program();
+    // Per-tenant clones: `Clone` mints a fresh uid, so they are distinct
+    // cache namespaces even though they are structurally identical.
+    let (g1, g2) = (g.clone(), g.clone());
+    assert_ne!(g1.uid(), g2.uid());
+
+    let exec = Executor::serial();
+    let mut s1 = tenant_store(&g1, &ids, 1);
+    let mut s2 = tenant_store(&g2, &ids, 2);
+
+    // Alternating tenants never reach steady state: each switch clears
+    // the other's namespace, so round N recompiles just like round 0.
+    for round in 0..3 {
+        let r1 = exec.run(&g1, &mut s1, &[], &mut NoHooks);
+        let r2 = exec.run(&g2, &mut s2, &[], &mut NoHooks);
+        for (t, r) in [(1, &r1), (2, &r2)] {
+            assert_eq!(
+                r.cache_misses, KERNELS,
+                "round {round}: clone-holding tenant {t} must recompile everything"
+            );
+            assert_eq!(r.cache_hits, 0, "round {round}: tenant {t} can never hit");
+        }
+    }
+}

@@ -1,0 +1,848 @@
+//! Forecast-as-a-service: a persistent multi-tenant run engine.
+//!
+//! The one-shot binaries pay the whole productivity-infrastructure bill
+//! — program build, library expansion, kernel compilation, grid
+//! computation — for exactly one forecast. [`ForecastEngine`] amortizes
+//! it the way the paper's compiled-backend story intends: a long-lived
+//! process accepts [`ForecastRequest`]s on a submission queue, schedules
+//! them across a bounded set of *run slots* (one OS thread each), and
+//! shares per-(scenario, config) machinery across tenants:
+//!
+//! * **one compiled program instance** — a
+//!   [`fv3core::CompiledSubstep`] bundle per case, so every tenant runs
+//!   the *same* `Sdfg` (one `(uid, generation)` cache namespace) through
+//!   the same pinned executors. Request N+1 pays zero kernel
+//!   compilation; the engine's `kernel_cache_{hits,misses}` counters
+//!   prove it per request.
+//! * **one grid-metadata set** — per-rank [`fv3::grid::Grid`]s behind an
+//!   `Arc`, computed once per case.
+//! * **one worker team** — every slot's kernels drain through the shared
+//!   [`machine::pool::Pool`]; its region lock is the admission control
+//!   that keeps concurrent tenants from oversubscribing the host.
+//! * **warm instances** — completed tenants park their
+//!   [`DistributedDycore`] (grids, halo updater, mailboxes) in a bounded
+//!   per-case pool; the next request rewinds it to the step-0 template
+//!   checkpoint instead of rebuilding, which is bit-identical to a fresh
+//!   build (`tests/multi_tenant.rs`).
+//!
+//! **Isolation.** Each request runs under its own
+//! [`resilience::Supervisor`]: a tenant that blows up rolls back and
+//! retries within its own instance, and a tenant that fails for good is
+//! *discarded* — its outcome carries a [`SupervisedError`] tagged with
+//! its [`RequestId`], its neighbours never observe the fault, and the
+//! shared compile bundle (held by `Arc`) survives the discard
+//! (`tests/fault_isolation.rs`).
+//!
+//! **Observability.** The engine owns a [`MetricsRegistry`]: aggregate
+//! counters (`requests_{submitted,started,completed,failed}`,
+//! `kernel_cache_{hits,misses}`, `warm_acquires`, `cold_builds`) plus
+//! per-request series labelled `request="rN"`. Each request also opens a
+//! `request` span on the globally-installed tracer (when one is
+//! installed) and returns its full per-step health history and final
+//! field snapshot in the [`ForecastReport`].
+
+use dataflow::graph::ExpansionAttrs;
+use fv3::dyn_core::DycoreConfig;
+use fv3::state::DycoreState;
+use fv3core::{Checkpoint, CompiledSubstep, DistributedDycore, DriverConfig};
+use machine::faults::ArmGuard;
+use machine::pool::Pool;
+use obs::MetricsRegistry;
+use resilience::{FaultPlan, RunReport, SupervisedError, Supervisor, SupervisorPolicy};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine-assigned request identifier; labels every metric, span, and
+/// error the request produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The scenario a request wants forecast. Today the library has one
+/// entry (ROADMAP item 4 grows it); it is part of the case key so a
+/// future scenario with identical numerics still gets its own compile
+/// bundle when its initial conditions differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scenario {
+    /// The c-grid baroclinic instability wave (DCMIP-style), the repo's
+    /// golden-anchored case.
+    #[default]
+    BaroclinicWave,
+}
+
+impl Scenario {
+    /// Stable name for labels and artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::BaroclinicWave => "baroclinic_wave",
+        }
+    }
+}
+
+/// One unit of work: scenario + driver configuration + step budget.
+#[derive(Debug, Clone)]
+pub struct ForecastRequest {
+    pub scenario: Scenario,
+    pub config: DriverConfig,
+    /// Supervised driver steps to run.
+    pub steps: u64,
+    /// Optional client label carried through to the outcome (defaults to
+    /// the request id).
+    pub label: String,
+}
+
+impl ForecastRequest {
+    /// A request for `steps` steps of `scenario` under `config`.
+    pub fn new(scenario: Scenario, config: DriverConfig, steps: u64) -> Self {
+        ForecastRequest {
+            scenario,
+            config,
+            steps,
+            label: String::new(),
+        }
+    }
+
+    /// The standard c8L6 baroclinic-wave case (the repo's golden case).
+    pub fn c8l6(steps: u64) -> Self {
+        let config = DriverConfig::six_rank(
+            8,
+            6,
+            DycoreConfig {
+                n_split: 1,
+                k_split: 1,
+                dt: 4.0,
+                dddmp: 0.02,
+                nord4_damp: None,
+            },
+        );
+        ForecastRequest::new(Scenario::BaroclinicWave, config, steps)
+    }
+
+    /// Attach a client label.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+}
+
+/// Everything that must agree for two requests to share one compile
+/// bundle, grid set, and warm-instance pool. Floats are keyed by bits
+/// (the same discipline as the driver's internal step key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CaseKey {
+    scenario: Scenario,
+    tile_n: usize,
+    rt: usize,
+    nk: usize,
+    n_split: u32,
+    k_split: u32,
+    dt: u64,
+    dddmp: u64,
+    nord4: Option<u64>,
+}
+
+impl CaseKey {
+    fn of(req: &ForecastRequest) -> Self {
+        let c = req.config;
+        CaseKey {
+            scenario: req.scenario,
+            tile_n: c.tile_n,
+            rt: c.rt,
+            nk: c.nk,
+            n_split: c.dycore.n_split,
+            k_split: c.dycore.k_split,
+            dt: c.dycore.dt.to_bits(),
+            dddmp: c.dycore.dddmp.to_bits(),
+            nord4: c.dycore.nord4_damp.map(f64::to_bits),
+        }
+    }
+}
+
+/// Engine sizing and policy.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Concurrent run slots (each one OS thread executing requests).
+    pub slots: usize,
+    /// Submission-queue capacity; [`ForecastEngine::submit`] blocks and
+    /// [`ForecastEngine::try_submit`] refuses beyond it (admission
+    /// control at the front door).
+    pub queue_cap: usize,
+    /// Shared kernel worker team (`None`: [`Pool::host`], which honours
+    /// `FV3_WORKERS`).
+    pub pool: Option<Pool>,
+    /// Per-request supervision policy.
+    pub policy: SupervisorPolicy,
+    /// Warm instances parked per case (0 disables warm reuse).
+    pub warm_cap: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            slots: 2,
+            queue_cap: 64,
+            pool: None,
+            policy: SupervisorPolicy::default(),
+            warm_cap: 4,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Defaults with the supervision policy read from the environment
+    /// (`FV3_CHECKPOINT_DIR`, `FV3_MAX_RETRIES`, ... — see
+    /// [`SupervisorPolicy::from_env`]).
+    pub fn from_env() -> Self {
+        EngineConfig {
+            policy: SupervisorPolicy::from_env(),
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Why a request failed. Either way the failure is confined to the one
+/// request: neighbours keep running and the case's compile bundle stays
+/// warm.
+#[derive(Debug)]
+pub enum EngineFailure {
+    /// The per-request supervisor exhausted its recovery budget; carries
+    /// the blowup report and the recovery-event history.
+    Supervised(Box<SupervisedError>),
+    /// The request panicked outside the supervised step (a bug, not a
+    /// numerical failure); the slot survives and reports it.
+    Panic(String),
+}
+
+impl fmt::Display for EngineFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineFailure::Supervised(e) => write!(f, "supervised failure: {e}"),
+            EngineFailure::Panic(p) => write!(f, "request panicked: {p}"),
+        }
+    }
+}
+
+/// A completed forecast: the supervised run history plus the final
+/// prognostic fields.
+#[derive(Debug)]
+pub struct ForecastReport {
+    /// Steps the request asked for (all completed).
+    pub steps: u64,
+    /// Final driver configuration (reflects any supervisor backoff).
+    pub config: DriverConfig,
+    /// Supervised-run history: retries, rollbacks, health samples.
+    pub run: RunReport,
+    /// Final per-rank prognostic states.
+    pub states: Vec<DycoreState>,
+    /// Compiled-kernel cache hits this request observed.
+    pub cache_hits: u64,
+    /// Kernel compilations this request paid for. Zero for every request
+    /// after a case's first — the point of the shared bundle.
+    pub cache_misses: u64,
+    /// Whether the request reused a parked warm instance.
+    pub warm_start: bool,
+}
+
+impl ForecastReport {
+    /// The final fields as an `FV3CKPT1` snapshot stream — the "fields
+    /// out" channel of the serving API, decodable with
+    /// [`Checkpoint::from_bytes`].
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        Checkpoint {
+            step: self.steps,
+            config: self.config,
+            states: self.states.clone(),
+            basis: None,
+        }
+        .to_bytes()
+    }
+
+    /// Per-step health samples as JSONL (one line per rank per step).
+    pub fn health_jsonl(&self) -> String {
+        self.run.monitor.to_jsonl()
+    }
+}
+
+/// Everything the engine knows about a finished request.
+#[derive(Debug)]
+pub struct ForecastOutcome {
+    pub id: RequestId,
+    pub label: String,
+    /// Seconds spent queued before a slot picked the request up.
+    pub queued_seconds: f64,
+    /// Seconds spent executing.
+    pub run_seconds: f64,
+    pub result: Result<ForecastReport, EngineFailure>,
+}
+
+impl ForecastOutcome {
+    /// Submit-to-finish latency in seconds.
+    pub fn latency_seconds(&self) -> f64 {
+        self.queued_seconds + self.run_seconds
+    }
+}
+
+/// Aggregate counters, read from the engine's metrics registry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub warm_acquires: u64,
+    pub cold_builds: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+struct Pending {
+    id: u64,
+    label: String,
+    req: ForecastRequest,
+    submitted: Instant,
+}
+
+struct QueueState {
+    pending: VecDeque<Pending>,
+    /// Cleared on shutdown; slots drain the queue, then exit.
+    open: bool,
+}
+
+/// Per-case shared machinery plus the warm-instance pool.
+struct CaseCache {
+    substep: Arc<CompiledSubstep>,
+    grids: Option<Arc<Vec<fv3::grid::Grid>>>,
+    /// Step-0 template; rewinding a warm instance through it is
+    /// bit-identical to a fresh build.
+    reset: Option<Arc<Checkpoint>>,
+    warm: Vec<DistributedDycore>,
+}
+
+struct EngineInner {
+    queue_cap: usize,
+    warm_cap: usize,
+    policy: SupervisorPolicy,
+    pool: Pool,
+    queue: Mutex<QueueState>,
+    work_cv: Condvar,
+    space_cv: Condvar,
+    cases: Mutex<HashMap<CaseKey, CaseCache>>,
+    results: Mutex<HashMap<u64, ForecastOutcome>>,
+    done_cv: Condvar,
+    metrics: MetricsRegistry,
+    next_id: AtomicU64,
+}
+
+/// The persistent multi-tenant run engine. See the crate docs.
+pub struct ForecastEngine {
+    inner: Arc<EngineInner>,
+    slots: Vec<JoinHandle<()>>,
+    /// Keeps an `FV3_FAULT_PLAN` armed for the engine's lifetime (chaos
+    /// testing of the serving layer, `tests/fault_isolation.rs`).
+    _faults: Option<ArmGuard>,
+}
+
+impl ForecastEngine {
+    /// Start the engine: spawn the run slots and, when `FV3_FAULT_PLAN`
+    /// is set, arm the fault plan for the engine's lifetime.
+    pub fn start(cfg: EngineConfig) -> Self {
+        let faults = FaultPlan::from_env()
+            .unwrap_or_else(|e| panic!("invalid FV3_FAULT_PLAN: {e}"))
+            .map(|p| p.arm());
+        let pool = cfg.pool.unwrap_or_else(Pool::host);
+        let slots_n = cfg.slots.max(1);
+        let inner = Arc::new(EngineInner {
+            queue_cap: cfg.queue_cap.max(1),
+            warm_cap: cfg.warm_cap,
+            policy: cfg.policy,
+            pool,
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                open: true,
+            }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            cases: Mutex::new(HashMap::new()),
+            results: Mutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
+            metrics: MetricsRegistry::new(),
+            next_id: AtomicU64::new(1),
+        });
+        // Pre-register every aggregate counter (at 0) so the exported
+        // series set is the same for an idle, a failure-free, and a
+        // fully exercised engine — consumers never special-case absence.
+        for name in [
+            "requests_submitted",
+            "requests_started",
+            "requests_completed",
+            "requests_failed",
+            "requests_rejected",
+            "kernel_cache_hits",
+            "kernel_cache_misses",
+            "warm_acquires",
+            "warm_parks",
+            "cold_builds",
+            "instances_discarded",
+        ] {
+            inner.metrics.counter_add(name, &[], 0);
+        }
+        let slots = (0..slots_n)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("fv3-serve-{i}"))
+                    .spawn(move || slot_loop(&inner))
+                    .expect("failed to spawn engine slot")
+            })
+            .collect();
+        ForecastEngine {
+            inner,
+            slots,
+            _faults: faults,
+        }
+    }
+
+    /// Submit a request, blocking while the queue is at capacity.
+    pub fn submit(&self, req: ForecastRequest) -> RequestId {
+        let mut q = lock(&self.inner.queue);
+        while q.pending.len() >= self.inner.queue_cap {
+            q = wait(&self.inner.space_cv, q);
+        }
+        self.enqueue(q, req)
+    }
+
+    /// Submit without blocking; hands the request back when the queue is
+    /// full.
+    pub fn try_submit(&self, req: ForecastRequest) -> Result<RequestId, ForecastRequest> {
+        let q = lock(&self.inner.queue);
+        if q.pending.len() >= self.inner.queue_cap {
+            self.inner.metrics.counter_add("requests_rejected", &[], 1);
+            return Err(req);
+        }
+        Ok(self.enqueue(q, req))
+    }
+
+    fn enqueue(&self, mut q: MutexGuard<'_, QueueState>, req: ForecastRequest) -> RequestId {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let label = if req.label.is_empty() {
+            format!("r{id}")
+        } else {
+            req.label.clone()
+        };
+        self.inner.metrics.counter_add("requests_submitted", &[], 1);
+        self.inner
+            .metrics
+            .gauge_high_water("queue_depth_high_water", &[], (q.pending.len() + 1) as f64);
+        q.pending.push_back(Pending {
+            id,
+            label,
+            req,
+            submitted: Instant::now(),
+        });
+        drop(q);
+        self.inner.work_cv.notify_one();
+        RequestId(id)
+    }
+
+    /// Block until `id`'s outcome is available and take it. Each outcome
+    /// can be taken exactly once.
+    pub fn wait(&self, id: RequestId) -> ForecastOutcome {
+        self.wait_inner(id, None).expect("unbounded wait")
+    }
+
+    /// Like [`wait`](Self::wait) with a deadline; `None` on expiry (the
+    /// request stays queued/running and can be waited on again).
+    pub fn wait_timeout(&self, id: RequestId, timeout: Duration) -> Option<ForecastOutcome> {
+        self.wait_inner(id, Some(Instant::now() + timeout))
+    }
+
+    fn wait_inner(&self, id: RequestId, deadline: Option<Instant>) -> Option<ForecastOutcome> {
+        let mut r = lock(&self.inner.results);
+        loop {
+            if let Some(o) = r.remove(&id.0) {
+                return Some(o);
+            }
+            match deadline {
+                None => r = wait(&self.inner.done_cv, r),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    let (g, _) = self
+                        .inner
+                        .done_cv
+                        .wait_timeout(r, d - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    r = g;
+                }
+            }
+        }
+    }
+
+    /// Requests currently queued (not yet picked up by a slot).
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.inner.queue).pending.len()
+    }
+
+    /// The engine's metrics registry (aggregate + per-request series).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The shared kernel worker team.
+    pub fn pool(&self) -> &Pool {
+        &self.inner.pool
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> EngineStats {
+        let m = &self.inner.metrics;
+        EngineStats {
+            submitted: m.counter_value("requests_submitted", &[]),
+            completed: m.counter_value("requests_completed", &[]),
+            failed: m.counter_value("requests_failed", &[]),
+            warm_acquires: m.counter_value("warm_acquires", &[]),
+            cold_builds: m.counter_value("cold_builds", &[]),
+            cache_hits: m.counter_value("kernel_cache_hits", &[]),
+            cache_misses: m.counter_value("kernel_cache_misses", &[]),
+        }
+    }
+
+    /// Stop accepting work, drain the queue, join every slot, and return
+    /// the final counters. Outcomes not yet taken with
+    /// [`wait`](Self::wait) are dropped.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut q = lock(&self.inner.queue);
+            q.open = false;
+        }
+        self.inner.work_cv.notify_all();
+        self.inner.space_cv.notify_all();
+        for h in self.slots.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ForecastEngine {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+fn slot_loop(inner: &Arc<EngineInner>) {
+    loop {
+        let pending = {
+            let mut q = lock(&inner.queue);
+            loop {
+                if let Some(p) = q.pending.pop_front() {
+                    inner.space_cv.notify_one();
+                    break p;
+                }
+                if !q.open {
+                    return;
+                }
+                q = wait(&inner.work_cv, q);
+            }
+        };
+        let outcome = run_request(inner, pending);
+        {
+            let mut r = lock(&inner.results);
+            r.insert(outcome.id.0, outcome);
+        }
+        inner.done_cv.notify_all();
+    }
+}
+
+fn run_request(inner: &Arc<EngineInner>, p: Pending) -> ForecastOutcome {
+    let id = RequestId(p.id);
+    let rid = id.to_string();
+    let queued = p.submitted.elapsed().as_secs_f64();
+    let m = &inner.metrics;
+    // Request-scoped span on the global tracer, when one is installed
+    // (the serve bin installs one; tests usually do not).
+    let _span = obs::tracing::global_span("request", &rid);
+    m.counter_add("requests_started", &[], 1);
+    m.observe("request_queued_seconds", &[], queued);
+    let t0 = Instant::now();
+    // A panic escaping the supervised region (an engine bug, not a model
+    // blowup) fails this request only — never the slot.
+    let result = match catch_unwind(AssertUnwindSafe(|| execute(inner, &p, &rid))) {
+        Ok(res) => res,
+        Err(payload) => Err(EngineFailure::Panic(panic_text(&*payload))),
+    };
+    let run_seconds = t0.elapsed().as_secs_f64();
+    match &result {
+        Ok(rep) => {
+            m.counter_add("requests_completed", &[], 1);
+            m.observe("request_run_seconds", &[], run_seconds);
+            m.counter_add("request_steps", &[("request", &rid)], rep.steps);
+        }
+        Err(_) => {
+            m.counter_add("requests_failed", &[], 1);
+            m.counter_add("request_failed", &[("request", &rid)], 1);
+        }
+    }
+    ForecastOutcome {
+        id,
+        label: p.label,
+        queued_seconds: queued,
+        run_seconds,
+        result,
+    }
+}
+
+fn execute(
+    inner: &Arc<EngineInner>,
+    p: &Pending,
+    rid: &str,
+) -> Result<ForecastReport, EngineFailure> {
+    let key = CaseKey::of(&p.req);
+    let (mut d, warm_start) = acquire(inner, key, &p.req);
+    let (h0, m0) = d.exec_cache_counters();
+    let mut sup = Supervisor::new(inner.policy.clone());
+    let res = sup.run(&mut d, p.req.steps);
+    let (h1, m1) = d.exec_cache_counters();
+    let (hits, misses) = (h1 - h0, m1 - m0);
+    let m = &inner.metrics;
+    m.counter_add("kernel_cache_hits", &[], hits);
+    m.counter_add("kernel_cache_misses", &[], misses);
+    m.counter_add("kernel_cache_hits", &[("request", rid)], hits);
+    m.counter_add("kernel_cache_misses", &[("request", rid)], misses);
+    match res {
+        Ok(run) => {
+            let states = d.states.clone();
+            let config = d.config;
+            release(inner, key, d);
+            Ok(ForecastReport {
+                steps: p.req.steps,
+                config,
+                run,
+                states,
+                cache_hits: hits,
+                cache_misses: misses,
+                warm_start,
+            })
+        }
+        Err(e) => {
+            // Fault isolation: the poisoned instance is discarded, never
+            // parked — the next tenant of this case gets a clean build.
+            // The compiled kernels live in the shared `Arc` bundle and
+            // survive the discard.
+            drop(d);
+            m.counter_add("instances_discarded", &[], 1);
+            Err(EngineFailure::Supervised(e))
+        }
+    }
+}
+
+/// Check a warm instance out of the case pool, or build a cold one
+/// against the case's shared compile bundle and grid set.
+fn acquire(inner: &EngineInner, key: CaseKey, req: &ForecastRequest) -> (DistributedDycore, bool) {
+    let (substep, grids) = {
+        let mut cases = lock(&inner.cases);
+        match cases.get_mut(&key) {
+            Some(cc) => {
+                if let Some(mut d) = cc.warm.pop() {
+                    let reset = Arc::clone(
+                        cc.reset.as_ref().expect("parked instance implies reset template"),
+                    );
+                    drop(cases);
+                    // Undo any supervisor backoff a previous tenant
+                    // applied, then rewrite every rank from the step-0
+                    // template (its basis belongs to another instance,
+                    // so restore() rewrites unconditionally).
+                    d.config = req.config;
+                    d.restore(&reset);
+                    inner.metrics.counter_add("warm_acquires", &[], 1);
+                    return (d, true);
+                }
+                (Arc::clone(&cc.substep), cc.grids.clone())
+            }
+            None => {
+                // First tenant of this case: register the shared bundle
+                // under the lock so racing cold tenants agree on one
+                // program instance (kernel compilation itself is lazy
+                // and deduplicated by the executors' cache locks).
+                let substep = Arc::new(CompiledSubstep::build(&req.config, Some(&inner.pool)));
+                cases.insert(
+                    key,
+                    CaseCache {
+                        substep: Arc::clone(&substep),
+                        grids: None,
+                        reset: None,
+                        warm: Vec::new(),
+                    },
+                );
+                (substep, None)
+            }
+        }
+    };
+    // Instance build (grids when not yet shared, initial states, halo
+    // updater) happens outside the case lock: it is per-tenant work.
+    let mut d = DistributedDycore::new_with_grids(req.config, &ExpansionAttrs::tuned(), grids);
+    d.set_pool(Some(inner.pool.clone()));
+    d.set_shared_substep(substep);
+    let reset = Arc::new(Checkpoint::capture(&d));
+    {
+        let mut cases = lock(&inner.cases);
+        if let Some(cc) = cases.get_mut(&key) {
+            if cc.grids.is_none() {
+                cc.grids = Some(Arc::clone(&d.grids));
+            }
+            cc.reset.get_or_insert(reset);
+        }
+    }
+    inner.metrics.counter_add("cold_builds", &[], 1);
+    (d, false)
+}
+
+/// Park a healthy instance for the next tenant, up to the warm cap.
+fn release(inner: &EngineInner, key: CaseKey, d: DistributedDycore) {
+    let mut cases = lock(&inner.cases);
+    if let Some(cc) = cases.get_mut(&key) {
+        if cc.reset.is_some() && cc.warm.len() < inner.warm_cap {
+            cc.warm.push(d);
+            inner.metrics.counter_add("warm_parks", &[], 1);
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_request(steps: u64) -> ForecastRequest {
+        let config = DriverConfig::six_rank(
+            8,
+            3,
+            DycoreConfig {
+                n_split: 1,
+                k_split: 1,
+                dt: 4.0,
+                dddmp: 0.02,
+                nord4_damp: None,
+            },
+        );
+        ForecastRequest::new(Scenario::BaroclinicWave, config, steps)
+    }
+
+    fn small_engine(slots: usize) -> ForecastEngine {
+        ForecastEngine::start(EngineConfig {
+            slots,
+            pool: Some(Pool::new(1)),
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let engine = small_engine(1);
+        let id = engine.submit(small_request(1).with_label("hello"));
+        let out = engine.wait(id);
+        assert_eq!(out.id, id);
+        assert_eq!(out.label, "hello");
+        let rep = out.result.expect("request succeeds");
+        assert_eq!(rep.steps, 1);
+        assert!(!rep.warm_start);
+        assert!(rep.cache_misses > 0, "first tenant compiles");
+        assert!(rep.run.monitor.all_healthy());
+        assert_eq!(rep.states.len(), 6);
+        let stats = engine.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn second_request_pays_zero_compilation() {
+        let engine = small_engine(1);
+        let a = engine.submit(small_request(2));
+        let first = engine.wait(a).result.expect("first ok");
+        let b = engine.submit(small_request(2));
+        let second = engine.wait(b).result.expect("second ok");
+        assert!(first.cache_misses > 0);
+        assert_eq!(
+            second.cache_misses, 0,
+            "request N+1 must pay zero compilation"
+        );
+        assert!(second.cache_hits > 0);
+        assert!(second.warm_start, "single-slot second request reuses the instance");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn try_submit_refuses_beyond_queue_cap() {
+        // One slot kept busy, capacity 1: the second queued request must
+        // be refused at the door, not buffered without bound.
+        let engine = ForecastEngine::start(EngineConfig {
+            slots: 1,
+            queue_cap: 1,
+            pool: Some(Pool::new(1)),
+            ..EngineConfig::default()
+        });
+        let first = engine.submit(small_request(3));
+        // Fill the queue behind the (likely running) first request; at
+        // most one extra fits regardless of pickup timing.
+        let mut accepted = Vec::new();
+        let mut refused = 0usize;
+        for _ in 0..4 {
+            match engine.try_submit(small_request(1)) {
+                Ok(id) => accepted.push(id),
+                Err(_) => refused += 1,
+            }
+        }
+        assert!(refused >= 2, "queue_cap=1 admits at most 2 of 4 extras");
+        let _ = engine.wait(first);
+        for id in accepted {
+            let out = engine.wait(id);
+            assert!(out.result.is_ok());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn outcome_snapshot_roundtrips_through_fv3ckpt1() {
+        let engine = small_engine(1);
+        let id = engine.submit(small_request(1));
+        let rep = engine.wait(id).result.expect("ok");
+        let bytes = rep.snapshot_bytes();
+        let ck = Checkpoint::from_bytes(&bytes).expect("snapshot decodes");
+        assert_eq!(ck.states.len(), rep.states.len());
+        assert_eq!(ck.step, 1);
+        engine.shutdown();
+    }
+}

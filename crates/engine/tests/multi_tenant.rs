@@ -1,0 +1,115 @@
+//! ISSUE 7 satellite 1: N concurrent tenants running the standard c8L6
+//! case through one [`ForecastEngine`] must each be bit-identical
+//! (0 ULP) to a fresh single-process run of the same request — sharing
+//! one compiled program, one grid set, and one worker team across
+//! tenants is a pure performance transform, never a numerical one.
+//!
+//! The compile-sharing claim is asserted through the request-level
+//! kernel-cache counters: the first wave pays exactly one compilation
+//! per kernel *in total* (concurrent cold tenants dedupe through the
+//! executor cache locks), and every request after the first pays zero.
+
+use dataflow::graph::ExpansionAttrs;
+use engine::{EngineConfig, ForecastEngine, ForecastRequest};
+use fv3::state::DycoreState;
+use fv3core::DistributedDycore;
+
+const STEPS: u64 = 2;
+const TENANTS: usize = 6;
+
+/// What a tenant of `req` must produce: a fresh driver stepped in
+/// isolation, no engine, no sharing.
+fn reference_states(req: &ForecastRequest) -> Vec<DycoreState> {
+    let mut d = DistributedDycore::new(req.config, &ExpansionAttrs::tuned());
+    for _ in 0..req.steps {
+        d.step();
+    }
+    d.states.clone()
+}
+
+fn assert_bit_identical(got: &[DycoreState], want: &[DycoreState], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: rank count");
+    for (r, (sa, sb)) in got.iter().zip(want).enumerate() {
+        for ((name, fa), (_, fb)) in sa.fields().iter().zip(sb.fields().iter()) {
+            let (va, vb) = (fa.export_logical(), fb.export_logical());
+            for (n, (x, y)) in va.iter().zip(&vb).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{label}: rank {r} field {name} element {n}: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+/// The kernel-compilation bill for one request of this case, measured in
+/// a throwaway single-tenant engine.
+fn solo_compile_bill(req: &ForecastRequest) -> u64 {
+    let engine = ForecastEngine::start(EngineConfig {
+        slots: 1,
+        ..EngineConfig::default()
+    });
+    let id = engine.submit(req.clone());
+    let misses = engine.wait(id).result.expect("solo run succeeds").cache_misses;
+    engine.shutdown();
+    misses
+}
+
+#[test]
+fn concurrent_tenants_are_bit_identical_and_share_one_compile() {
+    let req = ForecastRequest::c8l6(STEPS);
+    let reference = reference_states(&req);
+    let bill = solo_compile_bill(&req);
+    assert!(bill > 0, "a cold case must compile something");
+
+    let engine = ForecastEngine::start(EngineConfig {
+        slots: 3,
+        ..EngineConfig::default()
+    });
+
+    // Wave 1: all tenants cold-start concurrently. They must agree with
+    // the fresh-process reference bit for bit, and pay the compile bill
+    // exactly once between them.
+    let wave1: Vec<_> = (0..TENANTS)
+        .map(|i| engine.submit(req.clone().with_label(&format!("tenant-{i}"))))
+        .collect();
+    let mut wave1_misses = 0u64;
+    for id in wave1 {
+        let out = engine.wait(id);
+        let label = out.label.clone();
+        let rep = out.result.unwrap_or_else(|e| panic!("{label} failed: {e}"));
+        assert_bit_identical(&rep.states, &reference, &label);
+        assert!(rep.run.clean(), "{label}: clean run expected");
+        wave1_misses += rep.cache_misses;
+    }
+    assert_eq!(
+        wave1_misses, bill,
+        "concurrent cold tenants must compile each kernel exactly once in total"
+    );
+
+    // Wave 2: the case is warm. Zero compilation for every tenant, and
+    // still bit-identical — warm-instance rewind is not allowed to leak
+    // the previous tenant's state.
+    let wave2: Vec<_> = (0..TENANTS)
+        .map(|i| engine.submit(req.clone().with_label(&format!("wave2-{i}"))))
+        .collect();
+    let mut warm_starts = 0usize;
+    for id in wave2 {
+        let out = engine.wait(id);
+        let label = out.label.clone();
+        let rep = out.result.unwrap_or_else(|e| panic!("{label} failed: {e}"));
+        assert_bit_identical(&rep.states, &reference, &label);
+        assert_eq!(rep.cache_misses, 0, "{label}: request N+1 pays zero compilation");
+        assert!(rep.cache_hits > 0, "{label}: steady state runs from the shared cache");
+        warm_starts += rep.warm_start as usize;
+    }
+    assert!(warm_starts > 0, "the warm-instance pool must see reuse");
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.submitted as usize, 2 * TENANTS);
+    assert_eq!(stats.completed as usize, 2 * TENANTS);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.cache_misses, wave1_misses, "steady-state misses stay zero");
+    assert!(stats.warm_acquires > 0);
+}

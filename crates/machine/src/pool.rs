@@ -287,6 +287,18 @@ impl Pool {
         self.workers
     }
 
+    /// True when `other` drains regions through this pool's worker team:
+    /// both handles are clones of one `Pool::new`, or both are inline-
+    /// serial pools (which carry no team state at all). Executors pinned
+    /// to a team can be shared across drivers exactly when this holds.
+    pub fn same_team(&self, other: &Pool) -> bool {
+        match (&self.shared, &other.shared) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
     /// Background workers currently alive (excludes the submitting
     /// thread; always `workers() - 1` for a healthy team).
     pub fn alive_workers(&self) -> usize {
@@ -521,6 +533,18 @@ mod tests {
             total.fetch_add(r.len() as u64, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 160);
+    }
+
+    #[test]
+    fn same_team_tracks_shared_workers() {
+        let a = Pool::new(3);
+        let b = a.clone();
+        let c = Pool::new(3);
+        assert!(a.same_team(&b), "clones share one team");
+        assert!(!a.same_team(&c), "independent pools are distinct teams");
+        // Inline-serial pools have no team state to diverge on.
+        assert!(Pool::new(1).same_team(&Pool::new(1)));
+        assert!(!a.same_team(&Pool::new(1)));
     }
 
     #[test]
