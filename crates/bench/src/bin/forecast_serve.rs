@@ -7,25 +7,40 @@
 //!                                         # per outcome
 //! forecast_serve run    [key=value ...]   # soak: warmup + measured burst,
 //!                                         # emit RUN_metrics.jsonl /
-//!                                         # RUN_health.jsonl, gate the
+//!                                         # RUN_health.jsonl /
+//!                                         # RUN_events.jsonl, gate the
 //!                                         # service contract
+//! forecast_serve watch  [key=value ...]   # submit a batch and tail its
+//!                                         # live event stream as JSONL,
+//!                                         # one object per line
+//! forecast_serve status [key=value ...]   # submit a batch and print a
+//!                                         # point-in-time engine snapshot
+//!                                         # per poll until it drains
 //! ```
 //!
-//! Keys (all optional): `requests=N slots=N steps=N tile_n=N nk=N`.
-//! Defaults are the CI soak shape (8 requests, 2 slots, 2 steps, c8L6).
+//! Keys (all optional): `requests=N slots=N steps=N tile_n=N nk=N
+//! streaming=0|1`. Defaults are the CI soak shape (8 requests, 2 slots,
+//! 2 steps, c8L6, streaming on).
 //!
 //! `run` exits nonzero unless the service contract held: every request
 //! completed, none failed, zero kernel compilations after the warmup
 //! request, and nonzero measured throughput/latency. The serve-soak CI
 //! job parses its `RUN_metrics.jsonl` for `requests_completed` and the
-//! latency gauges.
+//! latency gauges, and validates `RUN_events.jsonl` for lifecycle
+//! closure (every request Queued -> Started -> Completed|Failed, step
+//! indices monotone, `events_dropped` reported).
 
 use bench::serve_load::{serve_load, ServeLoadConfig};
 use engine::{EngineConfig, ForecastEngine};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: forecast_serve <init|submit|run> [requests=N] [slots=N] [steps=N] [tile_n=N] [nk=N]");
+    eprintln!(
+        "usage: forecast_serve <init|submit|run|watch|status> \
+         [requests=N] [slots=N] [steps=N] [tile_n=N] [nk=N] [streaming=0|1]"
+    );
     ExitCode::FAILURE
 }
 
@@ -44,6 +59,7 @@ fn parse_config(args: &[String]) -> Result<ServeLoadConfig, String> {
             "steps" => cfg.steps = n as u64,
             "tile_n" => cfg.tile_n = n,
             "nk" => cfg.nk = n,
+            "streaming" => cfg.streaming = n != 0,
             other => return Err(format!("unknown key '{other}'")),
         }
     }
@@ -122,6 +138,9 @@ fn cmd_run(cfg: ServeLoadConfig) -> ExitCode {
     let rep = serve_load(cfg);
     std::fs::write("RUN_metrics.jsonl", &rep.metrics_jsonl).expect("write RUN_metrics.jsonl");
     std::fs::write("RUN_health.jsonl", &rep.health_jsonl).expect("write RUN_health.jsonl");
+    if cfg.streaming {
+        std::fs::write("RUN_events.jsonl", &rep.events_jsonl).expect("write RUN_events.jsonl");
+    }
     println!(
         "completed={}/{} failed={} warmup_misses={} steady_state_misses={} warm_acquires={}",
         rep.completed, rep.requests, rep.failed, rep.warmup_misses, rep.steady_state_misses,
@@ -135,6 +154,18 @@ fn cmd_run(cfg: ServeLoadConfig) -> ExitCode {
         rep.max_latency_seconds,
         rep.total_seconds
     );
+    if cfg.streaming {
+        println!(
+            "streamed: ttfs_p50={:.3}s ttfs_p99={:.3}s step_gap_p99={:.3}s jitter={:.3}s \
+             events={} dropped={}",
+            rep.ttfs_p50_seconds,
+            rep.ttfs_p99_seconds,
+            rep.step_gap_p99_seconds,
+            rep.cadence_jitter_seconds,
+            rep.events_published,
+            rep.events_dropped
+        );
+    }
 
     let mut bad = Vec::new();
     if rep.completed != rep.requests as u64 {
@@ -158,6 +189,17 @@ fn cmd_run(cfg: ServeLoadConfig) -> ExitCode {
     if !(rep.requests_per_second > 0.0 && rep.p99_latency_seconds > 0.0) {
         bad.push("degenerate throughput/latency measurement".to_string());
     }
+    if cfg.streaming {
+        if rep.events_dropped > 0 {
+            bad.push(format!(
+                "sized stream buffer dropped {} events",
+                rep.events_dropped
+            ));
+        }
+        if !(rep.ttfs_p99_seconds > 0.0) {
+            bad.push("no time-to-first-step observed on the bus".to_string());
+        }
+    }
     if bad.is_empty() {
         println!("serve soak ok");
         ExitCode::SUCCESS
@@ -165,6 +207,122 @@ fn cmd_run(cfg: ServeLoadConfig) -> ExitCode {
         for b in &bad {
             eprintln!("serve soak FAILED: {b}");
         }
+        ExitCode::FAILURE
+    }
+}
+
+/// `watch`: the live front door — submit the batch and tail every event
+/// the engine publishes, one JSON object per line, until the batch
+/// drains. Pipe it to `grep step_completed` or a dashboard.
+fn cmd_watch(cfg: ServeLoadConfig) -> ExitCode {
+    let engine = ForecastEngine::start(EngineConfig {
+        slots: cfg.slots,
+        queue_cap: cfg.requests.max(1),
+        streaming: true,
+        stream_buffer: 4096,
+        tick_every: Some(Duration::from_millis(250)),
+        ..EngineConfig::from_env()
+    });
+    let stream = engine.subscribe_all().expect("streaming engine has a bus");
+    let ids: Vec<_> = (0..cfg.requests)
+        .map(|i| engine.submit(cfg.request().with_label(&format!("watch-{i}"))))
+        .collect();
+    let done = AtomicBool::new(false);
+    let mut failed = 0u64;
+    std::thread::scope(|s| {
+        let waiter = s.spawn(|| {
+            let mut failed = 0u64;
+            for id in ids {
+                failed += engine.wait(id).result.is_err() as u64;
+            }
+            done.store(true, Ordering::Relaxed);
+            failed
+        });
+        // Tail until the waiter is finished *and* the buffer is drained;
+        // every event is published before its outcome becomes waitable,
+        // so nothing can arrive after that.
+        while !(done.load(Ordering::Relaxed) && stream.is_empty()) {
+            if let Some(ev) = stream.next_timeout(Duration::from_millis(100)) {
+                println!("{}", ev.to_json());
+            } else if stream.closed() {
+                break;
+            }
+        }
+        failed = waiter.join().expect("waiter thread");
+    });
+    let status = engine.status();
+    eprintln!(
+        "watch: {} events published, {} dropped, {} requests failed",
+        status.events_published, status.events_dropped, failed
+    );
+    engine.shutdown();
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `status`: engine introspection — submit the batch and print one
+/// point-in-time snapshot per poll (queue, per-request progress, slot
+/// and warm-pool occupancy, bus health) until the batch drains.
+fn cmd_status(cfg: ServeLoadConfig) -> ExitCode {
+    let engine = ForecastEngine::start(EngineConfig {
+        slots: cfg.slots,
+        queue_cap: cfg.requests.max(1),
+        streaming: cfg.streaming,
+        ..EngineConfig::from_env()
+    });
+    let ids: Vec<_> = (0..cfg.requests)
+        .map(|i| engine.submit(cfg.request().with_label(&format!("status-{i}"))))
+        .collect();
+    loop {
+        let st = engine.status();
+        let running: Vec<String> = st
+            .running
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} {}/{}{}",
+                    r.id,
+                    r.steps_done,
+                    r.steps_budget,
+                    match r.last_healthy {
+                        Some(true) => " healthy",
+                        Some(false) => " UNHEALTHY",
+                        None => "",
+                    }
+                )
+            })
+            .collect();
+        println!(
+            "status: queued={} running=[{}] slots={}/{} warm_pool={} events={}/{} done={}",
+            st.queue_depth(),
+            running.join(", "),
+            st.slots_busy,
+            st.slots,
+            st.warm_pool,
+            st.events_published,
+            st.events_dropped,
+            st.stats.completed + st.stats.failed
+        );
+        if st.stats.completed + st.stats.failed >= cfg.requests as u64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    let mut failed = 0u64;
+    for id in ids {
+        failed += engine.wait(id).result.is_err() as u64;
+    }
+    let stats = engine.shutdown();
+    println!(
+        "submitted={} completed={} failed={}",
+        stats.submitted, stats.completed, stats.failed
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }
@@ -185,6 +343,8 @@ fn main() -> ExitCode {
         "init" => cmd_init(cfg),
         "submit" => cmd_submit(cfg),
         "run" => cmd_run(cfg),
+        "watch" => cmd_watch(cfg),
+        "status" => cmd_status(cfg),
         _ => usage(),
     }
 }

@@ -479,6 +479,7 @@ mod tests {
             steps: 1,
             tile_n: 8,
             nk: 3,
+            streaming: true,
         });
         let json = bench_json_full(&run, 1e9, 1.0, &[], Some(&serve));
         assert!(json.contains("\"serve\": {\"requests\": 2"));

@@ -17,6 +17,9 @@
 use engine::{EngineConfig, ForecastEngine, ForecastRequest, Scenario};
 use fv3::dyn_core::DycoreConfig;
 use fv3core::DriverConfig;
+use obs::nearest_rank;
+use obs::stream::RunEvent;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -33,6 +36,11 @@ pub struct ServeLoadConfig {
     pub tile_n: usize,
     /// Vertical levels per request.
     pub nk: usize,
+    /// Measure streamed SLOs from the live event bus (time-to-first-step
+    /// and inter-step cadence) alongside the end-to-end latencies. When
+    /// false the engine runs with the bus uninstalled — the shape used to
+    /// prove streaming costs nothing on the hot path.
+    pub streaming: bool,
 }
 
 impl Default for ServeLoadConfig {
@@ -43,6 +51,7 @@ impl Default for ServeLoadConfig {
             steps: 2,
             tile_n: 8,
             nk: 6,
+            streaming: true,
         }
     }
 }
@@ -90,11 +99,30 @@ pub struct ServeLoadReport {
     pub p50_latency_seconds: f64,
     pub p99_latency_seconds: f64,
     pub max_latency_seconds: f64,
+    /// Streamed SLOs, computed post-hoc from event timestamps (`t_us`)
+    /// drained off a bus-wide subscription — all 0.0 when `streaming` is
+    /// off. Time-to-first-step: RequestQueued to first StepCompleted.
+    pub ttfs_p50_seconds: f64,
+    pub ttfs_p99_seconds: f64,
+    /// Gap between consecutive StepCompleted events of one request,
+    /// pooled across the burst.
+    pub step_gap_p50_seconds: f64,
+    pub step_gap_p99_seconds: f64,
+    /// Cadence jitter: p99 minus p50 of the inter-step gap. A service
+    /// whose steps tick like clockwork scores near zero.
+    pub cadence_jitter_seconds: f64,
+    /// Bus totals at the end of the burst (0 when streaming is off).
+    pub events_published: u64,
+    pub events_dropped: u64,
     /// Final cumulative engine-metrics snapshot (JSONL).
     pub metrics_jsonl: String,
     /// Per-step health of every burst request, each line tagged with its
     /// request id.
     pub health_jsonl: String,
+    /// Every event the burst streamed, one JSON object per line in bus
+    /// order (empty when `streaming` is off) — the `RUN_events.jsonl`
+    /// artifact CI validates for lifecycle closure.
+    pub events_jsonl: String,
 }
 
 impl ServeLoadReport {
@@ -119,7 +147,11 @@ impl ServeLoadReport {
              \"steady_state_misses\": {}, \"warm_acquires\": {}, \
              \"total_seconds\": {}, \"requests_per_second\": {}, \
              \"p50_latency_seconds\": {}, \"p99_latency_seconds\": {}, \
-             \"max_latency_seconds\": {}}}",
+             \"max_latency_seconds\": {}, \
+             \"ttfs_p50_seconds\": {}, \"ttfs_p99_seconds\": {}, \
+             \"step_gap_p50_seconds\": {}, \"step_gap_p99_seconds\": {}, \
+             \"cadence_jitter_seconds\": {}, \
+             \"events_published\": {}, \"events_dropped\": {}}}",
             self.requests,
             self.slots,
             self.steps,
@@ -132,25 +164,29 @@ impl ServeLoadReport {
             self.requests_per_second,
             self.p50_latency_seconds,
             self.p99_latency_seconds,
-            self.max_latency_seconds
+            self.max_latency_seconds,
+            self.ttfs_p50_seconds,
+            self.ttfs_p99_seconds,
+            self.step_gap_p50_seconds,
+            self.step_gap_p99_seconds,
+            self.cadence_jitter_seconds,
+            self.events_published,
+            self.events_dropped
         )
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
 /// Run one load shape against a fresh persistent engine and measure it.
 pub fn serve_load(cfg: ServeLoadConfig) -> ServeLoadReport {
+    // Size the per-subscriber buffer so a clean burst never drops: per
+    // request one StepCompleted + one HealthSample per step, a handful
+    // of lifecycle/checkpoint events, plus engine ticks.
+    let stream_buffer = cfg.requests.max(1) * (2 * cfg.steps as usize + 24) + 64;
     let engine = ForecastEngine::start(EngineConfig {
         slots: cfg.slots,
         queue_cap: cfg.requests.max(1) + 1,
+        streaming: cfg.streaming,
+        stream_buffer,
         ..EngineConfig::default()
     });
 
@@ -161,6 +197,10 @@ pub fn serve_load(cfg: ServeLoadConfig) -> ServeLoadReport {
         Ok(rep) => rep.cache_misses,
         Err(e) => panic!("serve_load warmup failed: {e}"),
     };
+
+    // Subscribe after the warmup so the drained stream carries exactly
+    // the burst. `subscribe_all` is None when streaming is off.
+    let stream = engine.subscribe_all();
 
     let t0 = Instant::now();
     let ids: Vec<_> = (0..cfg.requests)
@@ -200,12 +240,54 @@ pub fn serve_load(cfg: ServeLoadConfig) -> ServeLoadReport {
         0.0
     };
 
+    // Streamed SLOs: every waited-on request published its events before
+    // its outcome became visible, so a single post-hoc drain sees the
+    // whole burst — no collector thread perturbs the measured run.
+    let (mut ttfs, mut gaps) = (Vec::new(), Vec::new());
+    let mut events_jsonl = String::new();
+    let (events_published, events_dropped) = match &stream {
+        Some(stream) => {
+            let mut queued_at: HashMap<String, f64> = HashMap::new();
+            let mut steps_at: HashMap<String, Vec<f64>> = HashMap::new();
+            for ev in stream.drain() {
+                let _ = writeln!(events_jsonl, "{}", ev.to_json());
+                let Some(req) = ev.request else { continue };
+                match ev.body {
+                    RunEvent::RequestQueued { .. } => {
+                        queued_at.insert(req, ev.t_us);
+                    }
+                    RunEvent::StepCompleted { .. } => {
+                        steps_at.entry(req).or_default().push(ev.t_us)
+                    }
+                    _ => {}
+                }
+            }
+            for (req, ts) in &steps_at {
+                if let (Some(q), Some(first)) = (queued_at.get(req), ts.first()) {
+                    ttfs.push((first - q) / 1e6);
+                }
+                gaps.extend(ts.windows(2).map(|w| (w[1] - w[0]) / 1e6));
+            }
+            let status = engine.status();
+            (status.events_published, status.events_dropped)
+        }
+        None => (0, 0),
+    };
+    ttfs.sort_by(|a, b| a.total_cmp(b));
+    gaps.sort_by(|a, b| a.total_cmp(b));
+    let (gap_p50, gap_p99) = (nearest_rank(&gaps, 0.50), nearest_rank(&gaps, 0.99));
+
     // Record the derived service-level numbers on the engine's registry
     // so the final snapshot carries them next to the request counters.
     let m = engine.metrics();
     m.gauge_set("requests_per_second", &[], requests_per_second);
-    m.gauge_set("request_p50_seconds", &[], percentile(&latencies, 0.50));
-    m.gauge_set("request_p99_seconds", &[], percentile(&latencies, 0.99));
+    m.gauge_set("request_p50_seconds", &[], nearest_rank(&latencies, 0.50));
+    m.gauge_set("request_p99_seconds", &[], nearest_rank(&latencies, 0.99));
+    if stream.is_some() {
+        m.gauge_set("ttfs_p99_seconds", &[], nearest_rank(&ttfs, 0.99));
+        m.gauge_set("step_gap_p99_seconds", &[], gap_p99);
+        m.counter_add("events_dropped", &[], events_dropped);
+    }
     let metrics_jsonl = obs::emit_jsonl(m, cfg.requests as u64);
 
     let report = ServeLoadReport {
@@ -219,11 +301,19 @@ pub fn serve_load(cfg: ServeLoadConfig) -> ServeLoadReport {
         warm_acquires,
         total_seconds,
         requests_per_second,
-        p50_latency_seconds: percentile(&latencies, 0.50),
-        p99_latency_seconds: percentile(&latencies, 0.99),
+        p50_latency_seconds: nearest_rank(&latencies, 0.50),
+        p99_latency_seconds: nearest_rank(&latencies, 0.99),
         max_latency_seconds: latencies.last().copied().unwrap_or(0.0),
+        ttfs_p50_seconds: nearest_rank(&ttfs, 0.50),
+        ttfs_p99_seconds: nearest_rank(&ttfs, 0.99),
+        step_gap_p50_seconds: gap_p50,
+        step_gap_p99_seconds: gap_p99,
+        cadence_jitter_seconds: (gap_p99 - gap_p50).max(0.0),
+        events_published,
+        events_dropped,
         metrics_jsonl,
         health_jsonl,
+        events_jsonl,
     };
     engine.shutdown();
     report
@@ -240,6 +330,7 @@ mod tests {
             steps: 1,
             tile_n: 8,
             nk: 3,
+            streaming: true,
         }
     }
 
@@ -255,6 +346,27 @@ mod tests {
         assert_eq!(rep.health_jsonl.lines().count(), 4 * 6, "one line per rank per step");
         assert!(rep.health_jsonl.contains("\"request\": \"r"));
         assert!(rep.metrics_jsonl.contains("requests_per_second"));
+        // Streamed SLOs: every burst request was observed queue -> first
+        // step on the bus, and the sized buffer dropped nothing.
+        assert!(rep.events_published > 0);
+        assert_eq!(rep.events_dropped, 0, "sized buffer must not drop");
+        assert!(rep.ttfs_p50_seconds > 0.0, "time-to-first-step observed");
+        assert!(rep.ttfs_p50_seconds <= rep.ttfs_p99_seconds);
+    }
+
+    #[test]
+    fn streaming_off_measures_no_events_and_stays_clean() {
+        let rep = serve_load(ServeLoadConfig {
+            streaming: false,
+            requests: 2,
+            ..tiny()
+        });
+        assert!(rep.is_clean(), "unclean streaming-off run: {rep:?}");
+        assert_eq!(rep.events_published, 0);
+        assert_eq!(rep.events_dropped, 0);
+        assert_eq!(rep.ttfs_p99_seconds, 0.0);
+        assert_eq!(rep.cadence_jitter_seconds, 0.0);
+        assert!(!rep.metrics_jsonl.contains("ttfs_p99_seconds"));
     }
 
     #[test]
@@ -268,13 +380,7 @@ mod tests {
         assert!(json.contains("\"requests_per_second\": "));
         assert!(json.contains("\"p99_latency_seconds\": "));
         assert!(json.contains("\"steady_state_misses\": 0"));
-    }
-
-    #[test]
-    fn percentile_is_nearest_rank() {
-        let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&v, 0.50), 2.0);
-        assert_eq!(percentile(&v, 0.99), 4.0);
-        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert!(json.contains("\"ttfs_p99_seconds\": "));
+        assert!(json.contains("\"events_dropped\": 0"));
     }
 }

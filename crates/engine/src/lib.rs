@@ -47,12 +47,13 @@ use fv3::state::DycoreState;
 use fv3core::{Checkpoint, CompiledSubstep, DistributedDycore, DriverConfig};
 use machine::faults::ArmGuard;
 use machine::pool::Pool;
+use obs::stream::{EventBus, EventSink, EventStream, RunEvent};
 use obs::MetricsRegistry;
 use resilience::{FaultPlan, RunReport, SupervisedError, Supervisor, SupervisorPolicy};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -184,6 +185,19 @@ pub struct EngineConfig {
     pub policy: SupervisorPolicy,
     /// Warm instances parked per case (0 disables warm reuse).
     pub warm_cap: usize,
+    /// Live telemetry ([`obs::stream`]): when true the engine owns an
+    /// [`EventBus`] and every request streams its lifecycle and per-step
+    /// events ([`ForecastEngine::subscribe`]). When false the bus is
+    /// never created and the hot path publishes nothing — runs are
+    /// bit-identical either way (events carry copies, never borrows).
+    pub streaming: bool,
+    /// Per-subscriber event-buffer capacity; when a slow subscriber
+    /// falls this far behind, its *oldest* events are dropped and
+    /// counted (`events_dropped`) — a subscriber can never stall a slot.
+    pub stream_buffer: usize,
+    /// Cadence for periodic [`RunEvent::EngineTick`] snapshots from a
+    /// background thread (`None`: ticks only on request transitions).
+    pub tick_every: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -194,6 +208,9 @@ impl Default for EngineConfig {
             pool: None,
             policy: SupervisorPolicy::default(),
             warm_cap: 4,
+            streaming: true,
+            stream_buffer: 1024,
+            tick_every: None,
         }
     }
 }
@@ -292,16 +309,74 @@ impl ForecastOutcome {
     }
 }
 
-/// Aggregate counters, read from the engine's metrics registry.
+/// Aggregate counters (from the engine's metrics registry) plus the
+/// point-in-time occupancy the raw metrics could only approximate:
+/// current queue depth, busy run slots, and parked warm instances.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EngineStats {
     pub submitted: u64,
     pub completed: u64,
     pub failed: u64,
+    pub rejected: u64,
     pub warm_acquires: u64,
     pub cold_builds: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Requests queued (not yet picked up) right now.
+    pub queue_depth: u64,
+    /// Run slots currently executing a request.
+    pub slots_busy: u64,
+    /// Total run slots.
+    pub slots: u64,
+    /// Warm instances parked across all cases right now.
+    pub warm_pool: u64,
+}
+
+/// Live progress of one running request, from the telemetry plane's
+/// progress mirror (tracked even when streaming is disabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestProgress {
+    pub id: RequestId,
+    pub label: String,
+    /// Driver steps completed so far.
+    pub steps_done: u64,
+    /// Steps the request asked for.
+    pub steps_budget: u64,
+    /// Wall seconds of the most recent completed step (0 before the
+    /// first).
+    pub last_step_seconds: f64,
+    /// Latest per-step health verdict from the request's supervisor
+    /// (`None` until the first sample).
+    pub last_healthy: Option<bool>,
+}
+
+/// A point-in-time snapshot of the whole engine
+/// ([`ForecastEngine::status`]): what is queued, what is running and how
+/// far along, and how the telemetry plane itself is doing.
+#[derive(Debug, Clone)]
+pub struct EngineStatus {
+    /// Requests waiting in the submission queue, in queue order.
+    pub queued: Vec<(RequestId, String)>,
+    /// Requests currently executing, ordered by id.
+    pub running: Vec<RequestProgress>,
+    /// Total run slots / slots currently busy.
+    pub slots: usize,
+    pub slots_busy: usize,
+    /// Warm instances parked across all cases.
+    pub warm_pool: usize,
+    /// Events published on the bus so far (0 when streaming is off).
+    pub events_published: u64,
+    /// Events dropped across all subscribers (drop-oldest backpressure).
+    pub events_dropped: u64,
+    /// Aggregate counters at snapshot time.
+    pub stats: EngineStats,
+}
+
+impl EngineStatus {
+    /// Queue depth at snapshot time.
+    pub fn queue_depth(&self) -> usize {
+        self.queued.len()
+    }
 }
 
 struct Pending {
@@ -309,6 +384,15 @@ struct Pending {
     label: String,
     req: ForecastRequest,
     submitted: Instant,
+}
+
+/// What the engine tracks about a request a slot is executing right
+/// now: its budget and the telemetry sink whose progress mirror
+/// [`ForecastEngine::status`] reads.
+struct ActiveRequest {
+    label: String,
+    steps_budget: u64,
+    sink: EventSink,
 }
 
 struct QueueState {
@@ -340,12 +424,51 @@ struct EngineInner {
     done_cv: Condvar,
     metrics: MetricsRegistry,
     next_id: AtomicU64,
+    /// The live telemetry bus (`None`: streaming disabled — nothing is
+    /// ever published and runs pay zero event cost).
+    bus: Option<EventBus>,
+    /// Total run slots / slots currently executing a request.
+    slots_n: usize,
+    slots_busy: AtomicUsize,
+    /// Requests currently executing, for [`ForecastEngine::status`].
+    active: Mutex<HashMap<u64, ActiveRequest>>,
+    /// Set on shutdown so the tick thread exits promptly.
+    stopping: AtomicBool,
+    tick_cv: Condvar,
+    tick_lock: Mutex<()>,
+}
+
+impl EngineInner {
+    /// Warm instances parked across all cases right now.
+    fn warm_pool_size(&self) -> usize {
+        lock(&self.cases).values().map(|c| c.warm.len()).sum()
+    }
+
+    /// Publish one engine-wide tick snapshot (no-op when streaming is
+    /// off). Called on request transitions and by the tick thread.
+    fn emit_tick(&self) {
+        let Some(bus) = &self.bus else { return };
+        let queue_depth = lock(&self.queue).pending.len() as u64;
+        bus.publish(
+            None,
+            RunEvent::EngineTick {
+                queue_depth,
+                slots: self.slots_n as u64,
+                slots_busy: self.slots_busy.load(Ordering::Relaxed) as u64,
+                warm_pool: self.warm_pool_size() as u64,
+                events_dropped: bus.events_dropped(),
+            },
+        );
+    }
 }
 
 /// The persistent multi-tenant run engine. See the crate docs.
 pub struct ForecastEngine {
     inner: Arc<EngineInner>,
     slots: Vec<JoinHandle<()>>,
+    /// Periodic [`RunEvent::EngineTick`] emitter (only when
+    /// `tick_every` is set and streaming is on).
+    ticker: Option<JoinHandle<()>>,
     /// Keeps an `FV3_FAULT_PLAN` armed for the engine's lifetime (chaos
     /// testing of the serving layer, `tests/fault_isolation.rs`).
     _faults: Option<ArmGuard>,
@@ -376,6 +499,13 @@ impl ForecastEngine {
             done_cv: Condvar::new(),
             metrics: MetricsRegistry::new(),
             next_id: AtomicU64::new(1),
+            bus: cfg.streaming.then(|| EventBus::new(cfg.stream_buffer)),
+            slots_n,
+            slots_busy: AtomicUsize::new(0),
+            active: Mutex::new(HashMap::new()),
+            stopping: AtomicBool::new(false),
+            tick_cv: Condvar::new(),
+            tick_lock: Mutex::new(()),
         });
         // Pre-register every aggregate counter (at 0) so the exported
         // series set is the same for an idle, a failure-free, and a
@@ -404,9 +534,35 @@ impl ForecastEngine {
                     .expect("failed to spawn engine slot")
             })
             .collect();
+        let ticker = match (cfg.tick_every, inner.bus.is_some()) {
+            (Some(period), true) => {
+                let inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("fv3-serve-tick".to_string())
+                        .spawn(move || {
+                            let mut g = lock(&inner.tick_lock);
+                            while !inner.stopping.load(Ordering::Relaxed) {
+                                let (g2, _) = inner
+                                    .tick_cv
+                                    .wait_timeout(g, period)
+                                    .unwrap_or_else(|e| e.into_inner());
+                                g = g2;
+                                if inner.stopping.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                inner.emit_tick();
+                            }
+                        })
+                        .expect("failed to spawn engine ticker"),
+                )
+            }
+            _ => None,
+        };
         ForecastEngine {
             inner,
             slots,
+            ticker,
             _faults: faults,
         }
     }
@@ -442,12 +598,26 @@ impl ForecastEngine {
         self.inner
             .metrics
             .gauge_high_water("queue_depth_high_water", &[], (q.pending.len() + 1) as f64);
+        let steps = req.steps;
         q.pending.push_back(Pending {
             id,
-            label,
+            label: label.clone(),
             req,
             submitted: Instant::now(),
         });
+        // Emitted while still holding the queue lock: a slot cannot pop
+        // this request (and emit RequestStarted) before Queued is on the
+        // bus, so every subscriber sees Queued -> Started in order.
+        if let Some(bus) = &self.inner.bus {
+            bus.publish(
+                Some(&format!("r{id}")),
+                RunEvent::RequestQueued {
+                    label,
+                    steps,
+                    queue_depth: q.pending.len() as u64,
+                },
+            );
+        }
         drop(q);
         self.inner.work_cv.notify_one();
         RequestId(id)
@@ -504,17 +674,85 @@ impl ForecastEngine {
         &self.inner.pool
     }
 
-    /// Aggregate counters so far.
+    /// Aggregate counters so far, plus point-in-time occupancy (queue
+    /// depth, busy slots, warm-pool size).
     pub fn stats(&self) -> EngineStats {
         let m = &self.inner.metrics;
         EngineStats {
             submitted: m.counter_value("requests_submitted", &[]),
             completed: m.counter_value("requests_completed", &[]),
             failed: m.counter_value("requests_failed", &[]),
+            rejected: m.counter_value("requests_rejected", &[]),
             warm_acquires: m.counter_value("warm_acquires", &[]),
             cold_builds: m.counter_value("cold_builds", &[]),
             cache_hits: m.counter_value("kernel_cache_hits", &[]),
             cache_misses: m.counter_value("kernel_cache_misses", &[]),
+            queue_depth: lock(&self.inner.queue).pending.len() as u64,
+            slots_busy: self.inner.slots_busy.load(Ordering::Relaxed) as u64,
+            slots: self.inner.slots_n as u64,
+            warm_pool: self.inner.warm_pool_size() as u64,
+        }
+    }
+
+    /// Subscribe to the live event stream of one request (every event
+    /// tagged with its id: lifecycle, per-step completions, health
+    /// samples, supervisor recoveries). `None` when the engine was
+    /// started with `streaming: false`.
+    ///
+    /// Subscribing is valid at any time; events published before the
+    /// subscription are not replayed, so subscribe before (or right
+    /// after) submitting to observe the full lifecycle.
+    pub fn subscribe(&self, id: RequestId) -> Option<EventStream> {
+        self.inner.bus.as_ref().map(|b| b.subscribe(&id.to_string()))
+    }
+
+    /// Subscribe to every event the engine publishes (all requests plus
+    /// engine-wide ticks). `None` when streaming is disabled.
+    pub fn subscribe_all(&self) -> Option<EventStream> {
+        self.inner.bus.as_ref().map(|b| b.subscribe_all())
+    }
+
+    /// A point-in-time snapshot of the whole engine: queued requests in
+    /// order, running requests with live progress (steps done / budget,
+    /// last step wall time, last health verdict), slot and warm-pool
+    /// occupancy, and bus health. Works with streaming on or off — the
+    /// progress mirror is maintained either way.
+    pub fn status(&self) -> EngineStatus {
+        let queued: Vec<(RequestId, String)> = lock(&self.inner.queue)
+            .pending
+            .iter()
+            .map(|p| (RequestId(p.id), p.label.clone()))
+            .collect();
+        let mut running: Vec<RequestProgress> = lock(&self.inner.active)
+            .iter()
+            .map(|(&id, a)| {
+                let prog = a.sink.progress().unwrap_or_default();
+                RequestProgress {
+                    id: RequestId(id),
+                    label: a.label.clone(),
+                    steps_done: prog.steps_done,
+                    steps_budget: a.steps_budget,
+                    last_step_seconds: prog.last_step_seconds,
+                    last_healthy: prog.last_healthy,
+                }
+            })
+            .collect();
+        running.sort_by_key(|r| r.id);
+        let (events_published, events_dropped) = self
+            .inner
+            .bus
+            .as_ref()
+            .map(|b| (b.events_published(), b.events_dropped()))
+            .unwrap_or((0, 0));
+        EngineStatus {
+            queued,
+            running,
+            slots: self.inner.slots_n,
+            slots_busy: self.inner.slots_busy.load(Ordering::Relaxed),
+            warm_pool: self.inner.warm_pool_size(),
+            events_published,
+            events_dropped,
+            stats: self.stats(),
         }
     }
 
@@ -535,6 +773,16 @@ impl ForecastEngine {
         self.inner.space_cv.notify_all();
         for h in self.slots.drain(..) {
             let _ = h.join();
+        }
+        self.inner.stopping.store(true, Ordering::Relaxed);
+        self.inner.tick_cv.notify_all();
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+        // Close the bus so live subscribers drain what is buffered and
+        // then observe end-of-stream instead of blocking forever.
+        if let Some(bus) = &self.inner.bus {
+            bus.close();
         }
     }
 }
@@ -587,10 +835,29 @@ fn run_request(inner: &Arc<EngineInner>, p: Pending) -> ForecastOutcome {
     let _span = obs::tracing::global_span("request", &rid);
     m.counter_add("requests_started", &[], 1);
     m.observe("request_queued_seconds", &[], queued);
+    // Per-request telemetry sink: streams to the bus when the engine has
+    // one, and maintains the progress mirror status() reads either way.
+    let sink = match &inner.bus {
+        Some(bus) => EventSink::for_request(bus, &rid),
+        None => EventSink::progress_only(&rid),
+    };
+    inner.slots_busy.fetch_add(1, Ordering::Relaxed);
+    lock(&inner.active).insert(
+        p.id,
+        ActiveRequest {
+            label: p.label.clone(),
+            steps_budget: p.req.steps,
+            sink: sink.clone(),
+        },
+    );
+    sink.emit(RunEvent::RequestStarted {
+        queued_seconds: queued,
+    });
+    inner.emit_tick();
     let t0 = Instant::now();
     // A panic escaping the supervised region (an engine bug, not a model
     // blowup) fails this request only — never the slot.
-    let result = match catch_unwind(AssertUnwindSafe(|| execute(inner, &p, &rid))) {
+    let result = match catch_unwind(AssertUnwindSafe(|| execute(inner, &p, &rid, &sink))) {
         Ok(res) => res,
         Err(payload) => Err(EngineFailure::Panic(panic_text(&*payload))),
     };
@@ -600,12 +867,24 @@ fn run_request(inner: &Arc<EngineInner>, p: Pending) -> ForecastOutcome {
             m.counter_add("requests_completed", &[], 1);
             m.observe("request_run_seconds", &[], run_seconds);
             m.counter_add("request_steps", &[("request", &rid)], rep.steps);
+            sink.emit(RunEvent::RequestCompleted {
+                steps: rep.steps,
+                run_seconds,
+            });
         }
-        Err(_) => {
+        Err(e) => {
             m.counter_add("requests_failed", &[], 1);
             m.counter_add("request_failed", &[("request", &rid)], 1);
+            let step = sink.progress().map(|pr| pr.steps_done).unwrap_or(0);
+            sink.emit(RunEvent::RequestFailed {
+                step,
+                detail: e.to_string(),
+            });
         }
     }
+    lock(&inner.active).remove(&p.id);
+    inner.slots_busy.fetch_sub(1, Ordering::Relaxed);
+    inner.emit_tick();
     ForecastOutcome {
         id,
         label: p.label,
@@ -619,11 +898,17 @@ fn execute(
     inner: &Arc<EngineInner>,
     p: &Pending,
     rid: &str,
+    sink: &EventSink,
 ) -> Result<ForecastReport, EngineFailure> {
     let key = CaseKey::of(&p.req);
     let (mut d, warm_start) = acquire(inner, key, &p.req);
+    // Install this request's sink on both the dycore (per-step
+    // completions) and the supervisor (health, retries, checkpoints) for
+    // the duration of the run; release() clears it before parking.
+    d.set_event_sink(sink.clone());
     let (h0, m0) = d.exec_cache_counters();
     let mut sup = Supervisor::new(inner.policy.clone());
+    sup.set_event_sink(sink.clone());
     let res = sup.run(&mut d, p.req.steps);
     let (h1, m1) = d.exec_cache_counters();
     let (hits, misses) = (h1 - h0, m1 - m0);
@@ -721,7 +1006,10 @@ fn acquire(inner: &EngineInner, key: CaseKey, req: &ForecastRequest) -> (Distrib
 }
 
 /// Park a healthy instance for the next tenant, up to the warm cap.
-fn release(inner: &EngineInner, key: CaseKey, d: DistributedDycore) {
+fn release(inner: &EngineInner, key: CaseKey, mut d: DistributedDycore) {
+    // Never park another tenant's sink: the next tenant installs its
+    // own, and a parked instance must not retain a subscriber tag.
+    d.set_event_sink(EventSink::default());
     let mut cases = lock(&inner.cases);
     if let Some(cc) = cases.get_mut(&key) {
         if cc.reset.is_some() && cc.warm.len() < inner.warm_cap {

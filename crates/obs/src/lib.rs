@@ -18,6 +18,11 @@
 //!   surface-pressure bounds, mass/energy drift, and a blowup detector
 //!   that names the field, logical `(i, j, k)`, timestep, and enclosing
 //!   span stack of the first non-finite value.
+//! * [`stream`] — the live telemetry plane: a bounded, drop-oldest
+//!   broadcast [`EventBus`] carrying typed [`RunEvent`]s (per-step
+//!   completion, health verdicts, supervisor retries, engine ticks) so a
+//!   subscriber can tail a run *while it executes* instead of reading
+//!   reports at the end. Zero-cost when no sink is installed.
 //! * [`regression`] — [`regression::compare_runs`] diffs two
 //!   `BENCH_dycore.json` files and flags per-module slowdowns.
 //! * [`json`] — the minimal JSON reader the above share.
@@ -32,10 +37,12 @@ pub mod json;
 pub mod metrics;
 pub mod overlap;
 pub mod regression;
+pub mod stream;
 pub mod tracing;
 
 pub use health::{BlowupReport, HealthMonitor, HealthSample, HealthThresholds};
-pub use metrics::{emit_jsonl, HistogramData, MetricsRegistry};
+pub use metrics::{emit_jsonl, nearest_rank, HistogramData, MetricsRegistry};
 pub use overlap::OverlapStats;
 pub use regression::{compare_runs, RegressionPolicy, RegressionReport, BENCH_SCHEMA_VERSION};
+pub use stream::{Event, EventBus, EventSink, EventStream, RunEvent, StreamProgress};
 pub use tracing::{SpanGuard, Tracer};

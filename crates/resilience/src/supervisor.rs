@@ -207,6 +207,10 @@ pub struct Supervisor {
     pub policy: SupervisorPolicy,
     monitor: HealthMonitor,
     metrics: MetricsRegistry,
+    /// Live telemetry sink ([`obs::stream`]): publishes per-step health
+    /// verdicts, retries/rollbacks, checkpoint writes, and halo-stall
+    /// events when installed. Off (zero-cost) by default.
+    sink: obs::EventSink,
 }
 
 impl Supervisor {
@@ -217,7 +221,15 @@ impl Supervisor {
             policy,
             monitor: fv3::health::default_monitor(),
             metrics: MetricsRegistry::new(),
+            sink: obs::EventSink::default(),
         }
+    }
+
+    /// Install a live telemetry sink: the supervision loop then streams
+    /// `HealthSample` (one aggregate verdict per step), `SupervisorRetry`,
+    /// `CheckpointWritten`, and `HaloStall` events as they happen.
+    pub fn set_event_sink(&mut self, sink: obs::EventSink) {
+        self.sink = sink;
     }
 
     /// The recovery metrics recorded so far (checkpoint_bytes,
@@ -256,24 +268,43 @@ impl Supervisor {
         if checkpointing {
             let t = Instant::now();
             let ck = Checkpoint::capture(d);
+            let mut disk_bytes = 0;
             if let Some(dir) = &self.policy.checkpoint_dir {
                 let bytes = ck
                     .write_atomic(&step_path(dir, ck.step))
                     .map_err(|e| self.io_error(d.step_index(), e, &events))?;
                 ck_writes += 1;
                 ck_bytes += bytes;
+                disk_bytes = bytes;
                 self.metrics.counter_add("checkpoint_writes", &[], 1);
                 self.metrics.counter_add("checkpoint_bytes", &[], bytes);
             }
             ck_time += t.elapsed();
+            self.sink.emit(obs::RunEvent::CheckpointWritten {
+                step: ck.step,
+                bytes: disk_bytes,
+            });
             basis = Some(ck);
         }
+        // Cumulative stall count already seen, for per-step stall deltas
+        // on the event stream.
+        let mut stalls_seen = stalls_before;
 
         while d.step_index() < goal {
             // The step being attempted (step() increments only on
             // success; a panic leaves the counter unchanged).
             let attempting = d.step_index() + 1;
             let failure = self.try_step(d);
+            // Per-step halo-stall delta onto the event stream (the step
+            // itself may have succeeded despite soft stalls).
+            let stalls_now = d.halo_stalls();
+            if stalls_now > stalls_seen {
+                self.sink.emit(obs::RunEvent::HaloStall {
+                    step: attempting,
+                    stalls: stalls_now - stalls_seen,
+                });
+                stalls_seen = stalls_now;
+            }
             match failure {
                 None => {
                     retries_this_step = 0;
@@ -282,16 +313,22 @@ impl Supervisor {
                     {
                         let t = Instant::now();
                         let ck = Checkpoint::capture(d);
+                        let mut disk_bytes = 0;
                         if let Some(dir) = &self.policy.checkpoint_dir {
                             let bytes = ck
                                 .write_atomic(&step_path(dir, ck.step))
                                 .map_err(|e| self.io_error(d.step_index(), e, &events))?;
                             ck_writes += 1;
                             ck_bytes += bytes;
+                            disk_bytes = bytes;
                             self.metrics.counter_add("checkpoint_writes", &[], 1);
                             self.metrics.counter_add("checkpoint_bytes", &[], bytes);
                         }
                         ck_time += t.elapsed();
+                        self.sink.emit(obs::RunEvent::CheckpointWritten {
+                            step: ck.step,
+                            bytes: disk_bytes,
+                        });
                         basis = Some(ck);
                     }
                 }
@@ -330,6 +367,13 @@ impl Supervisor {
                     self.metrics.counter_add("restore_count", &[], 1);
                     self.metrics
                         .counter_add("retries", &[("kind", kind.label())], 1);
+                    self.sink.emit(obs::RunEvent::SupervisorRetry {
+                        step: failed_step,
+                        kind: kind.label().to_string(),
+                        retry: retries_this_step,
+                        backed_off,
+                        rolled_back_to: ck.step,
+                    });
                     events.push(RecoveryEvent {
                         step: failed_step,
                         kind,
@@ -379,6 +423,17 @@ impl Supervisor {
             return Some((FailureKind::Panic, panic_text(&*payload), None));
         }
         let healthy = d.sample_health(&mut self.monitor, d.step_index());
+        // Stream the per-step verdict (worst wind/CFL over ranks) while
+        // the run executes; read-only aggregation, copies only.
+        if self.sink.is_active() {
+            let ranks = d.partition.ranks();
+            let n = self.monitor.samples().len();
+            let tail = &self.monitor.samples()[n.saturating_sub(ranks)..];
+            let max_wind = tail.iter().map(|s| s.max_wind).fold(0.0, f64::max);
+            let cfl = tail.iter().map(|s| s.cfl).fold(0.0, f64::max);
+            self.sink
+                .health_sample(d.step_index(), healthy, max_wind, cfl);
+        }
         if healthy {
             return None;
         }
