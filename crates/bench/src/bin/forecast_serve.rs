@@ -196,7 +196,8 @@ fn cmd_run(cfg: ServeLoadConfig) -> ExitCode {
                 rep.events_dropped
             ));
         }
-        if !(rep.ttfs_p99_seconds > 0.0) {
+        // partial_cmp, not `>`: a NaN p99 must fail the gate too.
+        if rep.ttfs_p99_seconds.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             bad.push("no time-to-first-step observed on the bus".to_string());
         }
     }

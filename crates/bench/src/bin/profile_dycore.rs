@@ -22,7 +22,7 @@
 //! health sample carries a violation, so CI can use it as a smoke
 //! check.
 
-use bench::profile::{bench_json_full, profile_case};
+use bench::profile::{bench_json_complete, profile_case, tuned_ablation};
 use bench::serve_load::{serve_load, ServeLoadConfig};
 use bench::weak_scaling::{study_table, weak_scaling_study};
 use dataflow::report::roofline_table;
@@ -101,6 +101,95 @@ fn main() -> ExitCode {
         "lane VM: {} vector points / {} scalar (rind) points",
         run.metrics.counter_value("vm_lanes_vector", &[]),
         run.metrics.counter_value("vm_lanes_scalar", &[])
+    );
+
+    // Tuned-vs-baseline ablation (ISSUE 9's Table III analogue). Run at
+    // c24 rather than the c8 smoke resolution: the fusions pay in saved
+    // memory traffic, which the 8x8x6 subdomain (L1-resident) cannot
+    // show. Wall clock at this scale is noisy (turbo, cache state,
+    // neighbour load), so the arms are interleaved and each keeps its
+    // minimum-kernel-seconds run — min-of-N is robust against the
+    // one-sided slowdowns that plague back-to-back profiling.
+    let env_tuned = fv3core::parallel::tune_from_env();
+    const ABLATION_N: usize = 24;
+    const ABLATION_STEPS: usize = 2;
+    const ABLATION_REPS: usize = 5;
+    // Prepare each arm ONCE: the reps then interleave identical,
+    // build-free runs. Re-preparing per rep would both re-roll the
+    // vetted fusion set (the veto re-measures at build time) and run
+    // every tuned rep straight after the veto's measurement load,
+    // biasing the A/B comparison.
+    let prepared: Vec<(bool, bench::profile::PreparedCase)> = [false, true]
+        .into_iter()
+        .map(|t| (t, bench::profile::prepare_case(ABLATION_N, NK, config, t)))
+        .collect();
+    let mut arms: Vec<(bool, bench::profile::ProfileRun)> = Vec::new();
+    for _ in 0..ABLATION_REPS {
+        for (t, case) in &prepared {
+            arms.push((*t, bench::profile::profile_prepared(case, ABLATION_STEPS, None)));
+        }
+    }
+    let best = |want: bool| {
+        arms.iter()
+            .filter(|(t, _)| *t == want)
+            .map(|(_, r)| r)
+            .min_by(|a, b| a.report.kernel_seconds.total_cmp(&b.report.kernel_seconds))
+            .expect("at least one run per arm")
+    };
+    let (baseline, tuned_run) = (best(false), best(true));
+    let mut ablation =
+        tuned_ablation(baseline, tuned_run).expect("tuned arm carries an autotune report");
+    // Each gated scalar is the per-arm minimum across reps (not the
+    // best-total run's value): min-of-N per metric is the robust
+    // estimator of the achievable time, and the tuned arm's committed
+    // fusion set can differ between reps (the measured veto re-runs at
+    // build time), so a single run would conflate set choice with noise.
+    let arm_min = |want: bool, f: &dyn Fn(&bench::profile::ProfileRun) -> f64| {
+        arms.iter()
+            .filter(|(t, _)| *t == want)
+            .map(|(_, r)| f(r))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let tracer = |r: &bench::profile::ProfileRun| {
+        r.rollup
+            .iter()
+            .find(|m| m.module == "tracer")
+            .map_or(0.0, |m| m.wall_seconds)
+    };
+    ablation.baseline_kernel_seconds = arm_min(false, &|r| r.report.kernel_seconds);
+    ablation.tuned_kernel_seconds = arm_min(true, &|r| r.report.kernel_seconds);
+    ablation.baseline_tracer_seconds = arm_min(false, &tracer);
+    ablation.tuned_tracer_seconds = arm_min(true, &tracer);
+    println!(
+        "\ntuned ablation (c{ABLATION_N}L{NK} x{ABLATION_STEPS} steps, min of \
+         {ABLATION_REPS}; {}):",
+        ablation.summary
+    );
+    println!(
+        "{:<16} {:>14} {:>14} {:>8}",
+        "module", "base[us]", "tuned[us]", "ratio"
+    );
+    for b in &baseline.rollup {
+        let t = tuned_run
+            .rollup
+            .iter()
+            .find(|m| m.module == b.module)
+            .map_or(0.0, |m| m.wall_seconds);
+        let ratio = if t > 0.0 { b.wall_seconds / t } else { 0.0 };
+        println!(
+            "{:<16} {:>14.2} {:>14.2} {:>7.2}x",
+            b.module,
+            b.wall_seconds * 1e6,
+            t * 1e6,
+            ratio
+        );
+    }
+    println!(
+        "kernel totals: baseline {:.2} us, tuned {:.2} us ({:.2}x measured, {:.2}x modeled)",
+        ablation.baseline_kernel_seconds * 1e6,
+        ablation.tuned_kernel_seconds * 1e6,
+        ablation.measured_speedup(),
+        ablation.modeled_speedup
     );
 
     // Measured weak-scaling overlap study (ISSUE 6): c8/c48/c96 under
@@ -183,6 +272,40 @@ fn main() -> ExitCode {
             ));
         }
     }
+    if ablation.kernels_after >= ablation.kernels_before {
+        bad.push(format!(
+            "autotune applied no fusion on the dycore: {}",
+            ablation.summary
+        ));
+    }
+    if env_tuned {
+        // The tuned-profile CI job runs with FV3_TUNE=1. The vetted
+        // fusion wins on this host (riem/d_sw pointwise chains) are
+        // ~1-2% of total kernel seconds — the same order as the
+        // min-of-N noise floor at c24 — so a strict "tuned < baseline"
+        // would flake on noise. The hard guarantees live elsewhere
+        // (bit-identity in tuned_diff, the structural kernels_after <
+        // kernels_before check above); here we gate on non-regression:
+        // the tuned arm must stay within the noise floor of baseline.
+        if ablation.tuned_kernel_seconds > ablation.baseline_kernel_seconds * 1.02 {
+            bad.push(format!(
+                "tuned kernel_seconds {} regressed past untuned {} by >2%",
+                ablation.tuned_kernel_seconds, ablation.baseline_kernel_seconds
+            ));
+        }
+        // The tracer chain is where the static model's fusion advice is
+        // wrong on this host (OTF recompute at offset load sites loses
+        // measurably on real data), so the vetted pipeline's job is to
+        // *refuse* those fusions: tuned tracer time must not regress
+        // beyond measurement noise. An un-vetted pipeline fails this
+        // check by several percent.
+        if ablation.tuned_tracer_seconds > ablation.baseline_tracer_seconds * 1.02 {
+            bad.push(format!(
+                "tuning regressed tracer module wall time: {} vs {} s",
+                ablation.tuned_tracer_seconds, ablation.baseline_tracer_seconds
+            ));
+        }
+    }
     if !serve.is_clean() {
         bad.push(format!(
             "serve load broke the service contract: completed {}/{}, {} failed, \
@@ -196,7 +319,14 @@ fn main() -> ExitCode {
         ));
     }
 
-    let json = bench_json_full(&run, attainable, stream.gib_per_s(), &scaling, Some(&serve));
+    let json = bench_json_complete(
+        &run,
+        attainable,
+        stream.gib_per_s(),
+        &scaling,
+        Some(&serve),
+        Some(&ablation),
+    );
     let writes = [
         ("BENCH_dycore.json", json.clone()),
         ("BENCH_dycore_trace.json", run.tracer.to_chrome_trace()),

@@ -63,6 +63,9 @@ pub struct ProfileRun {
     /// Wall time of one verified restore (load + checksum + rebuild) of
     /// the final checkpoint, 0.0 when checkpointing is off.
     pub checkpoint_restore_seconds: f64,
+    /// What the whole-program autotune pipeline did to the profiled
+    /// graph (`None` for an untuned run).
+    pub tune: Option<tuning::AutotuneReport>,
 }
 
 /// Run the baroclinic `c{n}L{nk}` case for `steps` timesteps under the
@@ -81,6 +84,8 @@ pub fn profile_case(n: usize, nk: usize, steps: usize, config: DycoreConfig) -> 
 /// checkpointing). One `FV3CKPT1` checkpoint of the profiled state is
 /// written per step, and the final one is restored and verified, so the
 /// summary carries the real write/restore cost the resilience layer adds.
+/// Whole-program tuning is read from `FV3_TUNE`; see
+/// [`profile_case_full`] to pin it explicitly.
 pub fn profile_case_with_checkpoints(
     n: usize,
     nk: usize,
@@ -88,7 +93,52 @@ pub fn profile_case_with_checkpoints(
     config: DycoreConfig,
     checkpoint_dir: Option<&Path>,
 ) -> ProfileRun {
-    let case_name = format!("c{n}L{nk}_baroclinic");
+    profile_case_full(
+        n,
+        nk,
+        steps,
+        config,
+        checkpoint_dir,
+        fv3core::parallel::tune_from_env(),
+    )
+}
+
+/// [`profile_case_with_checkpoints`] with the tuning decision pinned
+/// explicitly. When `tuned`, the expanded dycore graph is run through
+/// the vetted autotune pipeline before the first step — exactly what the
+/// serving path's `CompiledSubstep::build` does under `FV3_TUNE=1` — and the
+/// report lands in [`ProfileRun::tune`] so [`tuned_ablation`] can render
+/// the Table III analogue.
+pub fn profile_case_full(
+    n: usize,
+    nk: usize,
+    steps: usize,
+    config: DycoreConfig,
+    checkpoint_dir: Option<&Path>,
+    tuned: bool,
+) -> ProfileRun {
+    let case = prepare_case(n, nk, config, tuned);
+    profile_prepared(&case, steps, checkpoint_dir)
+}
+
+/// A profiled case prepared once: program built, graph expanded, and
+/// (when `tuned`) run through the vetted whole-program autotune. Reps
+/// that reuse a `PreparedCase` pay no build or tuning cost, which keeps
+/// interleaved A/B arms symmetric — the tuned arm would otherwise start
+/// every rep hot on the heels of the veto's measurement load — and makes
+/// every rep execute the *same* committed fusion set.
+pub struct PreparedCase {
+    pub n: usize,
+    pub nk: usize,
+    pub config: DycoreConfig,
+    prog: fv3::dyn_core::DycoreProgram,
+    g: dataflow::Sdfg,
+    /// What the autotune pipeline did (`None` for an untuned case).
+    pub tune: Option<tuning::AutotuneReport>,
+}
+
+/// Build (and optionally tune) a case without running it.
+pub fn prepare_case(n: usize, nk: usize, config: DycoreConfig, tuned: bool) -> PreparedCase {
     let geom = CubeGeometry::new(n);
     let grid = Grid::compute(&geom.faces[1], n, 0, 0, n, fv3::state::HALO, nk);
     let mut state = DycoreState::zeros(n, nk);
@@ -96,7 +146,55 @@ pub fn profile_case_with_checkpoints(
     let prog = build_dycore_program(n, nk, config);
     let mut g = prog.sdfg.clone();
     g.expand_libraries(&ExpansionAttrs::tuned());
-    let mut store = DataStore::for_sdfg(&g);
+    let tune = tuned.then(|| {
+        // Seed the measured veto with the initialized state: candidate
+        // fusions are priced on the data the run will actually execute
+        // (the synthetic fill underprices OTF recompute on real
+        // atmospheric magnitudes). The tuner never adds or removes
+        // containers, so the seed store matches the tuned graph too.
+        let mut seed = DataStore::for_sdfg(&g);
+        load_state(&mut seed, &prog.ids, &state, &grid);
+        let mut scorer = tuning::MeasuredScorer::with_seed(
+            fv3core::parallel::TUNE_VET_REPEATS,
+            prog.params.clone(),
+            seed,
+        );
+        tuning::autotune_vetted_scored(
+            &mut g,
+            &fv3core::parallel::tune_model(),
+            fv3core::parallel::TUNE_M_OTF,
+            &mut scorer,
+            fv3core::parallel::TUNE_VET_MARGIN,
+        )
+    });
+    PreparedCase {
+        n,
+        nk,
+        config,
+        prog,
+        g,
+        tune,
+    }
+}
+
+/// Run a [`PreparedCase`] for `steps` timesteps under the flight
+/// recorder. The state is re-initialized from the baroclinic analytic
+/// profile on every call, so repeated runs are independent reps.
+pub fn profile_prepared(
+    case: &PreparedCase,
+    steps: usize,
+    checkpoint_dir: Option<&Path>,
+) -> ProfileRun {
+    let (n, nk, config) = (case.n, case.nk, case.config);
+    let case_name = format!("c{n}L{nk}_baroclinic");
+    let geom = CubeGeometry::new(n);
+    let grid = Grid::compute(&geom.faces[1], n, 0, 0, n, fv3::state::HALO, nk);
+    let mut state = DycoreState::zeros(n, nk);
+    init_baroclinic(&mut state, &grid, &BaroclinicConfig::default());
+    let prog = &case.prog;
+    let g = &case.g;
+    let tune = case.tune.clone();
+    let mut store = DataStore::for_sdfg(g);
     load_state(&mut store, &prog.ids, &state, &grid);
     let mut hooks = RemapHooks { ids: &prog.ids };
 
@@ -137,7 +235,7 @@ pub fn profile_case_with_checkpoints(
         let ev_before = prof.events().len();
         let t0 = tracer.now_us();
         let exec_report =
-            exec.run_profiled(&g, &mut store, &prog.params, &mut hooks, &mut prof);
+            exec.run_profiled(g, &mut store, &prog.params, &mut hooks, &mut prof);
         let dur_s = (tracer.now_us() - t0) / 1e6;
 
         // Per-step kernel metrics from this step's slice of the event
@@ -245,7 +343,74 @@ pub fn profile_case_with_checkpoints(
         checkpoint_bytes,
         checkpoint_write_seconds,
         checkpoint_restore_seconds,
+        tune,
     }
+}
+
+/// The tuned-vs-baseline ablation (ISSUE 9's Table III analogue): the
+/// measured effect of the whole-program autotune pipeline on the same
+/// case. `None` unless `tuned` actually carries an autotune report.
+pub struct TunedAblation {
+    /// Case the ablation was measured on (may differ from the main
+    /// profiled case — fusion pays in memory traffic, so it is measured
+    /// at a resolution whose working set exceeds the cache).
+    pub case: String,
+    /// Total kernel wall seconds of the untuned / tuned run.
+    pub baseline_kernel_seconds: f64,
+    pub tuned_kernel_seconds: f64,
+    /// Wall seconds of the tracer module (the Fig. 7 bottleneck the
+    /// cross-module fusions target) in each run.
+    pub baseline_tracer_seconds: f64,
+    pub tuned_tracer_seconds: f64,
+    /// Static kernel count before/after the pipeline.
+    pub kernels_before: usize,
+    pub kernels_after: usize,
+    /// Fusions applied across state (module) boundaries.
+    pub cross_module_fusions: usize,
+    /// Fusions landed by cutout search + pattern transfer.
+    pub transferred: usize,
+    /// Modeled speedup the cost model predicted.
+    pub modeled_speedup: f64,
+    /// One-line autotune provenance.
+    pub summary: String,
+}
+
+impl TunedAblation {
+    /// Measured whole-run kernel speedup (>= 1 when tuning helped).
+    pub fn measured_speedup(&self) -> f64 {
+        if self.tuned_kernel_seconds > 0.0 {
+            self.baseline_kernel_seconds / self.tuned_kernel_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+fn tracer_seconds(run: &ProfileRun) -> f64 {
+    run.rollup
+        .iter()
+        .find(|m| m.module == "tracer")
+        .map_or(0.0, |m| m.wall_seconds)
+}
+
+/// Build the ablation from an untuned `baseline` run and a `tuned` run
+/// of the same case. Returns `None` when `tuned` was not actually run
+/// through the autotune pipeline.
+pub fn tuned_ablation(baseline: &ProfileRun, tuned: &ProfileRun) -> Option<TunedAblation> {
+    let report = tuned.tune.as_ref()?;
+    Some(TunedAblation {
+        case: tuned.case_name.clone(),
+        baseline_kernel_seconds: baseline.report.kernel_seconds,
+        tuned_kernel_seconds: tuned.report.kernel_seconds,
+        baseline_tracer_seconds: tracer_seconds(baseline),
+        tuned_tracer_seconds: tracer_seconds(tuned),
+        kernels_before: report.kernels_before,
+        kernels_after: report.kernels_after,
+        cross_module_fusions: report.cross_module.len(),
+        transferred: report.transfer.applied.len(),
+        modeled_speedup: report.modeled_speedup(),
+        summary: report.summary(),
+    })
 }
 
 /// Render the `BENCH_dycore.json` summary (schema v2) for a run.
@@ -284,7 +449,28 @@ pub fn bench_json_full(
     scaling: &[crate::weak_scaling::OverlapPoint],
     serve: Option<&crate::serve_load::ServeLoadReport>,
 ) -> String {
+    bench_json_complete(run, attainable, stream_gib, scaling, serve, None)
+}
+
+/// [`bench_json_full`] plus the tuned-vs-baseline ablation. The ablation
+/// lands twice: as a top-level `tuned` object (full provenance, outside
+/// the gate, like `serve`) and as a `tuned_kernels` pseudo-module row
+/// whose `wall_seconds` is the tuned run's kernel total — *inside* the
+/// \>15% per-module regression gate, so a tuning regression across BENCH
+/// revisions fails CI exactly like a kernel regression would.
+pub fn bench_json_complete(
+    run: &ProfileRun,
+    attainable: f64,
+    stream_gib: f64,
+    scaling: &[crate::weak_scaling::OverlapPoint],
+    serve: Option<&crate::serve_load::ServeLoadReport>,
+    tuned: Option<&TunedAblation>,
+) -> String {
     let report = &run.report;
+    // Compute ceiling for the dual-ceiling roofline: the modeled host's
+    // peak FP64 throughput (Table I), matching the cost model the tuner
+    // ranks with.
+    let attainable_flops = machine::CpuSpec::haswell_e5_2690v3().peak_flops;
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema_version\": {},", obs::BENCH_SCHEMA_VERSION);
@@ -294,6 +480,7 @@ pub fn bench_json_full(
     let _ = writeln!(out, "  \"health_violations\": {},", run.monitor.total_violations());
     let _ = writeln!(out, "  \"stream_copy_gib_per_s\": {stream_gib},");
     let _ = writeln!(out, "  \"attainable_bandwidth_bytes_per_s\": {attainable},");
+    let _ = writeln!(out, "  \"attainable_flops_per_s\": {attainable_flops},");
     let _ = writeln!(out, "  \"launches\": {},", report.launches);
     let _ = writeln!(out, "  \"kernel_seconds\": {},", report.kernel_seconds);
     let _ = writeln!(out, "  \"copy_seconds\": {},", report.copy_seconds);
@@ -330,6 +517,29 @@ pub fn bench_json_full(
     if let Some(s) = serve {
         let _ = writeln!(out, "  \"serve\": {},", s.to_json());
     }
+    if let Some(t) = tuned {
+        let _ = writeln!(
+            out,
+            "  \"tuned\": {{\"case\": {}, \"kernel_seconds\": {}, \
+             \"baseline_kernel_seconds\": {}, \
+             \"tracer_seconds\": {}, \"baseline_tracer_seconds\": {}, \
+             \"kernels_before\": {}, \"kernels_after\": {}, \
+             \"cross_module_fusions\": {}, \"transferred\": {}, \
+             \"modeled_speedup\": {}, \"measured_speedup\": {}, \"summary\": {}}},",
+            json_string(&t.case),
+            t.tuned_kernel_seconds,
+            t.baseline_kernel_seconds,
+            t.tuned_tracer_seconds,
+            t.baseline_tracer_seconds,
+            t.kernels_before,
+            t.kernels_after,
+            t.cross_module_fusions,
+            t.transferred,
+            t.modeled_speedup,
+            t.measured_speedup(),
+            json_string(&t.summary)
+        );
+    }
     let _ = writeln!(out, "  \"modules\": [");
     let mut rows: Vec<String> = run
         .rollup
@@ -337,17 +547,30 @@ pub fn bench_json_full(
         .map(|m| {
             format!(
                 "    {{\"module\": {}, \"kernels\": {}, \"invocations\": {}, \"points\": {}, \
-                 \"wall_seconds\": {}, \"modeled_bytes\": {}, \"bytes_per_s\": {}}}",
+                 \"wall_seconds\": {}, \"modeled_bytes\": {}, \"modeled_flops\": {}, \
+                 \"bytes_per_s\": {}}}",
                 json_string(&m.module),
                 m.kernels,
                 m.invocations,
                 m.points,
                 m.wall_seconds,
                 m.modeled_bytes,
+                m.modeled_flops,
                 m.achieved_bandwidth()
             )
         })
         .collect();
+    // The tuned run's kernel total rides through the same gate as the
+    // module rows (cf. the checkpoint pseudo-rows below): present only
+    // when the ablation ran, so tuning-off diffs stay clean.
+    if let Some(t) = tuned {
+        rows.push(format!(
+            "    {{\"module\": \"tuned_kernels\", \"kernels\": {}, \"invocations\": 0, \
+             \"points\": 0, \"wall_seconds\": {}, \"modeled_bytes\": 0, \
+             \"modeled_flops\": 0, \"bytes_per_s\": 0}}",
+            t.kernels_after, t.tuned_kernel_seconds
+        ));
+    }
     // Resilience overhead rides through the same per-module regression
     // gate as kernel times: pseudo-module rows, present only when
     // checkpointing was on (so checkpoint-off diffs stay clean).
@@ -385,7 +608,7 @@ pub fn bench_json_full(
             out,
             "    {{\"name\": {}, \"invocations\": {}, \"points\": {}, \"wall_seconds\": {}, \
              \"modeled_bytes\": {}, \"modeled_flops\": {}, \"bytes_per_s\": {}, \
-             \"roofline_fraction\": {}}}{}",
+             \"roofline_fraction\": {}, \"compute_bound\": {}}}{}",
             json_string(&k.name),
             k.invocations,
             k.points,
@@ -393,7 +616,8 @@ pub fn bench_json_full(
             k.modeled_bytes,
             k.modeled_flops,
             k.achieved_bandwidth(),
-            k.roofline_fraction(attainable),
+            k.roofline_fraction_dual(attainable, attainable_flops),
+            k.compute_bound(attainable, attainable_flops),
             if i + 1 < ranked.len() { "," } else { "" }
         );
     }
@@ -493,6 +717,54 @@ mod tests {
         let report =
             obs::compare_runs(&without, &json, &obs::RegressionPolicy::default()).unwrap();
         assert!(report.is_clean(), "serve fields leaked into the gate: {}", report.render());
+    }
+
+    #[test]
+    fn tuned_profile_fuses_kernels_and_embeds_the_gated_ablation() {
+        let baseline = profile_case_full(8, 6, 2, small_config(), None, false);
+        assert!(baseline.tune.is_none());
+        let tuned = profile_case_full(8, 6, 2, small_config(), None, true);
+        let report = tuned.tune.as_ref().expect("tuned run carries its report");
+        assert!(
+            report.kernels_after < report.kernels_before,
+            "autotune must fuse the real dycore: {}",
+            report.summary()
+        );
+        // Fewer kernels, same physics: the tuned run models strictly less
+        // memory traffic and still reaches cache steady state.
+        assert!(tuned.report.total_modeled_bytes() < baseline.report.total_modeled_bytes());
+        assert_eq!(tuned.steady_state_misses, 0);
+
+        let ab = tuned_ablation(&baseline, &tuned).expect("ablation from a tuned run");
+        assert_eq!(ab.kernels_after, report.kernels_after);
+        assert!(ab.baseline_tracer_seconds > 0.0);
+        assert!(tuned_ablation(&baseline, &baseline).is_none());
+
+        let json = bench_json_complete(&baseline, 1e9, 1.0, &[], None, Some(&ab));
+        assert!(json.contains("\"tuned\": {\"case\""));
+        assert!(json.contains("\"kernel_seconds\""));
+        assert!(json.contains("\"module\": \"tuned_kernels\""));
+        assert!(json.contains("\"attainable_flops_per_s\""));
+        assert!(json.contains("\"compute_bound\""));
+        // The tuned row is gated (diffs against itself stay clean) and
+        // its absence elsewhere does not perturb the other module rows.
+        let cmp = obs::compare_runs(&json, &json, &obs::RegressionPolicy::default()).unwrap();
+        assert!(cmp.is_clean(), "{}", cmp.render());
+        let without = bench_json(&baseline, 1e9, 1.0);
+        let cmp =
+            obs::compare_runs(&without, &json, &obs::RegressionPolicy::default()).unwrap();
+        assert!(cmp.is_clean(), "tuned object leaked into the gate: {}", cmp.render());
+    }
+
+    #[test]
+    fn module_rows_carry_modeled_flops() {
+        let run = profile_case(8, 4, 1, small_config());
+        let json = bench_json(&run, 1e9, 1.0);
+        // Kernel modules model real arithmetic; the flops land in the
+        // module rows so the dual-ceiling roofline can rank them.
+        let tracer = run.rollup.iter().find(|m| m.module == "tracer").unwrap();
+        assert!(tracer.modeled_flops > 0);
+        assert!(json.contains("\"modeled_flops\""));
     }
 
     #[test]

@@ -82,6 +82,10 @@ pub struct DistributedDycore {
     pool: Option<Pool>,
     /// How ranks are scheduled within a substep (bit-identical either way).
     pub(crate) schedule: RankSchedule,
+    /// Whole-program tuning override: `Some` pins the decision, `None`
+    /// defers to `FV3_TUNE` at each cache (re)build. Tuned programs are
+    /// bit-identical to untuned ones, so this changes speed only.
+    pub(crate) tuned: Option<bool>,
     /// Cached per-substep machinery: programs, pinned executors, exchange
     /// plan, mailboxes. Invalidated on config/pool changes.
     pub(crate) cache: Option<StepCache>,
@@ -206,6 +210,7 @@ impl DistributedDycore {
             step_index: 0,
             pool: None,
             schedule: RankSchedule::from_env(),
+            tuned: None,
             cache: None,
             shared_substep: None,
             exec_cache_hits: 0,
@@ -337,6 +342,26 @@ impl DistributedDycore {
     /// The shared substep bundle this driver was offered, if any.
     pub fn shared_substep(&self) -> Option<&Arc<CompiledSubstep>> {
         self.shared_substep.as_ref()
+    }
+
+    /// Pin the whole-program tuning decision for this driver instead of
+    /// reading `FV3_TUNE` at each cache build (tests use this to run a
+    /// tuned driver without touching process-global environment).
+    /// Invalidates the step cache so the next step compiles accordingly.
+    pub fn set_tuned(&mut self, tuned: bool) {
+        self.tuned = Some(tuned);
+        self.cache = None;
+    }
+
+    /// The tuning decision the next cache build will use.
+    pub fn effective_tuned(&self) -> bool {
+        self.tuned.unwrap_or_else(crate::parallel::tune_from_env)
+    }
+
+    /// The autotune report of the substep bundle currently in use
+    /// (`None` before the first step or for an untuned bundle).
+    pub fn tune_report(&self) -> Option<&tuning::AutotuneReport> {
+        self.cache.as_ref().and_then(|c| c.sub.tune_report())
     }
 
     /// Cumulative compiled-kernel cache `(hits, misses)` over every rank

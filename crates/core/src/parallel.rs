@@ -68,6 +68,10 @@ pub enum RankSchedule {
 
 /// Environment toggle consulted by [`RankSchedule::from_env`].
 pub const RANK_SCHEDULE_ENV: &str = "FV3_RANK_SCHEDULE";
+/// Environment toggle for whole-program tuning at substep-compile time
+/// (`1` / `true` / `on` enable [`tuning::autotune`] in
+/// [`CompiledSubstep::build`]).
+pub const TUNE_ENV: &str = "FV3_TUNE";
 /// Environment override for the hard halo-receive deadline, in ms.
 pub const HALO_RECV_TIMEOUT_ENV: &str = "FV3_HALO_RECV_TIMEOUT_MS";
 /// Default hard halo-receive deadline.
@@ -87,6 +91,46 @@ impl RankSchedule {
         }
     }
 }
+
+/// Whether [`TUNE_ENV`] asks for whole-program tuning (`1` / `true` /
+/// `on`; anything else, or unset, stays untuned).
+pub fn tune_from_env() -> bool {
+    match std::env::var(TUNE_ENV) {
+        Ok(v) => matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on"),
+        Err(_) => false,
+    }
+}
+
+/// The cost model the build-time autotune pipeline scores against: the
+/// interpreter-honest lane-VM spec, calibrated from this repo's own
+/// dycore profile. A datasheet model (e.g. the paper's Haswell) prices
+/// on-the-fly recomputation as free against an AVX2 flop ceiling and
+/// accepts fusions that are measurably slower on the lane VM; the
+/// honest spec prices recompute at the measured dispatch rate. Purely a
+/// *ranking* model — every applied transform is bit-exact, so a
+/// mis-ranked host changes speed, never answers.
+pub fn tune_model() -> dataflow::model::CostModel {
+    dataflow::model::CostModel::Cpu(machine::CpuModel::new(machine::CpuSpec::lane_vm()))
+}
+
+/// How many OTF configurations each cutout keeps for pattern transfer
+/// (the paper's `M`).
+pub const TUNE_M_OTF: usize = 2;
+
+/// Measured-veto repeats per score: the vet executes the rewritten state
+/// this many times and keeps the minimum, which rejects scheduler noise
+/// without burning build time (the cutouts are single substep states).
+pub const TUNE_VET_REPEATS: usize = 5;
+
+/// Relative improvement a candidate must *measure* to be committed. The
+/// margin filters near-neutral rewrites: anything inside it is noise on
+/// this host and keeping the unfused form preserves the executor's
+/// (j, k) row parallelism and smaller per-launch working sets. Verdicts
+/// for clear candidates are stable (before/after are measured back to
+/// back, so host noise largely cancels); borderline ones may land either
+/// way across builds, which is safe because every candidate is bit-exact
+/// — the committed *set* is a performance detail, never an answer.
+pub const TUNE_VET_MARGIN: f64 = 0.01;
 
 /// The hard receive deadline: env override or the default.
 pub(crate) fn recv_timeout_from_env() -> Duration {
@@ -118,6 +162,9 @@ pub struct CompiledSubstep {
     pub(crate) sub_prog: DycoreProgram,
     pub(crate) sub_expanded: Sdfg,
     pub(crate) split: Option<SplitPrograms>,
+    /// What the build-time autotune pipeline did to `sub_expanded`
+    /// (`None` when the bundle was built untuned).
+    tune: Option<tuning::AutotuneReport>,
     /// Sequential-path executor (worker-pool backed when one is set).
     pub(crate) exec_seq: Executor,
     /// Rank-thread executors run inline (`Pool::new(1)`): the ranks
@@ -133,9 +180,26 @@ pub struct CompiledSubstep {
 impl CompiledSubstep {
     /// Build the substep bundle for `config`, pinning the sequential-path
     /// executor to `pool`. Kernel compilation itself is lazy: the first
-    /// run through each executor populates its cache.
+    /// run through each executor populates its cache. Whole-program
+    /// tuning is read from [`TUNE_ENV`]; see
+    /// [`build_with_tune`](Self::build_with_tune).
     pub fn build(config: &DriverConfig, pool: Option<&Pool>) -> Self {
-        let key = StepKey::of_config(config);
+        Self::build_with_tune(config, pool, tune_from_env())
+    }
+
+    /// [`build`](Self::build) with the tuning decision made explicitly.
+    /// When `tuned`, the expanded substep program is run through
+    /// [`tuning::autotune_vetted`] (cross-module fusion, then cutout
+    /// search + pattern transfer over every state, each committed step
+    /// confirmed by measured re-execution at this build's size) *before*
+    /// the interior/rind split, so the overlapped schedule executes the
+    /// fused kernels too.
+    /// All applied transforms are bit-exact, so a tuned bundle produces
+    /// states 0 ULP identical to an untuned one; the tuned flag still
+    /// enters the [`StepKey`], so tuned and untuned shared bundles never
+    /// cross-adopt (their kernel-cache namespaces stay disjoint).
+    pub fn build_with_tune(config: &DriverConfig, pool: Option<&Pool>, tuned: bool) -> Self {
+        let key = StepKey::of_config(config, tuned);
         let sub = DycoreConfig {
             n_split: 1,
             k_split: 1,
@@ -145,6 +209,30 @@ impl CompiledSubstep {
         let sub_prog = build_dycore_program(sub_n, config.nk, sub);
         let mut sub_expanded = sub_prog.sdfg.clone();
         sub_expanded.expand_libraries(&ExpansionAttrs::tuned());
+        let tune = tuned.then(|| {
+            // Seed the measured veto with a representative baroclinic
+            // tile at this substep's size: candidate fusions are priced
+            // on realistic field magnitudes (the synthetic fill
+            // underprices OTF recompute on atmospheric data). The seed
+            // is a stand-in tile, not this rank's actual subdomain —
+            // the veto ranks rewrites, it never touches answers.
+            let geom = comm::CubeGeometry::new(sub_n);
+            let grid =
+                fv3::grid::Grid::compute(&geom.faces[1], sub_n, 0, 0, sub_n, HALO, config.nk);
+            let mut state = DycoreState::zeros(sub_n, config.nk);
+            fv3::init::init_baroclinic(&mut state, &grid, &fv3::init::BaroclinicConfig::default());
+            let mut seed = DataStore::for_sdfg(&sub_expanded);
+            load_state(&mut seed, &sub_prog.ids, &state, &grid);
+            let mut scorer =
+                tuning::MeasuredScorer::with_seed(TUNE_VET_REPEATS, sub_prog.params.clone(), seed);
+            tuning::autotune_vetted_scored(
+                &mut sub_expanded,
+                &tune_model(),
+                TUNE_M_OTF,
+                &mut scorer,
+                TUNE_VET_MARGIN,
+            )
+        });
         let split = dataflow::split_for_overlap(&sub_expanded, sub_n);
         let exec_seq = match pool {
             Some(p) => Executor::new(p.clone()),
@@ -155,12 +243,24 @@ impl CompiledSubstep {
             sub_prog,
             sub_expanded,
             split,
+            tune,
             exec_seq,
             exec_full: Executor::serial(),
             exec_interior: Executor::serial(),
             exec_rind: Executor::serial(),
             pool: pool.cloned(),
         }
+    }
+
+    /// What the build-time autotune pipeline did (`None` for an untuned
+    /// bundle).
+    pub fn tune_report(&self) -> Option<&tuning::AutotuneReport> {
+        self.tune.as_ref()
+    }
+
+    /// Whether this bundle was built through the autotune pipeline.
+    pub fn is_tuned(&self) -> bool {
+        self.tune.is_some()
     }
 
     /// True when this bundle serves `key` on `pool`'s worker team — the
@@ -194,10 +294,13 @@ pub(crate) struct StepKey {
     nord4: Option<u64>,
     sub_n: usize,
     nk: usize,
+    /// Tuned and untuned bundles compile different (but bit-identical)
+    /// programs; keying on the flag keeps them from cross-adopting.
+    tuned: bool,
 }
 
 impl StepKey {
-    pub(crate) fn of_config(config: &DriverConfig) -> Self {
+    pub(crate) fn of_config(config: &DriverConfig, tuned: bool) -> Self {
         let c = config.dycore;
         StepKey {
             dt: c.dt.to_bits(),
@@ -205,6 +308,7 @@ impl StepKey {
             nord4: c.nord4_damp.map(f64::to_bits),
             sub_n: config.tile_n / config.rt,
             nk: config.nk,
+            tuned,
         }
     }
 }
@@ -278,7 +382,8 @@ impl DistributedDycore {
     /// off `dt` changes the [`StepKey`] and falls back to a private
     /// bundle, so backed-off tenants never pollute the shared cache.
     pub(crate) fn ensure_step_cache(&mut self) {
-        let key = StepKey::of_config(&self.config);
+        let tuned = self.effective_tuned();
+        let key = StepKey::of_config(&self.config, tuned);
         if self
             .cache
             .as_ref()
@@ -288,7 +393,11 @@ impl DistributedDycore {
         }
         let sub = match &self.shared_substep {
             Some(s) if s.matches(&key, self.pool()) => Arc::clone(s),
-            _ => Arc::new(CompiledSubstep::build(&self.config, self.pool())),
+            _ => Arc::new(CompiledSubstep::build_with_tune(
+                &self.config,
+                self.pool(),
+                tuned,
+            )),
         };
         let plan = Arc::new(ExchangePlan::new(&self.partition, HALO));
         let boxes = Arc::new(HaloMailboxes::for_plan(&plan));

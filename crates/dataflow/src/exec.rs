@@ -1027,8 +1027,8 @@ impl Executor {
                     report.lanes_vector += stats.lanes_vector;
                     report.lanes_scalar += stats.lanes_scalar;
                     if let Some(p) = prof.as_mut() {
-                        let (bytes, _flops) = p.modeled_cost((state_idx, node_idx), k, sdfg);
-                        p.record_span("kernel", &k.name, ts.unwrap(), stats.points, bytes);
+                        let (bytes, flops) = p.modeled_cost((state_idx, node_idx), k, sdfg);
+                        p.record_span("kernel", &k.name, ts.unwrap(), stats.points, bytes, flops);
                     }
                 }
                 DataflowNode::Library(l) => {
@@ -1044,8 +1044,9 @@ impl Executor {
                     store.get_mut(d).copy_from(&src_arr);
                     if let Some(p) = prof.as_mut() {
                         // Copy traffic: every stored element read + written.
-                        let bytes = 2 * 8 * src_arr.raw().len() as u64;
-                        p.record_span("copy", "copy", ts.unwrap(), 0, bytes);
+                        let points = src_arr.raw().len() as u64;
+                        let bytes = 2 * 8 * points;
+                        p.record_span("copy", "copy", ts.unwrap(), points, bytes, 0);
                     }
                 }
                 DataflowNode::HaloExchange { fields } => {
@@ -1053,15 +1054,34 @@ impl Executor {
                     hooks.halo_exchange(fields, store);
                     report.halo_exchanges += 1;
                     if let Some(p) = prof.as_mut() {
-                        p.record_span("halo", "halo", ts.unwrap(), 0, 0);
+                        // Rind traffic: each exchanged field's halo shell is
+                        // packed (read) and unpacked (written) once.
+                        let mut points = 0u64;
+                        for f in fields {
+                            let total = store.get(*f).raw().len() as u64;
+                            let interior = sdfg.layout_of(*f).domain_len() as u64;
+                            points += total.saturating_sub(interior);
+                        }
+                        p.record_span("halo", "halo", ts.unwrap(), points, 2 * 8 * points, 0);
                     }
                 }
-                DataflowNode::Callback { name, .. } => {
+                DataflowNode::Callback { name, reads, writes } => {
                     let ts = prof.as_ref().map(|p| p.now_us());
                     hooks.callback(name, store);
                     report.callbacks += 1;
                     if let Some(p) = prof.as_mut() {
-                        p.record_span("callback", name, ts.unwrap(), 0, 0);
+                        // Attribute the callback's declared access set: every
+                        // read field streamed in, every written field out.
+                        let points: u64 = writes
+                            .iter()
+                            .map(|f| sdfg.layout_of(*f).domain_len() as u64)
+                            .sum();
+                        let read_elems: u64 = reads
+                            .iter()
+                            .map(|f| sdfg.layout_of(*f).domain_len() as u64)
+                            .sum();
+                        let bytes = 8 * (read_elems + points);
+                        p.record_span("callback", name, ts.unwrap(), points, bytes, 0);
                     }
                 }
             }

@@ -41,6 +41,9 @@ pub struct TraceEvent {
     pub points: u64,
     /// Modeled unique bytes moved (access-set size x 8; 0 when unknown).
     pub bytes: u64,
+    /// Modeled floating-point operations (kernel access-set flops; 0 when
+    /// unknown).
+    pub flops: u64,
 }
 
 /// Aggregated statistics for one kernel name across all its launches.
@@ -76,6 +79,49 @@ impl KernelProfileStat {
         let bound = self.modeled_bytes as f64 / attainable_bandwidth;
         (bound / self.wall_seconds).min(1.0)
     }
+
+    /// Roofline fraction against *both* ceilings: the binding resource is
+    /// whichever of memory traffic (`modeled_bytes / bw`) or arithmetic
+    /// (`modeled_flops / flop rate`) takes longer, so compute-bound kernels
+    /// are judged against the compute roofline instead of an
+    /// ever-unreachable bandwidth bound. Clamped to 1.
+    pub fn roofline_fraction_dual(&self, attainable_bandwidth: f64, attainable_flops: f64) -> f64 {
+        if self.wall_seconds <= 0.0 || attainable_bandwidth <= 0.0 {
+            return 0.0;
+        }
+        let mem = self.modeled_bytes as f64 / attainable_bandwidth;
+        let cmp = if attainable_flops > 0.0 {
+            self.modeled_flops as f64 / attainable_flops
+        } else {
+            0.0
+        };
+        (mem.max(cmp) / self.wall_seconds).min(1.0)
+    }
+
+    /// True when the modeled compute time exceeds the modeled memory time —
+    /// the kernel sits on the compute side of the roofline ridge.
+    pub fn compute_bound(&self, attainable_bandwidth: f64, attainable_flops: f64) -> bool {
+        if attainable_bandwidth <= 0.0 || attainable_flops <= 0.0 {
+            return false;
+        }
+        self.modeled_flops as f64 / attainable_flops
+            > self.modeled_bytes as f64 / attainable_bandwidth
+    }
+}
+
+/// Aggregated statistics for one non-kernel event category (copy, halo,
+/// callback): the attribution that used to be dropped on the floor, leaving
+/// `remap`/`pt_update`/`halo` module rows empty in BENCH_dycore.json.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CategoryStat {
+    /// Events recorded in this category.
+    pub invocations: u64,
+    /// Points attributed (written elements for callbacks/copies).
+    pub points: u64,
+    /// Modeled bytes moved, summed over events.
+    pub modeled_bytes: u64,
+    /// Modeled flops, summed over events (0 for pure data movement).
+    pub modeled_flops: u64,
 }
 
 /// Aggregated view of one or more profiled executions.
@@ -93,6 +139,12 @@ pub struct ProfileReport {
     pub halo_seconds: f64,
     /// Wall seconds inside host callbacks.
     pub callback_seconds: f64,
+    /// Invocation/traffic attribution for copy nodes.
+    pub copy: CategoryStat,
+    /// Invocation/traffic attribution for halo-exchange hooks.
+    pub halo: CategoryStat,
+    /// Invocation/traffic attribution for host callbacks.
+    pub callback: CategoryStat,
 }
 
 impl ProfileReport {
@@ -106,6 +158,11 @@ impl ProfileReport {
     /// Total modeled bytes across all kernels.
     pub fn total_modeled_bytes(&self) -> u64 {
         self.kernels.iter().map(|k| k.modeled_bytes).sum()
+    }
+
+    /// Total modeled flops across all kernels.
+    pub fn total_modeled_flops(&self) -> u64 {
+        self.kernels.iter().map(|k| k.modeled_flops).sum()
     }
 
     /// Total wall seconds across every category.
@@ -130,6 +187,14 @@ impl ProfileReport {
         let bound = self.total_modeled_bytes() as f64 / attainable_bandwidth;
         (bound / self.kernel_seconds).min(1.0)
     }
+}
+
+/// Fold one non-kernel event into its category attribution.
+fn accumulate(stat: &mut CategoryStat, e: &TraceEvent) {
+    stat.invocations += 1;
+    stat.points += e.points;
+    stat.modeled_bytes += e.bytes;
+    stat.modeled_flops += e.flops;
 }
 
 /// Records execution spans and modeled data movement for one or more
@@ -165,7 +230,15 @@ impl Profiler {
     }
 
     /// Record a completed span that started at `ts_us` and ends now.
-    pub fn record_span(&mut self, cat: &str, name: &str, ts_us: f64, points: u64, bytes: u64) {
+    pub fn record_span(
+        &mut self,
+        cat: &str,
+        name: &str,
+        ts_us: f64,
+        points: u64,
+        bytes: u64,
+        flops: u64,
+    ) {
         let dur_us = (self.now_us() - ts_us).max(0.0);
         self.events.push(TraceEvent {
             name: name.to_string(),
@@ -174,6 +247,7 @@ impl Profiler {
             dur_us,
             points,
             bytes,
+            flops,
         });
     }
 
@@ -215,6 +289,7 @@ impl Profiler {
                         k.points += e.points;
                         k.wall_seconds += secs;
                         k.modeled_bytes += e.bytes;
+                        k.modeled_flops += e.flops;
                     } else {
                         r.kernels.push(KernelProfileStat {
                             name: e.name.clone(),
@@ -222,13 +297,22 @@ impl Profiler {
                             points: e.points,
                             wall_seconds: secs,
                             modeled_bytes: e.bytes,
-                            modeled_flops: 0,
+                            modeled_flops: e.flops,
                         });
                     }
                 }
-                "copy" => r.copy_seconds += secs,
-                "halo" => r.halo_seconds += secs,
-                _ => r.callback_seconds += secs,
+                "copy" => {
+                    r.copy_seconds += secs;
+                    accumulate(&mut r.copy, e);
+                }
+                "halo" => {
+                    r.halo_seconds += secs;
+                    accumulate(&mut r.halo, e);
+                }
+                _ => {
+                    r.callback_seconds += secs;
+                    accumulate(&mut r.callback, e);
+                }
             }
         }
         r
@@ -245,13 +329,14 @@ impl Profiler {
             let _ = write!(
                 out,
                 "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"pid\":0,\"tid\":0,\
-                 \"ts\":{},\"dur\":{},\"args\":{{\"points\":{},\"bytes\":{}}}}}",
+                 \"ts\":{},\"dur\":{},\"args\":{{\"points\":{},\"bytes\":{},\"flops\":{}}}}}",
                 json_string(&e.name),
                 json_string(&e.cat),
                 format_f64(e.ts_us),
                 format_f64(e.dur_us),
                 e.points,
-                e.bytes
+                e.bytes,
+                e.flops
             );
         }
         out.push_str("]}");
@@ -538,6 +623,9 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
             dur_us: field_f("dur")?,
             points: arg_u("points")?,
             bytes: arg_u("bytes")?,
+            // Traces written before flop attribution existed lack the arg;
+            // treat it as 0 so old artifacts stay loadable.
+            flops: arg_u("flops").unwrap_or(0),
         });
     }
     Ok(out)
@@ -560,6 +648,7 @@ mod tests {
             dur_us: dur,
             points,
             bytes,
+            flops: 3 * points,
         }
     }
 
@@ -577,9 +666,33 @@ mod tests {
         assert_eq!(a.invocations, 2);
         assert_eq!(a.points, 200);
         assert_eq!(a.modeled_bytes, 1600);
+        assert_eq!(a.modeled_flops, 600);
+        assert_eq!(r.total_modeled_flops(), 750);
         assert!((r.kernel_seconds - 45e-6).abs() < 1e-12);
         assert!((r.halo_seconds - 2e-6).abs() < 1e-12);
+        assert_eq!(r.halo.invocations, 1);
         assert_eq!(r.ranked()[0].name, "a#0");
+    }
+
+    #[test]
+    fn dual_roofline_binds_on_the_slower_resource() {
+        let s = KernelProfileStat {
+            name: "k".into(),
+            invocations: 1,
+            points: 10,
+            wall_seconds: 4e-6,
+            modeled_bytes: 1000,
+            modeled_flops: 2000,
+        };
+        // Memory bound at 1 GB/s: 1us. Compute bound at 1 GFLOP/s: 2us.
+        // Compute is the binding resource -> fraction = 2us / 4us = 0.5.
+        assert!(s.compute_bound(1e9, 1e9));
+        assert!((s.roofline_fraction_dual(1e9, 1e9) - 0.5).abs() < 1e-12);
+        // With a fast enough FPU the memory bound binds again: 1us/4us.
+        assert!(!s.compute_bound(1e9, 1e12));
+        assert!((s.roofline_fraction_dual(1e9, 1e12) - 0.25).abs() < 1e-12);
+        // No flop rate supplied degrades to the memory-only fraction.
+        assert!((s.roofline_fraction_dual(1e9, 0.0) - s.roofline_fraction(1e9)).abs() < 1e-12);
     }
 
     #[test]
@@ -731,7 +844,7 @@ mod tests {
         for i in 0..5 {
             let t0 = p.now_us();
             std::hint::black_box((0..100).sum::<u64>());
-            p.record_span("kernel", &format!("k{i}"), t0, 1, 8);
+            p.record_span("kernel", &format!("k{i}"), t0, 1, 8, 2);
         }
         for w in p.events().windows(2) {
             assert!(w[1].ts_us >= w[0].ts_us, "timestamps must be monotonic");

@@ -461,6 +461,242 @@ mod tests {
         assert!(has_l1);
     }
 
+    // ------------------------------------------------------------------
+    // Edge cases: mismatched halo radii, in-place accumulates, and 1-wide
+    // domains (degenerate boxes in the spirit of the overlap inverted-box
+    // regression).
+
+    /// OTF where the producer (radius 1) and consumer (radius 2) have
+    /// mismatched stencil radii: the splice shifts the producer expression
+    /// out to the consumer's offsets, so the fused kernel reads the
+    /// original input at radius 2. With enough halo this is legal and
+    /// bit-exact.
+    #[test]
+    fn otf_mismatched_halo_radii_is_bit_exact() {
+        let mut g = Sdfg::new("radii");
+        let l = Layout::new([8, 8, 2], [3, 3, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let tmp = g.add_container("tmp", l.clone(), true);
+        let out = g.add_container("out", l, false);
+        let dom = Domain::from_shape([8, 8, 2]);
+        // Producer: radius-1 average, computed 2 wide each side so the
+        // consumer can read it at +-2.
+        let mut p = Kernel::new("prod", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        p.stmts.push(Stmt::full(
+            LValue::Field(tmp),
+            (Expr::load(a, -1, 0, 0) + Expr::load(a, 1, 0, 0)) * Expr::c(0.5),
+        ));
+        p.stmts[0].extent = crate::kernel::Extent2 {
+            i_lo: 2,
+            i_hi: 2,
+            j_lo: 0,
+            j_hi: 0,
+        };
+        // Consumer: radius-2 difference of the intermediate.
+        let mut c = Kernel::new("cons", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        c.stmts.push(Stmt::full(
+            LValue::Field(out),
+            Expr::load(tmp, 2, 0, 0) - Expr::load(tmp, -2, 0, 0),
+        ));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(p));
+        s.nodes.push(DataflowNode::Kernel(c));
+        g.add_state(s);
+
+        let before = run_and_get(&g, a, out);
+        let applied = fuse_otf(&mut g, 0, 0, 1).expect("mismatched radii fuse via OTF");
+        assert_eq!(applied.kind, "otf");
+        let after = run_and_get(&g, a, out);
+        assert_eq!(before.max_abs_diff(&after), 0.0);
+        // The fused kernel now reads `a` at the combined radius 3.
+        let k = g.states[0].kernels().next().unwrap();
+        let max_radius = k
+            .stmts
+            .iter()
+            .flat_map(|st| st.expr.loads())
+            .filter(|(d, _)| *d == a)
+            .map(|(_, o)| o.i.abs().max(o.j.abs()))
+            .max()
+            .unwrap();
+        assert_eq!(max_radius, 3);
+    }
+
+    /// SGF between kernels whose *input* stencils have different radii
+    /// (1 vs 2): legal as long as the cross-kernel dependency itself is
+    /// pointwise, and bit-exact.
+    #[test]
+    fn sgf_mismatched_input_radii_is_bit_exact() {
+        let mut g = Sdfg::new("radii2");
+        let l = Layout::new([8, 8, 4], [2, 2, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let t = g.add_container("t", l.clone(), true);
+        let out = g.add_container("out", l, false);
+        let dom = Domain::from_shape([8, 8, 4]);
+        let mut k1 = Kernel::new("r1", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        k1.stmts.push(Stmt::full(
+            LValue::Field(t),
+            Expr::load(a, -1, 0, 0) + Expr::load(a, 1, 0, 0),
+        ));
+        let mut k2 = Kernel::new("r2", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        k2.stmts.push(Stmt::full(
+            LValue::Field(out),
+            Expr::load(t, 0, 0, 0) + Expr::load(a, -2, 0, 0) + Expr::load(a, 2, 0, 0),
+        ));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(k1));
+        s.nodes.push(DataflowNode::Kernel(k2));
+        g.add_state(s);
+
+        let before = run_and_get(&g, a, out);
+        fuse_subgraph(&mut g, 0, 0).expect("pointwise link fuses despite radius mismatch");
+        assert_eq!(g.kernel_count(), 1);
+        let after = run_and_get(&g, a, out);
+        assert_eq!(before.max_abs_diff(&after), 0.0);
+    }
+
+    /// SGF with an in-place accumulate in the second kernel
+    /// (`out = out + ...` reading its own lvalue pointwise) stays legal
+    /// and bit-exact.
+    #[test]
+    fn sgf_in_place_accumulate_is_bit_exact() {
+        let (mut g, a, out) = sgf_sdfg();
+        let t = g.find_container("t").unwrap();
+        if let DataflowNode::Kernel(k2) = &mut g.states[0].nodes[1] {
+            // out = out + t  (accumulate into the output in place).
+            k2.stmts[0].expr = Expr::load(out, 0, 0, 0) + Expr::load(t, 0, 0, 0);
+        }
+        let before = run_and_get(&g, a, out);
+        fuse_subgraph(&mut g, 0, 0).expect("in-place accumulate fuses");
+        let after = run_and_get(&g, a, out);
+        assert_eq!(before.max_abs_diff(&after), 0.0);
+    }
+
+    /// OTF into an accumulate statement that writes the producer's own
+    /// input: legal when pointwise (`a = a + f(a)`), rejected when the
+    /// splice would read the written field at a horizontal offset.
+    #[test]
+    fn otf_accumulate_into_producer_input() {
+        // Pointwise: a = a + tmp with tmp = 2*a  ->  a = a + 2*a. Legal.
+        let mut g = Sdfg::new("acc");
+        let l = Layout::new([8, 8, 2], [1, 1, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let tmp = g.add_container("tmp", l, true);
+        let dom = Domain::from_shape([8, 8, 2]);
+        let mut p = Kernel::new("prod", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        p.stmts.push(Stmt::full(
+            LValue::Field(tmp),
+            Expr::c(2.0) * Expr::load(a, 0, 0, 0),
+        ));
+        let mut c = Kernel::new("acc", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        c.stmts.push(Stmt::full(
+            LValue::Field(a),
+            Expr::load(a, 0, 0, 0) + Expr::load(tmp, 0, 0, 0),
+        ));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(p.clone()));
+        s.nodes.push(DataflowNode::Kernel(c));
+        g.add_state(s);
+        let before = run_and_get(&g, a, a);
+        let mut fused = g.clone();
+        fuse_otf(&mut fused, 0, 0, 1).expect("pointwise in-place accumulate fuses");
+        let after = run_and_get(&fused, a, a);
+        assert_eq!(before.max_abs_diff(&after), 0.0);
+
+        // Offset variant: a = a + tmp[+1] would splice to a read of `a`
+        // at +1 inside a kernel writing `a` — a cross-thread hazard the
+        // validator must reject.
+        let mut g2 = Sdfg::new("acc2");
+        let l2 = Layout::new([8, 8, 2], [2, 2, 0], StorageOrder::IContiguous, 1);
+        let a2 = g2.add_container("a", l2.clone(), false);
+        let tmp2 = g2.add_container("tmp", l2, true);
+        let mut p2 = Kernel::new("prod", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        p2.stmts.push(Stmt::full(
+            LValue::Field(tmp2),
+            Expr::c(2.0) * Expr::load(a2, 0, 0, 0),
+        ));
+        p2.stmts[0].extent = crate::kernel::Extent2 {
+            i_lo: 1,
+            i_hi: 1,
+            j_lo: 0,
+            j_hi: 0,
+        };
+        let mut c2 = Kernel::new("acc", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        c2.stmts.push(Stmt::full(
+            LValue::Field(a2),
+            Expr::load(a2, 0, 0, 0) + Expr::load(tmp2, 1, 0, 0),
+        ));
+        let mut s2 = State::new("s");
+        s2.nodes.push(DataflowNode::Kernel(p2));
+        s2.nodes.push(DataflowNode::Kernel(c2));
+        g2.add_state(s2);
+        assert!(fuse_otf(&mut g2, 0, 0, 1).is_err(), "offset accumulate must be rejected");
+    }
+
+    /// Fusions on 1-wide domains (the degenerate boxes that inverted the
+    /// overlap split in PR 6): OTF across j on an i-width-1 domain and SGF
+    /// on a 1x1 column domain both stay bit-exact.
+    #[test]
+    fn fusion_on_one_wide_domains_is_bit_exact() {
+        // OTF: domain [1, 8, 4], consumer reads tmp at j +- 1.
+        let mut g = Sdfg::new("thin");
+        let l = Layout::new([1, 8, 4], [1, 2, 0], StorageOrder::IContiguous, 1);
+        let a = g.add_container("a", l.clone(), false);
+        let tmp = g.add_container("tmp", l.clone(), true);
+        let out = g.add_container("out", l, false);
+        let dom = Domain::from_shape([1, 8, 4]);
+        let mut p = Kernel::new("prod", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        p.stmts.push(Stmt::full(
+            LValue::Field(tmp),
+            Expr::c(2.0) * Expr::load(a, 0, 0, 0),
+        ));
+        p.stmts[0].extent = crate::kernel::Extent2 {
+            i_lo: 0,
+            i_hi: 0,
+            j_lo: 1,
+            j_hi: 1,
+        };
+        let mut c = Kernel::new("cons", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        c.stmts.push(Stmt::full(
+            LValue::Field(out),
+            Expr::load(tmp, 0, -1, 0) + Expr::load(tmp, 0, 1, 0),
+        ));
+        let mut s = State::new("s");
+        s.nodes.push(DataflowNode::Kernel(p));
+        s.nodes.push(DataflowNode::Kernel(c));
+        g.add_state(s);
+        let before = run_and_get(&g, a, out);
+        fuse_otf(&mut g, 0, 0, 1).expect("OTF applies on a 1-wide domain");
+        let after = run_and_get(&g, a, out);
+        assert_eq!(before.max_abs_diff(&after), 0.0);
+
+        // SGF: 1x1 column domain, pointwise chain.
+        let mut g2 = Sdfg::new("column");
+        let l2 = Layout::new([1, 1, 6], [0, 0, 0], StorageOrder::IContiguous, 1);
+        let a2 = g2.add_container("a", l2.clone(), false);
+        let t2 = g2.add_container("t", l2.clone(), true);
+        let o2 = g2.add_container("out", l2, false);
+        let dom2 = Domain::from_shape([1, 1, 6]);
+        let mut k1 = Kernel::new("add", dom2, KOrder::Parallel, Schedule::gpu_horizontal());
+        k1.stmts.push(Stmt::full(
+            LValue::Field(t2),
+            Expr::load(a2, 0, 0, 0) + Expr::c(1.0),
+        ));
+        let mut k2 = Kernel::new("mul", dom2, KOrder::Parallel, Schedule::gpu_horizontal());
+        k2.stmts.push(Stmt::full(
+            LValue::Field(o2),
+            Expr::load(t2, 0, 0, 0) * Expr::c(3.0),
+        ));
+        let mut s2 = State::new("s");
+        s2.nodes.push(DataflowNode::Kernel(k1));
+        s2.nodes.push(DataflowNode::Kernel(k2));
+        g2.add_state(s2);
+        let before2 = run_and_get(&g2, a2, o2);
+        fuse_subgraph(&mut g2, 0, 0).expect("SGF applies on a 1x1 column");
+        assert_eq!(g2.kernel_count(), 1);
+        let after2 = run_and_get(&g2, a2, o2);
+        assert_eq!(before2.max_abs_diff(&after2), 0.0);
+    }
+
     #[test]
     fn greedy_fusions_reduce_kernel_count() {
         let (mut g, a, out) = sgf_sdfg();

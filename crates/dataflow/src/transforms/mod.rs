@@ -17,6 +17,7 @@
 //! and re-validates the rewritten kernel, returning `Err` (leaving the
 //! graph untouched) when the match does not apply.
 
+pub mod cross_state;
 pub mod fusion;
 pub mod local_storage;
 pub mod power;

@@ -42,6 +42,7 @@ pub struct ModuleRollup {
     pub points: u64,
     pub wall_seconds: f64,
     pub modeled_bytes: u64,
+    pub modeled_flops: u64,
 }
 
 impl ModuleRollup {
@@ -79,14 +80,20 @@ pub fn rollup_modules(report: &ProfileReport) -> Vec<ModuleRollup> {
         r.points += k.points;
         r.wall_seconds += k.wall_seconds;
         r.modeled_bytes += k.modeled_bytes;
+        r.modeled_flops += k.modeled_flops;
     }
-    for (module, secs) in [
-        ("halo", report.halo_seconds),
-        ("pt_update", report.copy_seconds),
-        ("remap", report.callback_seconds),
+    for (module, secs, stat) in [
+        ("halo", report.halo_seconds, &report.halo),
+        ("pt_update", report.copy_seconds, &report.copy),
+        ("remap", report.callback_seconds, &report.callback),
     ] {
-        if secs > 0.0 {
-            entry(&mut out, module).wall_seconds += secs;
+        if secs > 0.0 || stat.invocations > 0 {
+            let r = entry(&mut out, module);
+            r.wall_seconds += secs;
+            r.invocations += stat.invocations;
+            r.points += stat.points;
+            r.modeled_bytes += stat.modeled_bytes;
+            r.modeled_flops += stat.modeled_flops;
         }
     }
     out.sort_by(|a, b| b.wall_seconds.partial_cmp(&a.wall_seconds).unwrap());
@@ -120,6 +127,7 @@ pub fn module_spans(events: &[TraceEvent]) -> Vec<TraceEvent> {
                 span.dur_us = (e.ts_us + e.dur_us - span.ts_us).max(span.dur_us);
                 span.points += e.points;
                 span.bytes += e.bytes;
+                span.flops += e.flops;
             }
             _ => out.push(TraceEvent {
                 name: module.to_string(),
@@ -128,6 +136,7 @@ pub fn module_spans(events: &[TraceEvent]) -> Vec<TraceEvent> {
                 dur_us: e.dur_us,
                 points: e.points,
                 bytes: e.bytes,
+                flops: e.flops,
             }),
         }
     }
@@ -256,23 +265,36 @@ mod tests {
 
         let report = prof.report();
         let rollup = rollup_modules(&report);
-        for want in ["c_sw", "riem_solver_c", "d_sw", "tracer", "remap", "halo"] {
+        for want in [
+            "c_sw",
+            "riem_solver_c",
+            "d_sw",
+            "tracer",
+            "remap",
+            "halo",
+            "pt_update",
+        ] {
             let r = rollup
                 .iter()
                 .find(|r| r.module == want)
                 .unwrap_or_else(|| panic!("module '{want}' missing from rollup"));
             assert!(r.wall_seconds.is_finite() && r.wall_seconds >= 0.0);
-            if !matches!(want, "remap" | "halo") {
-                assert!(r.invocations > 0, "module '{want}' has zero invocations");
-                assert!(r.points > 0, "module '{want}' has zero points");
-                assert!(r.modeled_bytes > 0, "module '{want}' has zero bytes");
+            // Every module row — kernel-backed or not — must carry real
+            // attribution now that copies/halos/callbacks are modeled.
+            assert!(r.invocations > 0, "module '{want}' has zero invocations");
+            assert!(r.points > 0, "module '{want}' has zero points");
+            assert!(r.modeled_bytes > 0, "module '{want}' has zero bytes");
+            if !matches!(want, "remap" | "halo" | "pt_update") {
+                assert!(r.modeled_flops > 0, "module '{want}' has zero flops");
             }
         }
-        // The rollup accounts for the whole report.
+        // The rollup accounts for the whole report: all kernel launches plus
+        // every attributed non-kernel invocation.
         let total: f64 = rollup.iter().map(|r| r.wall_seconds).sum();
         assert!((total - report.total_seconds()).abs() < 1e-9);
-        let launches: u64 = rollup.iter().map(|r| r.invocations).sum();
-        assert_eq!(launches, report.launches);
+        let invocations: u64 = rollup.iter().map(|r| r.invocations).sum();
+        let non_kernel = report.copy.invocations + report.halo.invocations + report.callback.invocations;
+        assert_eq!(invocations, report.launches + non_kernel);
     }
 
     #[test]
@@ -284,6 +306,7 @@ mod tests {
             dur_us: dur,
             points: 10,
             bytes: 80,
+            flops: 5,
         };
         let events = vec![
             ev("c_sw#0", "kernel", 0.0, 1.0),

@@ -159,6 +159,48 @@ impl CpuSpec {
     }
 }
 
+impl CpuSpec {
+    /// The host this repo's lane-VM executor actually runs on — an
+    /// *interpreter-honest* spec for ranking tuning candidates, not a
+    /// hardware datasheet.
+    ///
+    /// The lane VM dispatches every expression op per point, so achieved
+    /// rates sit orders of magnitude below any real CPU: the c8L6 dycore
+    /// profile measures ~1.3 GiB/s effective bandwidth, ~0.25 Gop/s
+    /// effective arithmetic throughput, and ~20us per kernel launch
+    /// (BENCH_dycore.json). Two consequences for candidate ranking:
+    ///
+    /// 1. `peak_flops` is the *measured* dispatch rate, so on-the-fly
+    ///    recomputation (inlined producer expressions re-evaluated per
+    ///    read site) is priced at its true interpreter cost instead of
+    ///    vanishing against an AVX2 FMA ceiling. Expression-heavy kernels
+    ///    classify compute-bound, which is what the profile shows (~3% of
+    ///    the STREAM roofline).
+    /// 2. Cache blocking and column stride are neutralized (cache
+    ///    bandwidth == DRAM, penalty 1.0): per-point dispatch cost, not
+    ///    the memory hierarchy, dominates, so working-set effects are
+    ///    noise at this scale.
+    pub fn lane_vm() -> Self {
+        CpuSpec {
+            name: "lane-vm interpreter host".to_string(),
+            cores: 1, // each rank executes its lanes on one thread
+            dram_bandwidth: 1.5e9,
+            blocking_cache: CacheLevel {
+                capacity: 32 * 1024 * 1024,
+                bandwidth: 1.5e9,
+            },
+            peak_flops: 0.3e9,
+            transcendental_rate: 5.0e7,
+            // Per-launch fixed cost: compile-cache lookup, buffer
+            // binding, loop setup. The slope-intercept fit of wall time
+            // vs per-kernel work across the c8L6 profile pins this near
+            // 8us (the 20us/launch average includes body time).
+            loop_overhead: 8.0e-6,
+            column_stride_penalty: 1.0,
+        }
+    }
+}
+
 impl NetworkSpec {
     /// Cray Aries dragonfly interconnect (Piz Daint).
     pub fn aries() -> Self {

@@ -146,6 +146,7 @@ impl Tracer {
             dur_us: (end_us - open.start_us).max(0.0),
             points,
             bytes,
+            flops: 0,
         };
         lock(&self.inner.finished).push((tid, event));
     }
@@ -499,6 +500,7 @@ mod tests {
             dur_us: 2.0,
             points: 8,
             bytes: 64,
+            flops: 0,
         }];
         let offset;
         {

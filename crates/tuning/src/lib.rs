@@ -25,13 +25,179 @@ pub mod search;
 pub mod transfer;
 
 pub use cutout::{extract_cutouts, Cutout};
-pub use measure::{MeasuredScorer, ModelScorer, StateScorer};
+pub use measure::{MeasuredScorer, ModelScorer, StateScorer, Vet};
 pub use pattern::Pattern;
-pub use search::{tune_cutouts, tune_cutouts_scored, SearchReport};
-pub use transfer::{transfer_patterns, transfer_patterns_scored, TransferReport};
+pub use search::{tune_cutouts, tune_cutouts_scored, tune_cutouts_vetted, SearchReport};
+pub use transfer::{
+    transfer_patterns, transfer_patterns_scored, transfer_patterns_vetted, TransferReport,
+};
 
-use dataflow::model::CostModel;
+use dataflow::model::{model_sdfg, CostModel};
+use dataflow::transforms::cross_state::{cross_module_fusion, cross_module_fusion_with};
+use dataflow::transforms::Applied;
 use dataflow::Sdfg;
+
+/// Everything the whole-program pipeline did to a graph, with the modeled
+/// before/after so drivers can report the Table III analogue.
+#[derive(Debug, Clone, Default)]
+pub struct AutotuneReport {
+    /// Cross-module fusions applied across state boundaries (phase 1).
+    pub cross_module: Vec<Applied>,
+    /// Cutout-search report (phase 2).
+    pub search: SearchReport,
+    /// Whole-graph pattern-transfer report (phase 3).
+    pub transfer: TransferReport,
+    /// Static kernel count before/after the pipeline.
+    pub kernels_before: usize,
+    pub kernels_after: usize,
+    /// Modeled total kernel seconds before/after (same cost model).
+    pub modeled_before: f64,
+    pub modeled_after: f64,
+}
+
+impl AutotuneReport {
+    /// Total transformations applied across all phases.
+    pub fn applied_count(&self) -> usize {
+        self.cross_module.len() + self.transfer.applied.len()
+    }
+
+    /// Modeled speedup factor (>= 1 when the pipeline helped).
+    pub fn modeled_speedup(&self) -> f64 {
+        if self.modeled_after > 0.0 {
+            self.modeled_before / self.modeled_after
+        } else {
+            1.0
+        }
+    }
+
+    /// One-line human summary for logs and BENCH provenance.
+    pub fn summary(&self) -> String {
+        format!(
+            "autotune: {} cross-module + {} transferred fusions, kernels {} -> {}, modeled {:.3}ms -> {:.3}ms ({:.2}x)",
+            self.cross_module.len(),
+            self.transfer.applied.len(),
+            self.kernels_before,
+            self.kernels_after,
+            self.modeled_before * 1e3,
+            self.modeled_after * 1e3,
+            self.modeled_speedup(),
+        )
+    }
+}
+
+/// Whole-program tuning pipeline (the closed Fig. 7 loop): cross-module
+/// fusion across state boundaries, then cutout search over *every* state,
+/// then pattern transfer across the entire graph. Deterministic and purely
+/// model-driven, so it is safe to run at compile/build time on the serving
+/// path; every applied transform is bit-exact (state merges preserve the
+/// flattened execution order, OTF/SGF preserve per-point arithmetic), so
+/// the tuned program is 0-ULP identical to the untuned one.
+///
+/// Mutates `sdfg` in place (bumping its generation via the transforms'
+/// `touch` calls) and returns what happened.
+pub fn autotune(sdfg: &mut Sdfg, model: &CostModel, m_otf: usize) -> AutotuneReport {
+    let modeled_before = model_sdfg(sdfg, model, &|_| 0.0).total_time;
+    let kernels_before = sdfg.kernel_count();
+
+    // Phase 1: fuse producer/consumer kernels across module boundaries so
+    // the per-state cutout search below sees the widened states.
+    let cross_module = cross_module_fusion(sdfg);
+
+    // Phases 2+3: cutout-tune every state (empty slice = all) and
+    // re-apply the winning patterns across the whole graph.
+    let (search, transfer) = transfer_tune(sdfg, &[], model, m_otf);
+
+    let modeled_after = model_sdfg(sdfg, model, &|_| 0.0).total_time;
+    AutotuneReport {
+        cross_module,
+        search,
+        transfer,
+        kernels_before,
+        kernels_after: sdfg.kernel_count(),
+        modeled_before,
+        modeled_after,
+    }
+}
+
+/// [`autotune`] with the Fig. 7 loop *closed by measurement*: the static
+/// model still ranks candidates (cheap, deterministic, exhaustive), but
+/// every committed step — each cross-module merge, each hill-climb
+/// application, each transferred match — must additionally survive a
+/// measured re-execution of the rewritten state at the actual build size.
+/// This catches the transforms a static model cannot price: OTF recompute
+/// on an interpreter host, and subgraph fusions that collapse the
+/// executor's (j, k) row parallelism by merging parallel chains into
+/// k-serial solver kernels.
+///
+/// `params` must supply a value per program parameter (the scorer
+/// executes the cutouts); `repeats` profiled runs are taken per score and
+/// the minimum wins; `margin` is the relative improvement a candidate
+/// must clear, filtering measurement noise so near-neutral rewrites are
+/// consistently rejected. Determinism: inputs are filled from a fixed
+/// hash, and min-of-repeats makes the veto stable in practice, though
+/// candidates within `margin` of neutral can land either way across
+/// hosts — which is exactly the set where either answer is fine.
+pub fn autotune_vetted(
+    sdfg: &mut Sdfg,
+    model: &CostModel,
+    m_otf: usize,
+    params: Vec<f64>,
+    repeats: usize,
+    margin: f64,
+) -> AutotuneReport {
+    let mut measured = MeasuredScorer::new(repeats, params);
+    autotune_vetted_scored(sdfg, model, m_otf, &mut measured, margin)
+}
+
+/// [`autotune_vetted`] with a caller-built measured scorer — the way to
+/// vet against *realistic data* instead of the synthetic fill: seed the
+/// scorer with the initialized model state
+/// ([`MeasuredScorer::with_seed`]) so the veto prices transcendental and
+/// recompute costs on the magnitudes the kernels will actually see.
+pub fn autotune_vetted_scored(
+    sdfg: &mut Sdfg,
+    model: &CostModel,
+    m_otf: usize,
+    measured: &mut dyn StateScorer,
+    margin: f64,
+) -> AutotuneReport {
+    let modeled_before = model_sdfg(sdfg, model, &|_| 0.0).total_time;
+    let kernels_before = sdfg.kernel_count();
+
+    // Phase 1: cross-module fusion, each merge committed only when the
+    // fused state measures faster than the two states it replaces.
+    let cross_module = {
+        let mut vet = Vet {
+            scorer: &mut *measured,
+            margin,
+        };
+        cross_module_fusion_with(sdfg, &mut |before, after, first| {
+            vet.passes_merge(before, after, first)
+        })
+    };
+
+    // Phases 2+3: model-ranked, measurement-vetted cutout hill-climb and
+    // whole-graph pattern transfer.
+    let cutouts = extract_cutouts(sdfg, &[]);
+    let mut ranker = ModelScorer { model };
+    let mut vet = Vet {
+        scorer: &mut *measured,
+        margin,
+    };
+    let search = tune_cutouts_vetted(sdfg, &cutouts, &mut ranker, Some(&mut vet), m_otf);
+    let transfer = transfer_patterns_vetted(sdfg, &search.patterns, &mut ranker, Some(&mut vet));
+
+    let modeled_after = model_sdfg(sdfg, model, &|_| 0.0).total_time;
+    AutotuneReport {
+        cross_module,
+        search,
+        transfer,
+        kernels_before,
+        kernels_after: sdfg.kernel_count(),
+        modeled_before,
+        modeled_after,
+    }
+}
 
 /// Full hierarchical transfer tuning: tune OTF then SGF on the cutouts of
 /// `source_states` (e.g. the FVT module), then transfer the best `m_otf`
@@ -156,6 +322,78 @@ mod tests {
         transfer_tune(&mut g, &[0], &model, 2);
         let after = run(&g);
         assert_eq!(before.max_abs_diff(&after), 0.0);
+    }
+
+    /// A producer state feeding a consumer state (cross-module shape) in
+    /// front of the intra-state motif states.
+    fn cross_module_program() -> Sdfg {
+        let mut g = motif_program(3);
+        let l = Layout::new([48, 48, 16], [1, 1, 0], StorageOrder::IContiguous, 1);
+        let a = DataId(0);
+        let xm = g.add_container("xm", l.clone(), true);
+        let out2 = g.add_container("out2", l, false);
+        let dom = Domain::from_shape([48, 48, 16]);
+        let mut p = Kernel::new("xprod#0", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        p.stmts.push(Stmt::full(
+            LValue::Field(xm),
+            Expr::load(a, 0, 0, 0) * Expr::c(4.0),
+        ));
+        let mut c = Kernel::new("xcons#0", dom, KOrder::Parallel, Schedule::gpu_horizontal());
+        c.stmts.push(Stmt::full(
+            LValue::Field(out2),
+            Expr::load(xm, 0, 0, 0) + Expr::c(0.5),
+        ));
+        let mut sp = State::new("mod_a");
+        sp.nodes.push(DataflowNode::Kernel(p));
+        let mut sc = State::new("mod_b");
+        sc.nodes.push(DataflowNode::Kernel(c));
+        g.add_state(sp);
+        g.add_state(sc);
+        g
+    }
+
+    #[test]
+    fn autotune_fuses_across_and_within_states_bit_exactly() {
+        use dataflow::exec::{DataStore, Executor, NoHooks};
+        let mut g = cross_module_program();
+        let model = CostModel::Gpu(GpuModel::new(GpuSpec::p100()));
+        let a = DataId(0);
+        let out = DataId(1);
+        let out2 = g.find_container("out2").unwrap();
+
+        let run = |g: &Sdfg| {
+            let mut store = DataStore::for_sdfg(g);
+            *store.get_mut(a) =
+                dataflow::Array3::from_fn(g.layout_of(a), |i, j, k| (i + j * 2 + k * 3) as f64);
+            Executor::serial().run(g, &mut store, &[], &mut NoHooks);
+            (store.get(out).clone(), store.get(out2).clone())
+        };
+        let (b1, b2) = run(&g);
+        let gen_before = g.generation();
+        let report = autotune(&mut g, &model, 2);
+        assert!(
+            !report.cross_module.is_empty(),
+            "the mod_a -> mod_b producer/consumer pair must fuse across the boundary"
+        );
+        assert!(
+            !report.search.patterns.is_empty(),
+            "the intra-state motif must yield a cutout pattern"
+        );
+        // 1 cross-module fusion + the motif fusion in each of the 3 states
+        // (landed either directly by the cutout search or by transfer).
+        assert!(
+            report.kernels_before - report.kernels_after >= 4,
+            "expected >= 4 fusions, kernels {} -> {}",
+            report.kernels_before,
+            report.kernels_after
+        );
+        assert!(report.modeled_after < report.modeled_before);
+        assert!(report.modeled_speedup() > 1.0);
+        assert!(g.generation() > gen_before, "tuning must bump the cache generation");
+        let (a1, a2) = run(&g);
+        assert_eq!(b1.max_abs_diff(&a1), 0.0, "tuned program must be bit-identical");
+        assert_eq!(b2.max_abs_diff(&a2), 0.0, "tuned program must be bit-identical");
+        assert!(report.summary().contains("autotune:"));
     }
 
     #[test]

@@ -49,12 +49,30 @@ pub struct MeasuredScorer {
     /// Parameter values for `Expr::Param` references (must match
     /// `sdfg.params` in length).
     pub params: Vec<f64>,
+    /// Optional seed data: when set, each measurement run starts from a
+    /// clone of this store instead of the synthetic hash fill, so the
+    /// kernels see realistic magnitudes (zero tracer fields, ~1e4 Pa
+    /// pressures) whose transcendental and denormal costs the synthetic
+    /// fill cannot reproduce. Must have been built for the same program.
+    seed: Option<DataStore>,
 }
 
 impl MeasuredScorer {
     pub fn new(repeats: usize, params: Vec<f64>) -> Self {
         assert!(repeats > 0, "need at least one measurement run");
-        MeasuredScorer { repeats, params }
+        MeasuredScorer {
+            repeats,
+            params,
+            seed: None,
+        }
+    }
+
+    /// [`new`](Self::new), measuring from clones of `seed` (e.g. the
+    /// initialized model state) instead of the synthetic fill.
+    pub fn with_seed(repeats: usize, params: Vec<f64>, seed: DataStore) -> Self {
+        let mut s = Self::new(repeats, params);
+        s.seed = Some(seed);
+        s
     }
 }
 
@@ -82,20 +100,58 @@ impl StateScorer for MeasuredScorer {
         let exec = Executor::serial();
         let mut best = f64::INFINITY;
         for _ in 0..self.repeats {
-            let mut store = DataStore::for_sdfg(&cut);
-            for (c, cont) in cut.containers.iter().enumerate() {
-                if cont.transient {
-                    continue;
+            let mut store = match &self.seed {
+                Some(seed) => seed.clone(),
+                None => DataStore::for_sdfg(&cut),
+            };
+            if self.seed.is_none() {
+                for (c, cont) in cut.containers.iter().enumerate() {
+                    if cont.transient {
+                        continue;
+                    }
+                    let id = dataflow::DataId(c);
+                    *store.get_mut(id) =
+                        Array3::from_fn(cut.layout_of(id), |i, j, k| fill_value(c, i, j, k));
                 }
-                let id = dataflow::DataId(c);
-                *store.get_mut(id) =
-                    Array3::from_fn(cut.layout_of(id), |i, j, k| fill_value(c, i, j, k));
             }
             let mut prof = Profiler::new();
             exec.run_profiled(&cut, &mut store, &self.params, &mut NoHooks, &mut prof);
             best = best.min(prof.report().kernel_seconds);
         }
         best
+    }
+}
+
+/// Measured veto over model-proposed rewrites — the "model-driven fine
+/// tuning" arrow of Fig. 7. The model *ranks* candidates (deterministic,
+/// fast); the veto *measures* the rewritten cutout and commits only if
+/// ground truth improves by more than `margin` (relative), rejecting
+/// candidates the model mis-prices (e.g. recompute-heavy OTF on an
+/// interpreter host, or fusions that collapse the executor's (j, k)
+/// row parallelism).
+pub struct Vet<'a> {
+    pub scorer: &'a mut dyn StateScorer,
+    /// Required relative improvement; filters measurement noise so
+    /// near-neutral candidates are consistently rejected.
+    pub margin: f64,
+}
+
+impl Vet<'_> {
+    /// Whether rewriting `state` (same index in both graphs) from
+    /// `before` to `after` is a measured win.
+    pub fn passes(&mut self, before: &Sdfg, after: &Sdfg, state: usize) -> bool {
+        let b = self.scorer.state_time(before, state);
+        let a = self.scorer.state_time(after, state);
+        a < b * (1.0 - self.margin)
+    }
+
+    /// Cross-state form: states `first` and `first + 1` of `before`
+    /// merged (and fused) into state `first` of `after`.
+    pub fn passes_merge(&mut self, before: &Sdfg, after: &Sdfg, first: usize) -> bool {
+        let b = self.scorer.state_time(before, first)
+            + self.scorer.state_time(before, first + 1);
+        let a = self.scorer.state_time(after, first);
+        a < b * (1.0 - self.margin)
     }
 }
 

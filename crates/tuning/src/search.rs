@@ -6,11 +6,12 @@
 //! with the machine model, and the best `M` OTF plus the single best SGF
 //! configurations per cutout become transferable patterns ("the best
 //! (M=2) configurations of each cutout for OTF and the single best for
-//! SGF"). The searched cutouts themselves keep their best transformation
-//! — they are part of the program being optimized.
+//! SGF"). The searched cutouts themselves are hill-climbed to a
+//! fixpoint — they are part of the program being optimized, and long
+//! pointwise chains collapse into single launches.
 
 use crate::cutout::Cutout;
-use crate::measure::{ModelScorer, StateScorer};
+use crate::measure::{ModelScorer, StateScorer, Vet};
 use crate::pattern::{Pattern, PatternKind};
 use dataflow::model::CostModel;
 use dataflow::transforms::fusion::{fuse_otf, fuse_subgraph};
@@ -44,12 +45,16 @@ fn labels(sdfg: &Sdfg, state: usize, a: usize, b: usize) -> [String; 2] {
     [get(a), get(b)]
 }
 
-/// A deferred candidate rewrite; returns whether it applied cleanly.
-type Rewrite = Box<dyn Fn(&mut Sdfg) -> bool>;
+/// A candidate transformation at concrete node indices.
+enum Cand {
+    Otf(usize, usize),
+    Sgf(usize),
+}
 
-/// Tune the cutouts against the static machine model: try every
-/// candidate, record patterns, and apply the single best transformation
-/// per cutout in place.
+/// Tune the cutouts against the static machine model: hill-climb each
+/// cutout to a fixpoint (repeatedly apply the best improving candidate
+/// and re-enumerate), recording the pristine cutout's best
+/// configurations as transferable patterns.
 pub fn tune_cutouts(
     sdfg: &mut Sdfg,
     cutouts: &[Cutout],
@@ -62,10 +67,34 @@ pub fn tune_cutouts(
 /// [`tune_cutouts`] generalized over the candidate scorer — pass a
 /// [`MeasuredScorer`](crate::measure::MeasuredScorer) to rank candidates
 /// by measured cutout time instead of the static model.
+///
+/// A single application per cutout leaves chains on the table: a state
+/// of N pairwise-fusable pointwise kernels (the Riemann solver expands
+/// to 10 of them) should collapse to *one* launch, not N-1. So each
+/// cutout is hill-climbed: apply the best improving candidate, rebuild
+/// the candidate list against the transformed state, repeat until no
+/// candidate improves the modeled time. Every step is individually
+/// legality-checked, so the fixpoint is reached only through bit-exact
+/// rewrites.
 pub fn tune_cutouts_scored(
     sdfg: &mut Sdfg,
     cutouts: &[Cutout],
     scorer: &mut dyn StateScorer,
+    m_otf: usize,
+) -> SearchReport {
+    tune_cutouts_vetted(sdfg, cutouts, scorer, None, m_otf)
+}
+
+/// [`tune_cutouts_scored`] with an optional measured [`Vet`]: each
+/// hill-climb step walks the model-ranked candidates and applies the
+/// *best one the measurement confirms*, so the committed fixpoint
+/// contains only ground-truth wins. Rejected candidates are remembered
+/// (by kind and labels) and not re-measured in later rounds.
+pub fn tune_cutouts_vetted(
+    sdfg: &mut Sdfg,
+    cutouts: &[Cutout],
+    scorer: &mut dyn StateScorer,
+    mut vet: Option<&mut Vet>,
     m_otf: usize,
 ) -> SearchReport {
     let mut report = SearchReport {
@@ -74,74 +103,127 @@ pub fn tune_cutouts_scored(
     };
 
     for cutout in cutouts {
-        let base = scorer.state_time(sdfg, cutout.state);
-        let mut found: Vec<(Pattern, Rewrite)> = Vec::new();
+        // Node indices of the cutout's surviving kernels; maintained
+        // across applications (each fusion removes one node).
+        let mut members = cutout.kernels.clone();
+        let mut first_round = true;
+        // Candidates the measured veto already rejected; keyed by kind
+        // and labels so they aren't re-measured every round.
+        let mut rejected: Vec<(PatternKind, [String; 2])> = Vec::new();
+        loop {
+            let base = scorer.state_time(sdfg, cutout.state);
+            let mut found: Vec<(Pattern, Cand)> = Vec::new();
 
-        // OTF candidates: every ordered kernel pair.
-        for (pi, &p) in cutout.kernels.iter().enumerate() {
-            for &c in cutout.kernels.iter().skip(pi + 1) {
+            // OTF candidates: every ordered kernel pair.
+            for (pi, &p) in members.iter().enumerate() {
+                for &c in members.iter().skip(pi + 1) {
+                    report.configurations += 1;
+                    let mut trial = sdfg.clone();
+                    if fuse_otf(&mut trial, cutout.state, p, c).is_ok() {
+                        let t = scorer.state_time(&trial, cutout.state);
+                        if t < base {
+                            found.push((
+                                Pattern {
+                                    kind: PatternKind::Otf,
+                                    labels: labels(sdfg, cutout.state, p, c),
+                                    gain: base - t,
+                                },
+                                Cand::Otf(p, c),
+                            ));
+                        }
+                    }
+                }
+            }
+            // SGF candidates: adjacent pairs.
+            for w in members.windows(2) {
+                if w[1] != w[0] + 1 {
+                    continue; // not adjacent in the state
+                }
                 report.configurations += 1;
                 let mut trial = sdfg.clone();
-                if fuse_otf(&mut trial, cutout.state, p, c).is_ok() {
+                if fuse_subgraph(&mut trial, cutout.state, w[0]).is_ok() {
                     let t = scorer.state_time(&trial, cutout.state);
                     if t < base {
-                        let lbl = labels(sdfg, cutout.state, p, c);
-                        let (state, p2, c2) = (cutout.state, p, c);
                         found.push((
                             Pattern {
-                                kind: PatternKind::Otf,
-                                labels: lbl,
+                                kind: PatternKind::Sgf,
+                                labels: labels(sdfg, cutout.state, w[0], w[1]),
                                 gain: base - t,
                             },
-                            Box::new(move |g: &mut Sdfg| fuse_otf(g, state, p2, c2).is_ok()),
+                            Cand::Sgf(w[0]),
                         ));
                     }
                 }
             }
-        }
-        // SGF candidates: adjacent pairs.
-        for w in cutout.kernels.windows(2) {
-            if w[1] != w[0] + 1 {
-                continue; // not adjacent in the state
-            }
-            report.configurations += 1;
-            let mut trial = sdfg.clone();
-            if fuse_subgraph(&mut trial, cutout.state, w[0]).is_ok() {
-                let t = scorer.state_time(&trial, cutout.state);
-                if t < base {
-                    let lbl = labels(sdfg, cutout.state, w[0], w[1]);
-                    let (state, first) = (cutout.state, w[0]);
-                    found.push((
-                        Pattern {
-                            kind: PatternKind::Sgf,
-                            labels: lbl,
-                            gain: base - t,
-                        },
-                        Box::new(move |g: &mut Sdfg| fuse_subgraph(g, state, first).is_ok()),
-                    ));
-                }
-            }
-        }
 
-        // Keep top-M OTF + top-1 SGF as patterns; apply the overall best
-        // to the source cutout itself.
-        found.sort_by(|a, b| b.0.gain.partial_cmp(&a.0.gain).unwrap());
-        if let Some((_, apply)) = found.first() {
-            apply(sdfg);
-        }
-        let mut otf_kept = 0;
-        let mut sgf_kept = 0;
-        for (pat, _) in found {
-            match pat.kind {
-                PatternKind::Otf if otf_kept < m_otf => {
-                    otf_kept += 1;
-                    report.patterns.push(pat);
+            found.sort_by(|a, b| b.0.gain.partial_cmp(&a.0.gain).unwrap());
+
+            // Transferable patterns come from the pristine cutout only
+            // (later rounds see fused labels no other state will match):
+            // top-M OTF plus the single best SGF.
+            if first_round {
+                first_round = false;
+                let mut otf_kept = 0;
+                let mut sgf_kept = 0;
+                for (pat, _) in &found {
+                    match pat.kind {
+                        PatternKind::Otf if otf_kept < m_otf => {
+                            otf_kept += 1;
+                            report.patterns.push(pat.clone());
+                        }
+                        PatternKind::Sgf if sgf_kept < 1 => {
+                            sgf_kept += 1;
+                            report.patterns.push(pat.clone());
+                        }
+                        _ => {}
+                    }
                 }
-                PatternKind::Sgf if sgf_kept < 1 => {
-                    sgf_kept += 1;
-                    report.patterns.push(pat);
+            }
+
+            // Apply the best candidate the veto confirms (or the overall
+            // best when unvetted) and fix up member indices — the fused
+            // pair collapses into one node; later indices shift.
+            let mut chosen = None;
+            for (pat, cand) in found {
+                if rejected.iter().any(|r| r.0 == pat.kind && r.1 == pat.labels) {
+                    continue;
                 }
-                _ => {}
+                if let Some(v) = vet.as_deref_mut() {
+                    let mut trial = sdfg.clone();
+                    let ok = match cand {
+                        Cand::Otf(p, c) => fuse_otf(&mut trial, cutout.state, p, c).is_ok(),
+                        Cand::Sgf(first) => fuse_subgraph(&mut trial, cutout.state, first).is_ok(),
+                    };
+                    if !ok || !v.passes(sdfg, &trial, cutout.state) {
+                        rejected.push((pat.kind, pat.labels));
+                        continue;
+                    }
+                }
+                chosen = Some(cand);
+                break;
+            }
+            let Some(best) = chosen else {
+                break;
+            };
+            let removed = match best {
+                Cand::Otf(p, c) => {
+                    if fuse_otf(sdfg, cutout.state, p, c).is_err() {
+                        break;
+                    }
+                    p
+                }
+                Cand::Sgf(first) => {
+                    if fuse_subgraph(sdfg, cutout.state, first).is_err() {
+                        break;
+                    }
+                    first + 1
+                }
+            };
+            members.retain(|&i| i != removed);
+            for i in &mut members {
+                if *i > removed {
+                    *i -= 1;
+                }
             }
         }
     }

@@ -6,7 +6,7 @@
 //! a match is committed only when it "also provide[s] a local performance
 //! improvement" under the machine model.
 
-use crate::measure::{ModelScorer, StateScorer};
+use crate::measure::{ModelScorer, StateScorer, Vet};
 use crate::pattern::{Pattern, PatternKind};
 use dataflow::graph::DataflowNode;
 use dataflow::model::CostModel;
@@ -49,7 +49,21 @@ pub fn transfer_patterns_scored(
     patterns: &[Pattern],
     scorer: &mut dyn StateScorer,
 ) -> TransferReport {
+    transfer_patterns_vetted(sdfg, patterns, scorer, None)
+}
+
+/// [`transfer_patterns_scored`] with an optional measured [`Vet`]: a
+/// match that improves the model locally is still rejected unless the
+/// measurement of the rewritten state confirms it. Vetoed matches are
+/// remembered per state so they aren't re-measured on later rounds.
+pub fn transfer_patterns_vetted(
+    sdfg: &mut Sdfg,
+    patterns: &[Pattern],
+    scorer: &mut dyn StateScorer,
+    mut vet: Option<&mut Vet>,
+) -> TransferReport {
     let mut report = TransferReport::default();
+    let mut vetoed: Vec<(usize, PatternKind, [String; 2])> = Vec::new();
     for state in 0..sdfg.states.len() {
         // Repeat until no pattern matches this state anymore; each round
         // applies the best pattern's first match.
@@ -92,6 +106,23 @@ pub fn transfer_patterns_scored(
                         }
                         let after = scorer.state_time(&trial, state);
                         if after < before {
+                            if vetoed.iter().any(|v| {
+                                v.0 == state
+                                    && v.1 == pat.kind
+                                    && v.2 == [first.clone(), second.clone()]
+                            }) {
+                                continue;
+                            }
+                            if let Some(v) = vet.as_deref_mut() {
+                                if !v.passes(sdfg, &trial, state) {
+                                    vetoed.push((
+                                        state,
+                                        pat.kind,
+                                        [first.clone(), second.clone()],
+                                    ));
+                                    continue;
+                                }
+                            }
                             *sdfg = trial;
                             report.applied.push(TransferredMatch {
                                 kind: pat.kind,
