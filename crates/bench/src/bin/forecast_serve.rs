@@ -1,82 +1,138 @@
 //! `forecast_serve`: the forecast-as-a-service front door, RAMP-style.
 //!
 //! ```text
-//! forecast_serve init   [key=value ...]   # cold-start probe: one request,
+//! forecast_serve init     [key=value ...] # cold-start probe: one request,
 //!                                         # report the compile bill
-//! forecast_serve submit [key=value ...]   # submit a batch, print one line
+//! forecast_serve submit   [key=value ...] # submit a batch, print one line
 //!                                         # per outcome
-//! forecast_serve run    [key=value ...]   # soak: warmup + measured burst,
+//! forecast_serve run      [key=value ...] # soak: warmup + measured burst,
 //!                                         # emit RUN_metrics.jsonl /
 //!                                         # RUN_health.jsonl /
 //!                                         # RUN_events.jsonl, gate the
 //!                                         # service contract
-//! forecast_serve watch  [key=value ...]   # submit a batch and tail its
+//! forecast_serve watch    [key=value ...] # submit a batch and tail its
 //!                                         # live event stream as JSONL,
 //!                                         # one object per line
-//! forecast_serve status [key=value ...]   # submit a batch and print a
+//! forecast_serve status   [key=value ...] # submit a batch and print a
 //!                                         # point-in-time engine snapshot
 //!                                         # per poll until it drains
+//! forecast_serve cancel   [key=value ...] # submit a long request, cancel
+//!                                         # it mid-run, report the partial
+//!                                         # progress it kept
+//! forecast_serve overload [key=value ...] # drive the engine to 2x
+//!                                         # saturation with mixed lanes,
+//!                                         # gate graceful degradation,
+//!                                         # emit the RUN_*.jsonl artifacts
 //! ```
 //!
 //! Keys (all optional): `requests=N slots=N steps=N tile_n=N nk=N
-//! streaming=0|1`. Defaults are the CI soak shape (8 requests, 2 slots,
-//! 2 steps, c8L6, streaming on).
+//! streaming=0|1` shape the load; `priority=high|normal|batch
+//! deadline=SECONDS tenant=NAME tenant_cap=N` shape admission for
+//! `submit` and `cancel`. Defaults are the CI soak shape (8 requests,
+//! 2 slots, 2 steps, c8L6, streaming on, Normal lane, no deadline).
 //!
-//! `run` exits nonzero unless the service contract held: every request
-//! completed, none failed, zero kernel compilations after the warmup
-//! request, and nonzero measured throughput/latency. The serve-soak CI
-//! job parses its `RUN_metrics.jsonl` for `requests_completed` and the
-//! latency gauges, and validates `RUN_events.jsonl` for lifecycle
-//! closure (every request Queued -> Started -> Completed|Failed, step
-//! indices monotone, `events_dropped` reported).
+//! Exit codes are the service contract: 0 when every request completed,
+//! 2 when some requests were cancelled / evicted / shed but none
+//! genuinely failed (graceful degradation is not an error), 1 when any
+//! request failed or a gate broke. The serve-soak CI job parses `run`'s
+//! `RUN_metrics.jsonl` and validates `RUN_events.jsonl` for lifecycle
+//! closure; the overload-soak job does the same for `overload`,
+//! including the `request_cancelled` / `request_evicted` /
+//! `request_shed` terminals.
 
-use bench::serve_load::{serve_load, ServeLoadConfig};
-use engine::{EngineConfig, ForecastEngine};
+use bench::serve_load::{overload_study, serve_load, ServeLoadConfig};
+use engine::{EngineConfig, ForecastEngine, ForecastResult, Priority, SubmitOptions};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+/// Some requests degraded (cancelled/evicted/shed) but none failed.
+const EXIT_DEGRADED: u8 = 2;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: forecast_serve <init|submit|run|watch|status> \
-         [requests=N] [slots=N] [steps=N] [tile_n=N] [nk=N] [streaming=0|1]"
+        "usage: forecast_serve <init|submit|run|watch|status|cancel|overload> \
+         [requests=N] [slots=N] [steps=N] [tile_n=N] [nk=N] [streaming=0|1] \
+         [priority=high|normal|batch] [deadline=SECONDS] [tenant=NAME] [tenant_cap=N]"
     );
     ExitCode::FAILURE
 }
 
-fn parse_config(args: &[String]) -> Result<ServeLoadConfig, String> {
-    let mut cfg = ServeLoadConfig::default();
+/// Everything the CLI can shape: the load, plus per-request admission
+/// options and the engine's tenant cap.
+struct CliConfig {
+    load: ServeLoadConfig,
+    opts: SubmitOptions,
+    tenant_cap: Option<usize>,
+}
+
+fn parse_config(args: &[String]) -> Result<CliConfig, String> {
+    let mut cfg = CliConfig {
+        load: ServeLoadConfig::default(),
+        opts: SubmitOptions::default(),
+        tenant_cap: None,
+    };
     for arg in args {
         let (key, value) = arg
             .split_once('=')
             .ok_or_else(|| format!("'{arg}' is not key=value"))?;
-        let n: usize = value
-            .parse()
-            .map_err(|e| format!("bad {key} '{value}': {e}"))?;
         match key {
-            "requests" => cfg.requests = n,
-            "slots" => cfg.slots = n,
-            "steps" => cfg.steps = n as u64,
-            "tile_n" => cfg.tile_n = n,
-            "nk" => cfg.nk = n,
-            "streaming" => cfg.streaming = n != 0,
-            other => return Err(format!("unknown key '{other}'")),
+            "priority" => {
+                cfg.opts.priority = Priority::parse(value)
+                    .ok_or_else(|| format!("bad priority '{value}' (high|normal|batch)"))?;
+            }
+            "deadline" => {
+                let secs: f64 = value
+                    .parse()
+                    .map_err(|e| format!("bad deadline '{value}': {e}"))?;
+                if !(secs >= 0.0 && secs.is_finite()) {
+                    return Err(format!("bad deadline '{value}': not a finite duration"));
+                }
+                cfg.opts.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "tenant" => cfg.opts.tenant = Some(value.to_string()),
+            _ => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|e| format!("bad {key} '{value}': {e}"))?;
+                match key {
+                    "requests" => cfg.load.requests = n,
+                    "slots" => cfg.load.slots = n,
+                    "steps" => cfg.load.steps = n as u64,
+                    "tile_n" => cfg.load.tile_n = n,
+                    "nk" => cfg.load.nk = n,
+                    "streaming" => cfg.load.streaming = n != 0,
+                    "tenant_cap" => cfg.tenant_cap = Some(n),
+                    other => return Err(format!("unknown key '{other}'")),
+                }
+            }
         }
     }
     Ok(cfg)
 }
 
+/// The exit-code contract, from the batch's terminal tallies.
+fn verdict(failed: u64, degraded: u64) -> ExitCode {
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else if degraded > 0 {
+        ExitCode::from(EXIT_DEGRADED)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `init`: prove the environment serves at all — start an engine, run
 /// one request, report the compile bill it paid.
-fn cmd_init(cfg: ServeLoadConfig) -> ExitCode {
+fn cmd_init(cfg: CliConfig) -> ExitCode {
     let engine = ForecastEngine::start(EngineConfig {
-        slots: cfg.slots,
+        slots: cfg.load.slots,
         ..EngineConfig::from_env()
     });
-    let id = engine.submit(cfg.request().with_label("init"));
+    let id = engine.submit(cfg.load.request().with_label("init"));
     let out = engine.wait(id);
     match out.result {
-        Ok(rep) => {
+        ForecastResult::Completed(rep) => {
             println!(
                 "init ok: request {} ran {} steps in {:.3}s, compiled {} kernels ({} hits)",
                 out.id, rep.steps, out.run_seconds, rep.cache_misses, rep.cache_hits
@@ -84,53 +140,99 @@ fn cmd_init(cfg: ServeLoadConfig) -> ExitCode {
             engine.shutdown();
             ExitCode::SUCCESS
         }
-        Err(e) => {
+        ForecastResult::Failed(e) => {
             eprintln!("init FAILED: request {}: {e}", out.id);
+            ExitCode::FAILURE
+        }
+        other => {
+            eprintln!(
+                "init FAILED: request {} reached terminal '{}'",
+                out.id,
+                other.terminal()
+            );
             ExitCode::FAILURE
         }
     }
 }
 
-/// `submit`: one-shot client — submit the batch, print an outcome line
-/// per request as each finishes.
-fn cmd_submit(cfg: ServeLoadConfig) -> ExitCode {
+/// `submit`: one-shot client — submit the batch under the CLI's
+/// admission options, print an outcome line per request as each
+/// finishes.
+fn cmd_submit(cfg: CliConfig) -> ExitCode {
     let engine = ForecastEngine::start(EngineConfig {
-        slots: cfg.slots,
-        queue_cap: cfg.requests.max(1),
+        slots: cfg.load.slots,
+        queue_cap: cfg.load.requests.max(1),
+        tenant_cap: cfg.tenant_cap,
         ..EngineConfig::from_env()
     });
-    let ids: Vec<_> = (0..cfg.requests)
-        .map(|i| engine.submit(cfg.request().with_label(&format!("batch-{i}"))))
+    let ids: Vec<_> = (0..cfg.load.requests)
+        .map(|i| {
+            engine.submit_with(
+                cfg.load.request().with_label(&format!("batch-{i}")),
+                cfg.opts.clone(),
+            )
+        })
         .collect();
     let mut failed = 0u64;
+    let mut degraded = 0u64;
     for id in ids {
         let out = engine.wait(id);
         match &out.result {
-            Ok(rep) => println!(
+            ForecastResult::Completed(rep) => println!(
                 "{} {} ok steps={} latency={:.3}s warm={} misses={}",
-                out.id, out.label, rep.steps, out.latency_seconds(), rep.warm_start, rep.cache_misses
+                out.id,
+                out.label,
+                rep.steps,
+                out.latency_seconds(),
+                rep.warm_start,
+                rep.cache_misses
             ),
-            Err(e) => {
+            ForecastResult::Failed(e) => {
                 failed += 1;
                 println!("{} {} FAILED: {e}", out.id, out.label);
+            }
+            ForecastResult::Cancelled(c) => {
+                degraded += 1;
+                println!(
+                    "{} {} cancelled ({:?}) after {} steps",
+                    out.id, out.label, c.cause, c.steps_done
+                );
+            }
+            ForecastResult::Evicted {
+                past_deadline_seconds,
+            } => {
+                degraded += 1;
+                println!(
+                    "{} {} evicted {past_deadline_seconds:.3}s past deadline",
+                    out.id, out.label
+                );
+            }
+            ForecastResult::Shed { lane } => {
+                degraded += 1;
+                println!("{} {} shed from lane {}", out.id, out.label, lane.label());
             }
         }
     }
     let stats = engine.shutdown();
     println!(
-        "submitted={} completed={} failed={} cache_hits={} cache_misses={}",
-        stats.submitted, stats.completed, stats.failed, stats.cache_hits, stats.cache_misses
+        "submitted={} completed={} failed={} cancelled={} evicted={} shed={} \
+         cache_hits={} cache_misses={}",
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.cancelled,
+        stats.evicted,
+        stats.shed,
+        stats.cache_hits,
+        stats.cache_misses
     );
-    if failed == 0 {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    verdict(failed, degraded)
 }
 
 /// `run`: the measured soak. Emits the JSONL channels and gates the
 /// service contract.
-fn cmd_run(cfg: ServeLoadConfig) -> ExitCode {
+fn cmd_run(cfg: CliConfig) -> ExitCode {
+    let cfg = cfg.load;
     println!(
         "serve soak: {} requests x {} steps over {} slots (c{}L{})",
         cfg.requests, cfg.steps, cfg.slots, cfg.tile_n, cfg.nk
@@ -212,10 +314,114 @@ fn cmd_run(cfg: ServeLoadConfig) -> ExitCode {
     }
 }
 
+/// `cancel`: the cancellation demo — submit one request with a budget it
+/// could never finish, cancel it once it is running, and report the
+/// partial progress the engine handed back. Exits with the degraded
+/// code (2): a cancelled request is not a failure.
+fn cmd_cancel(cfg: CliConfig) -> ExitCode {
+    let engine = ForecastEngine::start(EngineConfig {
+        slots: cfg.load.slots,
+        tenant_cap: cfg.tenant_cap,
+        ..EngineConfig::from_env()
+    });
+    let id = engine.submit_with(
+        cfg.load.request_with_steps(100_000).with_label("cancel-me"),
+        cfg.opts.clone(),
+    );
+    // Wait until the request owns a slot so the demo exercises the
+    // mid-run path, not the cheap queued-cancel path.
+    while engine.status().running.iter().all(|r| r.id != id) {
+        if engine.wait_timeout(id, Duration::from_millis(5)).is_some() {
+            eprintln!("cancel demo: request finished before it could be cancelled");
+            engine.shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
+    assert!(engine.cancel(id), "a running request has a live token");
+    let out = engine.wait(id);
+    let code = match &out.result {
+        ForecastResult::Cancelled(c) => {
+            println!(
+                "{} {} cancelled ({:?}) after {} completed steps, {:.3}s in flight",
+                out.id, out.label, c.cause, c.steps_done, out.run_seconds
+            );
+            ExitCode::from(EXIT_DEGRADED)
+        }
+        other => {
+            eprintln!(
+                "cancel demo FAILED: request {} reached terminal '{}'",
+                out.id,
+                other.terminal()
+            );
+            ExitCode::FAILURE
+        }
+    };
+    let stats = engine.shutdown();
+    println!(
+        "submitted={} completed={} cancelled={} (slot released, warm pool untouched)",
+        stats.submitted, stats.completed, stats.cancelled
+    );
+    code
+}
+
+/// `overload`: drive the service past saturation and gate graceful
+/// degradation — goodput survives, Batch sheds first, expired work is
+/// evicted, and every offered request reaches exactly one terminal.
+fn cmd_overload(cfg: CliConfig) -> ExitCode {
+    let cfg = cfg.load;
+    println!(
+        "overload study: slots={} queue~{} (c{}L{}, 2x saturation, mixed lanes)",
+        cfg.slots, cfg.requests, cfg.tile_n, cfg.nk
+    );
+    let rep = overload_study(cfg);
+    std::fs::write("RUN_metrics.jsonl", &rep.metrics_jsonl).expect("write RUN_metrics.jsonl");
+    if cfg.streaming {
+        std::fs::write("RUN_events.jsonl", &rep.events_jsonl).expect("write RUN_events.jsonl");
+    }
+    println!(
+        "offered={} admitted={} completed={} failed={} cancelled={} evicted={} shed={} \
+         rejected_queue_full={} rejected_quota={}",
+        rep.offered,
+        rep.admitted,
+        rep.completed,
+        rep.failed,
+        rep.cancelled,
+        rep.evicted,
+        rep.shed,
+        rep.rejected_queue_full,
+        rep.rejected_quota
+    );
+    println!(
+        "goodput={:.2} req/s shed_rate={:.2} p99_high={:.3}s p99_normal={:.3}s \
+         eviction_p99={:.3}s past_deadline_p99={:.3}s over {:.3}s",
+        rep.goodput_rps,
+        rep.shed_rate,
+        rep.p99_latency_high_seconds,
+        rep.p99_latency_normal_seconds,
+        rep.eviction_p99_seconds,
+        rep.eviction_past_deadline_p99_seconds,
+        rep.total_seconds
+    );
+    if cfg.streaming {
+        println!(
+            "streamed: events={} dropped={}",
+            rep.events_published, rep.events_dropped
+        );
+    }
+    if rep.is_clean() {
+        println!("overload study ok: degraded gracefully, nothing lost");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("overload study FAILED: {rep:?}");
+        ExitCode::FAILURE
+    }
+}
+
 /// `watch`: the live front door — submit the batch and tail every event
 /// the engine publishes, one JSON object per line, until the batch
 /// drains. Pipe it to `grep step_completed` or a dashboard.
-fn cmd_watch(cfg: ServeLoadConfig) -> ExitCode {
+fn cmd_watch(cfg: CliConfig) -> ExitCode {
+    let cfg = cfg.load;
     let engine = ForecastEngine::start(EngineConfig {
         slots: cfg.slots,
         queue_cap: cfg.requests.max(1),
@@ -234,7 +440,7 @@ fn cmd_watch(cfg: ServeLoadConfig) -> ExitCode {
         let waiter = s.spawn(|| {
             let mut failed = 0u64;
             for id in ids {
-                failed += engine.wait(id).result.is_err() as u64;
+                failed += !engine.wait(id).result.is_completed() as u64;
             }
             done.store(true, Ordering::Relaxed);
             failed
@@ -267,7 +473,8 @@ fn cmd_watch(cfg: ServeLoadConfig) -> ExitCode {
 /// `status`: engine introspection — submit the batch and print one
 /// point-in-time snapshot per poll (queue, per-request progress, slot
 /// and warm-pool occupancy, bus health) until the batch drains.
-fn cmd_status(cfg: ServeLoadConfig) -> ExitCode {
+fn cmd_status(cfg: CliConfig) -> ExitCode {
+    let cfg = cfg.load;
     let engine = ForecastEngine::start(EngineConfig {
         slots: cfg.slots,
         queue_cap: cfg.requests.max(1),
@@ -314,7 +521,7 @@ fn cmd_status(cfg: ServeLoadConfig) -> ExitCode {
     }
     let mut failed = 0u64;
     for id in ids {
-        failed += engine.wait(id).result.is_err() as u64;
+        failed += !engine.wait(id).result.is_completed() as u64;
     }
     let stats = engine.shutdown();
     println!(
@@ -346,6 +553,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(cfg),
         "watch" => cmd_watch(cfg),
         "status" => cmd_status(cfg),
+        "cancel" => cmd_cancel(cfg),
+        "overload" => cmd_overload(cfg),
         _ => usage(),
     }
 }

@@ -23,7 +23,7 @@
 //! check.
 
 use bench::profile::{bench_json_complete, profile_case, tuned_ablation};
-use bench::serve_load::{serve_load, ServeLoadConfig};
+use bench::serve_load::{overload_study, serve_load, ServeLoadConfig};
 use bench::weak_scaling::{study_table, weak_scaling_study};
 use dataflow::report::roofline_table;
 use fv3::dyn_core::DycoreConfig;
@@ -203,7 +203,7 @@ fn main() -> ExitCode {
     // a measured burst through the persistent engine; sustained req/s
     // and tail latency land in BENCH_dycore.json as the top-level
     // `serve` object (non-gated, like `weak_scaling`).
-    let serve = serve_load(ServeLoadConfig::default());
+    let mut serve = serve_load(ServeLoadConfig::default());
     println!(
         "\nserve load ({} requests x {} steps over {} slots): {:.2} req/s, \
          p50 {:.1} ms, p99 {:.1} ms, {} steady-state recompiles, {} warm acquires",
@@ -215,6 +215,22 @@ fn main() -> ExitCode {
         serve.p99_latency_seconds * 1e3,
         serve.steady_state_misses,
         serve.warm_acquires
+    );
+
+    // Overload study (ISSUE 10): the same service driven to 2x
+    // saturation with mixed lanes, tight deadlines, and a tenant at its
+    // cap; graceful-degradation numbers nest under `serve.overload`.
+    serve.overload = Some(overload_study(ServeLoadConfig::default()));
+    let ov = serve.overload.as_ref().unwrap();
+    println!(
+        "overload (2x saturation): {:.2} req/s goodput, shed_rate {:.2}, \
+         {} evicted (p99 {:.0} ms past deadline), {} cancelled, {} refused",
+        ov.goodput_rps,
+        ov.shed_rate,
+        ov.evicted,
+        ov.eviction_past_deadline_p99_seconds * 1e3,
+        ov.cancelled,
+        ov.rejected_queue_full + ov.rejected_quota
     );
 
     // Self-validation: a profile with dead kernels, broken clocks, or an
@@ -317,6 +333,23 @@ fn main() -> ExitCode {
             serve.requests_per_second,
             serve.p99_latency_seconds
         ));
+    }
+    if let Some(ov) = &serve.overload {
+        if !ov.is_clean() {
+            bad.push(format!(
+                "overload study did not degrade gracefully: {} of {} admitted \
+                 reached a terminal ({} completed / {} failed / {} cancelled / \
+                 {} evicted / {} shed), {} refusals",
+                ov.completed + ov.failed + ov.cancelled + ov.evicted + ov.shed,
+                ov.admitted,
+                ov.completed,
+                ov.failed,
+                ov.cancelled,
+                ov.evicted,
+                ov.shed,
+                ov.rejected_queue_full + ov.rejected_quota
+            ));
+        }
     }
 
     let json = bench_json_complete(

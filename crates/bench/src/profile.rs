@@ -717,6 +717,43 @@ mod tests {
         let report =
             obs::compare_runs(&without, &json, &obs::RegressionPolicy::default()).unwrap();
         assert!(report.is_clean(), "serve fields leaked into the gate: {}", report.render());
+
+        // The overload study nests under serve and stays outside the
+        // gate the same way.
+        let mut serve = serve;
+        serve.overload = Some(crate::serve_load::OverloadReport {
+            offered: 17,
+            admitted: 15,
+            completed: 5,
+            failed: 0,
+            cancelled: 2,
+            evicted: 4,
+            shed: 4,
+            rejected_queue_full: 1,
+            rejected_quota: 1,
+            shed_rate: 4.0 / 15.0,
+            goodput_rps: 3.2,
+            total_seconds: 1.5,
+            p99_latency_high_seconds: 0.2,
+            p99_latency_normal_seconds: 0.3,
+            eviction_p99_seconds: 0.4,
+            eviction_past_deadline_p99_seconds: 0.35,
+            events_published: 100,
+            events_dropped: 0,
+            metrics_jsonl: String::new(),
+            events_jsonl: String::new(),
+        });
+        let json_ov = bench_json_full(&run, 1e9, 1.0, &[], Some(&serve));
+        assert!(json_ov.contains("\"overload\": {\"offered\": 17"));
+        assert!(json_ov.contains("\"shed_rate\": "));
+        assert!(json_ov.contains("\"goodput_rps\": 3.2"));
+        let report =
+            obs::compare_runs(&without, &json_ov, &obs::RegressionPolicy::default()).unwrap();
+        assert!(
+            report.is_clean(),
+            "overload fields leaked into the gate: {}",
+            report.render()
+        );
     }
 
     #[test]

@@ -14,14 +14,17 @@
 //! regression gate ignores them, like `weak_scaling`), and its metrics
 //! and per-request health streams ride the usual JSONL channels.
 
-use engine::{EngineConfig, ForecastEngine, ForecastRequest, Scenario};
+use engine::{
+    EngineConfig, ForecastEngine, ForecastRequest, ForecastResult, Priority, Rejected, RequestId,
+    Scenario, SubmitOptions,
+};
 use fv3::dyn_core::DycoreConfig;
 use fv3core::DriverConfig;
 use obs::nearest_rank;
 use obs::stream::RunEvent;
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Traffic shape for one load run.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +62,12 @@ impl Default for ServeLoadConfig {
 impl ServeLoadConfig {
     /// The request every tenant submits.
     pub fn request(&self) -> ForecastRequest {
+        self.request_with_steps(self.steps)
+    }
+
+    /// The same case with a different step budget (the overload study's
+    /// slot plugs need a budget they will never finish).
+    pub fn request_with_steps(&self, steps: u64) -> ForecastRequest {
         let config = DriverConfig::six_rank(
             self.tile_n,
             self.nk,
@@ -70,7 +79,7 @@ impl ServeLoadConfig {
                 nord4_damp: None,
             },
         );
-        ForecastRequest::new(Scenario::BaroclinicWave, config, self.steps)
+        ForecastRequest::new(Scenario::BaroclinicWave, config, steps)
     }
 }
 
@@ -123,6 +132,9 @@ pub struct ServeLoadReport {
     /// order (empty when `streaming` is off) — the `RUN_events.jsonl`
     /// artifact CI validates for lifecycle closure.
     pub events_jsonl: String,
+    /// The overload study, when one ran alongside the load run
+    /// ([`overload_study`]); embeds as a nested `"overload"` object.
+    pub overload: Option<OverloadReport>,
 }
 
 impl ServeLoadReport {
@@ -141,7 +153,7 @@ impl ServeLoadReport {
     /// The `"serve"` object embedded in `BENCH_dycore.json` (top-level,
     /// outside the per-module regression gate).
     pub fn to_json(&self) -> String {
-        format!(
+        let mut json = format!(
             "{{\"requests\": {}, \"slots\": {}, \"steps_per_request\": {}, \
              \"completed\": {}, \"failed\": {}, \"warmup_misses\": {}, \
              \"steady_state_misses\": {}, \"warm_acquires\": {}, \
@@ -151,7 +163,7 @@ impl ServeLoadReport {
              \"ttfs_p50_seconds\": {}, \"ttfs_p99_seconds\": {}, \
              \"step_gap_p50_seconds\": {}, \"step_gap_p99_seconds\": {}, \
              \"cadence_jitter_seconds\": {}, \
-             \"events_published\": {}, \"events_dropped\": {}}}",
+             \"events_published\": {}, \"events_dropped\": {}",
             self.requests,
             self.slots,
             self.steps,
@@ -172,7 +184,343 @@ impl ServeLoadReport {
             self.cadence_jitter_seconds,
             self.events_published,
             self.events_dropped
+        );
+        if let Some(ov) = &self.overload {
+            let _ = write!(json, ", \"overload\": {}", ov.to_json());
+        }
+        json.push('}');
+        json
+    }
+}
+
+/// What the overload study measured: the service driven past saturation
+/// with mixed lanes, tight deadlines, a tenant at its cap, and mid-run
+/// cancellations — and the exact terminal every offered request reached.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// Submissions attempted (admitted + refused).
+    pub offered: u64,
+    /// Submissions the engine accepted into the queue.
+    pub admitted: u64,
+    /// Admitted requests per terminal. `completed` is the goodput; the
+    /// five terminals must sum to `admitted` — no request is lost.
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub evicted: u64,
+    pub shed: u64,
+    /// Typed refusals from `try_submit_with`.
+    pub rejected_queue_full: u64,
+    pub rejected_quota: u64,
+    /// Fraction of admitted work shed to make room for higher lanes.
+    pub shed_rate: f64,
+    /// Completed requests per wall second, measured across the whole
+    /// study (saturation, shedding, and drain included).
+    pub goodput_rps: f64,
+    pub total_seconds: f64,
+    /// Submit-to-finish p99 of *completed* requests, by lane. Batch
+    /// never completes under this shape (it is shed or evicted).
+    pub p99_latency_high_seconds: f64,
+    pub p99_latency_normal_seconds: f64,
+    /// Queue residency p99 of evicted requests (submit to removal).
+    pub eviction_p99_seconds: f64,
+    /// How far past their deadline evicted requests were when a slot
+    /// found them, p99.
+    pub eviction_past_deadline_p99_seconds: f64,
+    /// Bus totals (0 when streaming is off).
+    pub events_published: u64,
+    pub events_dropped: u64,
+    /// Final cumulative engine-metrics snapshot (JSONL).
+    pub metrics_jsonl: String,
+    /// Every event the study streamed (empty when streaming is off) —
+    /// carries `request_cancelled` / `request_evicted` / `request_shed`
+    /// lifecycle closures for CI to validate.
+    pub events_jsonl: String,
+}
+
+impl OverloadReport {
+    /// True when overload degraded gracefully: every offered request
+    /// reached exactly one terminal, nothing genuinely failed, both
+    /// refusal types fired, work was shed and evicted (the study forces
+    /// both), and the surviving lanes still made progress.
+    pub fn is_clean(&self) -> bool {
+        self.offered == self.admitted + self.rejected_queue_full + self.rejected_quota
+            && self.admitted
+                == self.completed + self.failed + self.cancelled + self.evicted + self.shed
+            && self.failed == 0
+            && self.completed > 0
+            && self.cancelled > 0
+            && self.evicted > 0
+            && self.shed > 0
+            && self.rejected_queue_full >= 1
+            && self.rejected_quota >= 1
+            && self.goodput_rps > 0.0
+            && self.eviction_past_deadline_p99_seconds > 0.0
+            && self.events_dropped == 0
+    }
+
+    /// The `"overload"` object nested inside the `"serve"` embed.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"offered\": {}, \"admitted\": {}, \"completed\": {}, \
+             \"failed\": {}, \"cancelled\": {}, \"evicted\": {}, \"shed\": {}, \
+             \"rejected_queue_full\": {}, \"rejected_quota\": {}, \
+             \"shed_rate\": {}, \"goodput_rps\": {}, \"total_seconds\": {}, \
+             \"p99_latency_high_seconds\": {}, \"p99_latency_normal_seconds\": {}, \
+             \"eviction_p99_seconds\": {}, \
+             \"eviction_past_deadline_p99_seconds\": {}, \
+             \"events_published\": {}, \"events_dropped\": {}}}",
+            self.offered,
+            self.admitted,
+            self.completed,
+            self.failed,
+            self.cancelled,
+            self.evicted,
+            self.shed,
+            self.rejected_queue_full,
+            self.rejected_quota,
+            self.shed_rate,
+            self.goodput_rps,
+            self.total_seconds,
+            self.p99_latency_high_seconds,
+            self.p99_latency_normal_seconds,
+            self.eviction_p99_seconds,
+            self.eviction_past_deadline_p99_seconds,
+            self.events_published,
+            self.events_dropped
         )
+    }
+}
+
+/// Drive the service to 2x saturation and measure how it degrades.
+///
+/// The study is deterministic by construction, not by timing luck:
+///
+/// 1. a warmup request pays the compile bill;
+/// 2. long-budget "plug" requests take and hold every run slot (plug 0
+///    carries its own deadline — the running-request deadline path; the
+///    rest are cancelled explicitly later);
+/// 3. `queue_cap` Batch fillers with tight deadlines saturate the
+///    queue — together with the burst this offers 2x the standing
+///    capacity of slots + queue;
+/// 4. a High/Normal burst (tenant-tagged) is admitted by shedding one
+///    Batch filler per request;
+/// 5. two probes exercise both typed refusals: a Batch request cannot
+///    shed its own lane (`QueueFull`), and the burst tenant is at its
+///    cap (`QuotaExceeded`);
+/// 6. once the filler deadlines expire the plugs are cancelled; the
+///    drain completes the burst (High before Normal) and evicts every
+///    expired filler at pop time.
+pub fn overload_study(cfg: ServeLoadConfig) -> OverloadReport {
+    let slots = cfg.slots.max(1);
+    // Fillers fill the queue exactly; fillers + burst + plugs offer 2x
+    // the standing capacity.
+    let q = (cfg.requests.max(4) / 4) * 4;
+    let burst = q / 2;
+    let engine = ForecastEngine::start(EngineConfig {
+        slots,
+        queue_cap: q,
+        streaming: cfg.streaming,
+        stream_buffer: 16 * 1024,
+        tenant_cap: Some(burst),
+        ..EngineConfig::default()
+    });
+
+    // Warmup pays the compile bill so the overload clock measures
+    // admission control, not cold start.
+    engine
+        .wait(engine.submit(cfg.request().with_label("overload-warmup")))
+        .result
+        .expect("overload warmup");
+
+    let stream = engine.subscribe_all();
+    let t0 = Instant::now();
+    let mut lanes: Vec<(RequestId, Priority)> = Vec::new();
+
+    // Plugs: hold every slot with a budget no plug will ever finish.
+    // Plug 0's deadline must be generous: it exists to fire mid-run
+    // during the drain (the running-request deadline path), but if it
+    // fired before the probes below it would free a slot, drain the
+    // queue, and break the full-queue invariant the probes rely on.
+    // Everything between here and the probes is lock-bound (a few
+    // hundred submissions at worst), so seconds of margin is orders of
+    // magnitude beyond any debug-build scheduling stall.
+    let plug0_deadline = Duration::from_secs(3);
+    let mut plug_ids = Vec::new();
+    for i in 0..slots {
+        let opts = if i == 0 {
+            SubmitOptions::default().deadline(plug0_deadline)
+        } else {
+            SubmitOptions::default()
+        };
+        let id = engine.submit_with(
+            cfg.request_with_steps(100_000)
+                .with_label(&format!("plug-{i}")),
+            opts,
+        );
+        plug_ids.push(id);
+        lanes.push((id, Priority::Normal));
+    }
+    // Every plug must own its slot before the queue fills, or a filler
+    // could sneak into a slot ahead of its deadline.
+    let t_wait = Instant::now();
+    while engine.status().slots_busy < slots {
+        assert!(
+            t_wait.elapsed() < Duration::from_secs(60),
+            "plugs never took the slots"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Saturate the queue with deadline-tagged Batch work.
+    let filler_deadline = Duration::from_millis(40);
+    for i in 0..q {
+        let opts = SubmitOptions::default()
+            .priority(Priority::Batch)
+            .deadline(filler_deadline);
+        match engine.try_submit_with(cfg.request().with_label(&format!("filler-{i}")), opts) {
+            Ok(id) => lanes.push((id, Priority::Batch)),
+            Err(r) => panic!("filler refused by a queue sized for it: {r:?}"),
+        }
+    }
+
+    // The burst: each admission must shed the newest Batch filler.
+    for i in 0..burst {
+        let pr = if i % 2 == 0 {
+            Priority::High
+        } else {
+            Priority::Normal
+        };
+        let req = cfg
+            .request()
+            .with_label(&format!("burst-{}-{i}", pr.label()));
+        let opts = SubmitOptions::default().priority(pr).tenant("nowcast");
+        match engine.try_submit_with(req, opts) {
+            Ok(id) => lanes.push((id, pr)),
+            Err(r) => panic!("burst refused despite sheddable Batch work: {r:?}"),
+        }
+    }
+
+    // Both typed refusals, exactly once each. The probes need the queue
+    // exactly full, which holds as long as every plug still owns its
+    // slot — check it so a pathological stall fails attributably here
+    // rather than as a confusing probe mismatch.
+    assert!(
+        t0.elapsed() < plug0_deadline,
+        "overload setup outran plug 0's deadline; the probe invariants no longer hold"
+    );
+    let mut rejected_queue_full = 0u64;
+    let mut rejected_quota = 0u64;
+    match engine.try_submit_with(
+        cfg.request().with_label("probe-full"),
+        SubmitOptions::default().priority(Priority::Batch),
+    ) {
+        Err(Rejected::QueueFull(_)) => rejected_queue_full += 1,
+        other => panic!("queue-full probe: expected QueueFull, got {other:?}"),
+    }
+    match engine.try_submit_with(
+        cfg.request().with_label("probe-quota"),
+        SubmitOptions::default()
+            .priority(Priority::High)
+            .tenant("nowcast"),
+    ) {
+        Err(Rejected::QuotaExceeded { .. }) => rejected_quota += 1,
+        other => panic!("quota probe: expected QuotaExceeded, got {other:?}"),
+    }
+
+    // Let the filler deadlines expire, then release the slots: explicit
+    // cancels for plugs 1.., plug 0 dies by its own deadline.
+    std::thread::sleep(filler_deadline + Duration::from_millis(40));
+    for id in &plug_ids[1..] {
+        assert!(engine.cancel(*id), "plug cancel must find a live token");
+    }
+
+    // Drain: every admitted id reaches exactly one terminal.
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut cancelled = 0u64;
+    let mut evicted = 0u64;
+    let mut shed = 0u64;
+    let mut high_lat = Vec::new();
+    let mut normal_lat = Vec::new();
+    let mut evict_residency = Vec::new();
+    let mut evict_past = Vec::new();
+    for (id, lane) in &lanes {
+        let out = engine.wait(*id);
+        match out.result {
+            ForecastResult::Completed(_) => {
+                completed += 1;
+                match lane {
+                    Priority::High => high_lat.push(out.latency_seconds()),
+                    Priority::Normal => normal_lat.push(out.latency_seconds()),
+                    Priority::Batch => {}
+                }
+            }
+            ForecastResult::Failed(e) => {
+                failed += 1;
+                eprintln!("overload study: {} genuinely failed: {e}", out.label);
+            }
+            ForecastResult::Cancelled(_) => cancelled += 1,
+            ForecastResult::Evicted {
+                past_deadline_seconds,
+            } => {
+                evicted += 1;
+                evict_residency.push(out.latency_seconds());
+                evict_past.push(past_deadline_seconds);
+            }
+            ForecastResult::Shed { .. } => shed += 1,
+        }
+    }
+    let total_seconds = t0.elapsed().as_secs_f64();
+
+    let mut events_jsonl = String::new();
+    let (events_published, events_dropped) = match &stream {
+        Some(stream) => {
+            for ev in stream.drain() {
+                let _ = writeln!(events_jsonl, "{}", ev.to_json());
+            }
+            let status = engine.status();
+            (status.events_published, status.events_dropped)
+        }
+        None => (0, 0),
+    };
+    let metrics_jsonl = obs::emit_jsonl(engine.metrics(), lanes.len() as u64);
+    engine.shutdown();
+
+    high_lat.sort_by(|a, b| a.total_cmp(b));
+    normal_lat.sort_by(|a, b| a.total_cmp(b));
+    evict_residency.sort_by(|a, b| a.total_cmp(b));
+    evict_past.sort_by(|a, b| a.total_cmp(b));
+    let admitted = lanes.len() as u64;
+    OverloadReport {
+        offered: admitted + rejected_queue_full + rejected_quota,
+        admitted,
+        completed,
+        failed,
+        cancelled,
+        evicted,
+        shed,
+        rejected_queue_full,
+        rejected_quota,
+        shed_rate: if admitted > 0 {
+            shed as f64 / admitted as f64
+        } else {
+            0.0
+        },
+        goodput_rps: if total_seconds > 0.0 {
+            completed as f64 / total_seconds
+        } else {
+            0.0
+        },
+        total_seconds,
+        p99_latency_high_seconds: nearest_rank(&high_lat, 0.99),
+        p99_latency_normal_seconds: nearest_rank(&normal_lat, 0.99),
+        eviction_p99_seconds: nearest_rank(&evict_residency, 0.99),
+        eviction_past_deadline_p99_seconds: nearest_rank(&evict_past, 0.99),
+        events_published,
+        events_dropped,
+        metrics_jsonl,
+        events_jsonl,
     }
 }
 
@@ -193,10 +541,11 @@ pub fn serve_load(cfg: ServeLoadConfig) -> ServeLoadReport {
     // Warmup: one serialized request compiles the case so the burst
     // below measures the service steady state, not cold start.
     let warm = engine.submit(cfg.request().with_label("warmup"));
-    let warmup_misses = match engine.wait(warm).result {
-        Ok(rep) => rep.cache_misses,
-        Err(e) => panic!("serve_load warmup failed: {e}"),
-    };
+    let warmup_misses = engine
+        .wait(warm)
+        .result
+        .expect("serve_load warmup")
+        .cache_misses;
 
     // Subscribe after the warmup so the drained stream carries exactly
     // the burst. `subscribe_all` is None when streaming is off.
@@ -217,7 +566,7 @@ pub fn serve_load(cfg: ServeLoadConfig) -> ServeLoadReport {
         let out = engine.wait(id);
         latencies.push(out.latency_seconds());
         match out.result {
-            Ok(rep) => {
+            ForecastResult::Completed(rep) => {
                 completed += 1;
                 steady_state_misses += rep.cache_misses;
                 warm_acquires += rep.warm_start as u64;
@@ -228,7 +577,7 @@ pub fn serve_load(cfg: ServeLoadConfig) -> ServeLoadReport {
                     let _ = writeln!(health_jsonl, "{}", line.replacen('{', &tag, 1));
                 }
             }
-            Err(_) => failed += 1,
+            _ => failed += 1,
         }
     }
     let total_seconds = t0.elapsed().as_secs_f64();
@@ -314,6 +663,7 @@ pub fn serve_load(cfg: ServeLoadConfig) -> ServeLoadReport {
         metrics_jsonl,
         health_jsonl,
         events_jsonl,
+        overload: None,
     };
     engine.shutdown();
     report
@@ -367,6 +717,34 @@ mod tests {
         assert_eq!(rep.ttfs_p99_seconds, 0.0);
         assert_eq!(rep.cadence_jitter_seconds, 0.0);
         assert!(!rep.metrics_jsonl.contains("ttfs_p99_seconds"));
+    }
+
+    #[test]
+    fn overload_study_degrades_gracefully_and_loses_nothing() {
+        let rep = overload_study(ServeLoadConfig {
+            requests: 8,
+            slots: 2,
+            ..tiny()
+        });
+        assert!(rep.is_clean(), "unclean overload study: {rep:?}");
+        // Deterministic by construction: 8 fillers, a burst of 4 sheds
+        // 4 and the other 4 expire in the queue; both plugs cancel.
+        assert_eq!(rep.shed, 4);
+        assert_eq!(rep.evicted, 4);
+        assert_eq!(rep.cancelled, 2);
+        assert_eq!(rep.completed, 4, "the whole burst is goodput");
+        assert_eq!(rep.failed, 0);
+        assert_eq!(rep.rejected_queue_full, 1);
+        assert_eq!(rep.rejected_quota, 1);
+        assert_eq!(rep.offered, rep.admitted + 2);
+        // The degraded terminals all reached the event stream.
+        assert!(rep.events_jsonl.contains("\"event\":\"request_shed\""));
+        assert!(rep.events_jsonl.contains("\"event\":\"request_evicted\""));
+        assert!(rep.events_jsonl.contains("\"event\":\"request_cancelled\""));
+        let json = rep.to_json();
+        assert!(json.contains("\"shed_rate\": "));
+        assert!(json.contains("\"goodput_rps\": "));
+        assert!(json.contains("\"eviction_past_deadline_p99_seconds\": "));
     }
 
     #[test]

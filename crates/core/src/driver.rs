@@ -21,6 +21,7 @@ use fv3::dyn_core::{
 use fv3::grid::Grid;
 use fv3::init::{init_baroclinic, BaroclinicConfig};
 use fv3::state::{DycoreState, HALO};
+use machine::cancel::CancelToken;
 use machine::faults::{self, FireCtx};
 use machine::pool::Pool;
 use std::path::Path;
@@ -129,6 +130,16 @@ pub struct DistributedDycore {
     /// sink is off — one `Option` check on the hot path, no events, no
     /// timestamps, no allocations.
     sink: obs::EventSink,
+    /// Cooperative cancellation ([`machine::cancel`]): polled between
+    /// acoustic substeps. The default token is inert — one `Option`
+    /// check per substep, and an un-cancellable run is bit-identical to
+    /// one with no token at all (the poll reads no model state).
+    cancel: CancelToken,
+    /// True when the last [`step`](Self::step) call aborted at a substep
+    /// boundary because the token fired: the step counter was not
+    /// advanced and the states are mid-step — the instance must be
+    /// discarded or restored, never trusted or parked warm.
+    step_interrupted: bool,
 }
 
 pub(crate) struct RankHooks<'a> {
@@ -227,6 +238,8 @@ impl DistributedDycore {
             halo_bytes_posted: 0,
             halo_messages_posted: 0,
             sink: obs::EventSink::default(),
+            cancel: CancelToken::default(),
+            step_interrupted: false,
         }
     }
 
@@ -399,6 +412,30 @@ impl DistributedDycore {
         &self.sink
     }
 
+    /// Install a cooperative cancellation token (see [`machine::cancel`]):
+    /// [`step`](Self::step) polls it between acoustic substeps and, once
+    /// it fires, returns early *without* advancing the step counter —
+    /// [`step_interrupted`](Self::step_interrupted) then reports true and
+    /// the states must be treated as mid-step (discard or restore them).
+    /// Install [`CancelToken::inert`] to make the driver un-cancellable
+    /// again; the inert poll is one `Option` check and touches no model
+    /// state, so runs are bit-identical with or without a token.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The installed cancellation token (inert by default).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// True when the last [`step`](Self::step) aborted at a substep
+    /// boundary because the cancel token fired (the step did not count
+    /// and the states are partial). Cleared at the start of every step.
+    pub fn step_interrupted(&self) -> bool {
+        self.step_interrupted
+    }
+
     /// Select the rank schedule (sequential lock-step vs threaded with
     /// compute/comm overlap). Both produce bit-identical states.
     pub fn set_rank_schedule(&mut self, schedule: RankSchedule) {
@@ -534,8 +571,18 @@ impl DistributedDycore {
         if self.schedule == RankSchedule::Parallel {
             cache.boxes.reset();
         }
-        for ks in 0..config.k_split {
+        self.step_interrupted = false;
+        'substeps: for ks in 0..config.k_split {
             for ns in 0..config.n_split {
+                // Cancellation point: between substeps the states are
+                // rank-consistent, no worker holds any of our work, and
+                // nothing is mid-write — the safe place to stop. The
+                // step counter stays un-advanced; the caller must treat
+                // the states as partial (`step_interrupted`).
+                if self.cancel.fired() {
+                    self.step_interrupted = true;
+                    break 'substeps;
+                }
                 let module = format!("k{ks}.s{ns}");
                 let _acoustic_span = obs::tracing::global_span("acoustic", &module);
                 match self.schedule {
@@ -549,6 +596,9 @@ impl DistributedDycore {
             // reference is idempotent.
         }
         self.cache = Some(cache);
+        if self.step_interrupted {
+            return;
+        }
         self.step_index += 1;
         if let Some(t0) = stream_t0 {
             self.sink
@@ -752,6 +802,47 @@ mod tests {
         let (bytes, msgs) = d.comm_volume();
         assert!(bytes > 0);
         assert_eq!(msgs, 48);
+    }
+
+    #[test]
+    fn fired_token_stops_step_at_substep_boundary() {
+        let mut d = small();
+        let t = CancelToken::new();
+        d.set_cancel_token(t.clone());
+        d.step();
+        assert_eq!(d.step_index(), 1);
+        assert!(!d.step_interrupted());
+        t.cancel();
+        d.step();
+        assert!(d.step_interrupted(), "fired token must interrupt the step");
+        assert_eq!(d.step_index(), 1, "interrupted step must not count");
+        // An inert token makes the driver un-cancellable again.
+        d.set_cancel_token(CancelToken::inert());
+        d.step();
+        assert!(!d.step_interrupted());
+        assert_eq!(d.step_index(), 2);
+    }
+
+    #[test]
+    fn armed_but_unfired_token_is_bit_identical_to_none() {
+        let mut plain = small();
+        let mut tokened = small();
+        tokened.set_cancel_token(CancelToken::new());
+        for _ in 0..2 {
+            plain.step();
+            tokened.step();
+        }
+        for (a, b) in plain.states.iter().zip(tokened.states.iter()) {
+            for ((name, fa), (_, fb)) in a.fields().iter().zip(b.fields().iter()) {
+                assert!(
+                    fa.raw()
+                        .iter()
+                        .zip(fb.raw())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "field {name} diverged under an unfired token"
+                );
+            }
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ use dataflow::graph::ExpansionAttrs;
 use fv3::dyn_core::DycoreConfig;
 use fv3::state::DycoreState;
 use fv3core::{Checkpoint, CompiledSubstep, DistributedDycore, DriverConfig};
+use machine::cancel::{CancelCause, CancelToken};
 use machine::faults::ArmGuard;
 use machine::pool::Pool;
 use obs::stream::{EventBus, EventSink, EventStream, RunEvent};
@@ -136,6 +137,112 @@ impl ForecastRequest {
     }
 }
 
+/// Scheduling lane. The submission queue serves High before Normal
+/// before Batch (FIFO within a lane), and under queue pressure sheds
+/// from the lowest lane first — an urgent nowcast and a batch ensemble
+/// member are no longer peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Urgent interactive work; never shed.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Opportunistic work; the first shed under overload.
+    Batch,
+}
+
+impl Priority {
+    /// Every lane, scheduling order (High first).
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Batch];
+
+    /// Lane index in scheduling order (0 = High).
+    fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Stable label for metrics, events, and the serve CLI.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parse a [`label`](Self::label) back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// Per-request admission options for
+/// [`ForecastEngine::submit_with`] / [`try_submit_with`](ForecastEngine::try_submit_with).
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Scheduling lane (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Wall-clock budget from submission. A queued request past its
+    /// deadline is evicted without ever starting; a running request is
+    /// cancelled at the next step boundary; the supervisor will not
+    /// start another rollback-retry past it.
+    pub deadline: Option<Duration>,
+    /// Tenant identity for quota accounting. Requests sharing a tenant
+    /// string count against [`EngineConfig::tenant_cap`]; untagged
+    /// requests are exempt.
+    pub tenant: Option<String>,
+}
+
+impl SubmitOptions {
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    pub fn tenant(mut self, tenant: &str) -> Self {
+        self.tenant = Some(tenant.to_string());
+        self
+    }
+}
+
+/// A refused submission ([`ForecastEngine::try_submit_with`]); hands the
+/// request back so the caller can retry, re-route, or drop it.
+#[derive(Debug)]
+pub enum Rejected {
+    /// The queue is at capacity and nothing lower-priority could be
+    /// shed to admit this request.
+    QueueFull(ForecastRequest),
+    /// The request's tenant is at its in-flight + queued cap.
+    QuotaExceeded {
+        tenant: String,
+        req: ForecastRequest,
+    },
+}
+
+impl Rejected {
+    /// The refused request, handed back.
+    pub fn into_request(self) -> ForecastRequest {
+        match self {
+            Rejected::QueueFull(r) => r,
+            Rejected::QuotaExceeded { req, .. } => req,
+        }
+    }
+}
+
 /// Everything that must agree for two requests to share one compile
 /// bundle, grid set, and warm-instance pool. Floats are keyed by bits
 /// (the same discipline as the driver's internal step key).
@@ -198,6 +305,11 @@ pub struct EngineConfig {
     /// Cadence for periodic [`RunEvent::EngineTick`] snapshots from a
     /// background thread (`None`: ticks only on request transitions).
     pub tick_every: Option<Duration>,
+    /// Per-tenant in-flight + queued cap (`None`: unlimited). A tenant
+    /// at its cap has further `try_submit_with` calls refused with
+    /// [`Rejected::QuotaExceeded`] (blocking submits wait) — one
+    /// saturating tenant can no longer starve the queue.
+    pub tenant_cap: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -211,6 +323,7 @@ impl Default for EngineConfig {
             streaming: true,
             stream_buffer: 1024,
             tick_every: None,
+            tenant_cap: None,
         }
     }
 }
@@ -290,16 +403,109 @@ impl ForecastReport {
     }
 }
 
+/// A run stopped by its [`CancelToken`] — explicit [`cancel`]
+/// (`ForecastEngine::cancel`) or deadline expiry.
+///
+/// [`cancel`]: ForecastEngine::cancel
+#[derive(Debug)]
+pub struct CancelledRun {
+    pub cause: CancelCause,
+    /// Steps that completed before the token fired (0: cancelled while
+    /// still queued).
+    pub steps_done: u64,
+    /// The partial supervised-run history, when the request had started
+    /// (`None`: cancelled in the queue). The instance behind it was
+    /// discarded — cancelled tenants never park warm state.
+    pub run: Option<RunReport>,
+}
+
+/// The exactly-one terminal state every submitted request reaches.
+/// Admission control adds three terminals to the original
+/// completed/failed pair; no request is ever lost between them.
+#[derive(Debug)]
+pub enum ForecastResult {
+    /// Ran its full step budget.
+    Completed(ForecastReport),
+    /// Supervision exhausted or a panic; see [`EngineFailure`].
+    Failed(EngineFailure),
+    /// Stopped by explicit cancel or deadline, queued or mid-run.
+    Cancelled(CancelledRun),
+    /// Deadline expired while still queued; never started.
+    Evicted {
+        /// How far past its deadline the request was when a slot found it.
+        past_deadline_seconds: f64,
+    },
+    /// Shed from the queue under overload to admit higher-priority work.
+    Shed {
+        /// The shed request's lane.
+        lane: Priority,
+    },
+}
+
+impl ForecastResult {
+    /// Stable terminal label ("completed" | "failed" | "cancelled" |
+    /// "evicted" | "shed").
+    pub fn terminal(&self) -> &'static str {
+        match self {
+            ForecastResult::Completed(_) => "completed",
+            ForecastResult::Failed(_) => "failed",
+            ForecastResult::Cancelled(_) => "cancelled",
+            ForecastResult::Evicted { .. } => "evicted",
+            ForecastResult::Shed { .. } => "shed",
+        }
+    }
+
+    /// True for [`Completed`](Self::Completed).
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ForecastResult::Completed(_))
+    }
+
+    /// The report, when completed.
+    pub fn report(&self) -> Option<&ForecastReport> {
+        match self {
+            ForecastResult::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The failure, when failed.
+    pub fn failure(&self) -> Option<&EngineFailure> {
+        match self {
+            ForecastResult::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The cancellation record, when cancelled.
+    pub fn cancelled(&self) -> Option<&CancelledRun> {
+        match self {
+            ForecastResult::Cancelled(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Unwrap the completed report; panics with `msg` and the actual
+    /// terminal otherwise.
+    #[track_caller]
+    pub fn expect(self, msg: &str) -> ForecastReport {
+        match self {
+            ForecastResult::Completed(r) => r,
+            other => panic!("{msg}: request reached terminal '{}'", other.terminal()),
+        }
+    }
+}
+
 /// Everything the engine knows about a finished request.
 #[derive(Debug)]
 pub struct ForecastOutcome {
     pub id: RequestId,
     pub label: String,
-    /// Seconds spent queued before a slot picked the request up.
+    /// Seconds spent queued before a slot picked the request up (for
+    /// evicted/shed requests: seconds spent queued before removal).
     pub queued_seconds: f64,
-    /// Seconds spent executing.
+    /// Seconds spent executing (0 for requests that never started).
     pub run_seconds: f64,
-    pub result: Result<ForecastReport, EngineFailure>,
+    pub result: ForecastResult,
 }
 
 impl ForecastOutcome {
@@ -318,12 +524,21 @@ pub struct EngineStats {
     pub completed: u64,
     pub failed: u64,
     pub rejected: u64,
+    /// Requests cancelled (explicit or deadline), queued or running.
+    pub cancelled: u64,
+    /// Queued requests whose deadline expired before a slot found them.
+    pub evicted: u64,
+    /// Requests shed from the queue under overload.
+    pub shed: u64,
     pub warm_acquires: u64,
     pub cold_builds: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     /// Requests queued (not yet picked up) right now.
     pub queue_depth: u64,
+    /// Queue depth per lane right now, scheduling order (High, Normal,
+    /// Batch).
+    pub lane_depths: [u64; 3],
     /// Run slots currently executing a request.
     pub slots_busy: u64,
     /// Total run slots.
@@ -355,8 +570,11 @@ pub struct RequestProgress {
 /// far along, and how the telemetry plane itself is doing.
 #[derive(Debug, Clone)]
 pub struct EngineStatus {
-    /// Requests waiting in the submission queue, in queue order.
+    /// Requests waiting in the submission queue, in scheduling order
+    /// (High lane first, FIFO within a lane).
     pub queued: Vec<(RequestId, String)>,
+    /// Per-tenant occupancy (queued + running), sorted by tenant.
+    pub tenants: Vec<(String, usize)>,
     /// Requests currently executing, ordered by id.
     pub running: Vec<RequestProgress>,
     /// Total run slots / slots currently busy.
@@ -384,6 +602,13 @@ struct Pending {
     label: String,
     req: ForecastRequest,
     submitted: Instant,
+    priority: Priority,
+    /// Absolute deadline, when the request has one.
+    deadline: Option<Instant>,
+    tenant: Option<String>,
+    /// The request's armed cancel token, shared with the engine's token
+    /// map so [`ForecastEngine::cancel`] reaches it queued or running.
+    token: CancelToken,
 }
 
 /// What the engine tracks about a request a slot is executing right
@@ -396,9 +621,55 @@ struct ActiveRequest {
 }
 
 struct QueueState {
-    pending: VecDeque<Pending>,
+    /// One FIFO per lane, scheduling order (High, Normal, Batch). Slots
+    /// always pop the highest non-empty lane.
+    lanes: [VecDeque<Pending>; 3],
     /// Cleared on shutdown; slots drain the queue, then exit.
     open: bool,
+    /// Per-tenant occupancy: queued + running requests. Incremented at
+    /// admission, decremented when the request reaches its terminal.
+    tenants: HashMap<String, usize>,
+}
+
+impl QueueState {
+    fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Pop the next request in scheduling order.
+    fn pop_next(&mut self) -> Option<Pending> {
+        self.lanes.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// The newest request in the lowest non-empty lane strictly below
+    /// `p` — the shed victim admitting a `p`-priority request.
+    fn pop_shed_victim(&mut self, p: Priority) -> Option<Pending> {
+        self.lanes[p.lane() + 1..]
+            .iter_mut()
+            .rev()
+            .find_map(VecDeque::pop_back)
+    }
+
+    fn occupancy(&self, tenant: &str) -> usize {
+        self.tenants.get(tenant).copied().unwrap_or(0)
+    }
+
+    fn tenant_admit(&mut self, tenant: &Option<String>) {
+        if let Some(t) = tenant {
+            *self.tenants.entry(t.clone()).or_insert(0) += 1;
+        }
+    }
+
+    fn tenant_release(&mut self, tenant: &Option<String>) {
+        if let Some(t) = tenant {
+            if let Some(n) = self.tenants.get_mut(t) {
+                *n -= 1;
+                if *n == 0 {
+                    self.tenants.remove(t);
+                }
+            }
+        }
+    }
 }
 
 /// Per-case shared machinery plus the warm-instance pool.
@@ -414,6 +685,7 @@ struct CaseCache {
 struct EngineInner {
     queue_cap: usize,
     warm_cap: usize,
+    tenant_cap: Option<usize>,
     policy: SupervisorPolicy,
     pool: Pool,
     queue: Mutex<QueueState>,
@@ -422,6 +694,10 @@ struct EngineInner {
     cases: Mutex<HashMap<CaseKey, CaseCache>>,
     results: Mutex<HashMap<u64, ForecastOutcome>>,
     done_cv: Condvar,
+    /// Every live (queued or running) request's cancel token, so
+    /// [`ForecastEngine::cancel`] works across the pop→run handoff.
+    /// Removed when the request reaches its terminal.
+    tokens: Mutex<HashMap<u64, CancelToken>>,
     metrics: MetricsRegistry,
     next_id: AtomicU64,
     /// The live telemetry bus (`None`: streaming disabled — nothing is
@@ -448,7 +724,7 @@ impl EngineInner {
     /// off). Called on request transitions and by the tick thread.
     fn emit_tick(&self) {
         let Some(bus) = &self.bus else { return };
-        let queue_depth = lock(&self.queue).pending.len() as u64;
+        let queue_depth = lock(&self.queue).len() as u64;
         bus.publish(
             None,
             RunEvent::EngineTick {
@@ -459,6 +735,24 @@ impl EngineInner {
                 events_dropped: bus.events_dropped(),
             },
         );
+    }
+
+    /// Deposit a terminal outcome: drop the cancel token, file the
+    /// result, wake waiters. Exactly one deposit happens per submitted
+    /// id — the no-lost-requests invariant (`tests/overload_soak.rs`).
+    fn deposit(&self, outcome: ForecastOutcome) {
+        lock(&self.tokens).remove(&outcome.id.0);
+        lock(&self.results).insert(outcome.id.0, outcome);
+        self.done_cv.notify_all();
+    }
+
+    /// Release a finished request's tenant occupancy and wake blocked
+    /// submitters.
+    fn release_tenant(&self, tenant: &Option<String>) {
+        if tenant.is_some() {
+            lock(&self.queue).tenant_release(tenant);
+        }
+        self.space_cv.notify_all();
     }
 }
 
@@ -486,17 +780,20 @@ impl ForecastEngine {
         let inner = Arc::new(EngineInner {
             queue_cap: cfg.queue_cap.max(1),
             warm_cap: cfg.warm_cap,
+            tenant_cap: cfg.tenant_cap,
             policy: cfg.policy,
             pool,
             queue: Mutex::new(QueueState {
-                pending: VecDeque::new(),
+                lanes: Default::default(),
                 open: true,
+                tenants: HashMap::new(),
             }),
             work_cv: Condvar::new(),
             space_cv: Condvar::new(),
             cases: Mutex::new(HashMap::new()),
             results: Mutex::new(HashMap::new()),
             done_cv: Condvar::new(),
+            tokens: Mutex::new(HashMap::new()),
             metrics: MetricsRegistry::new(),
             next_id: AtomicU64::new(1),
             bus: cfg.streaming.then(|| EventBus::new(cfg.stream_buffer)),
@@ -516,6 +813,9 @@ impl ForecastEngine {
             "requests_completed",
             "requests_failed",
             "requests_rejected",
+            "requests_cancelled",
+            "requests_evicted",
+            "requests_shed",
             "kernel_cache_hits",
             "kernel_cache_misses",
             "warm_acquires",
@@ -567,43 +867,159 @@ impl ForecastEngine {
         }
     }
 
-    /// Submit a request, blocking while the queue is at capacity.
+    /// Submit a request in the Normal lane, blocking while the queue is
+    /// at capacity.
     pub fn submit(&self, req: ForecastRequest) -> RequestId {
+        self.submit_with(req, SubmitOptions::default())
+    }
+
+    /// Submit with admission options (lane, deadline, tenant), blocking
+    /// while the queue — or the tenant's quota — has no room. Under
+    /// queue pressure a queued request from a *lower* lane is shed to
+    /// admit this one; only when nothing lower exists does the call
+    /// block.
+    pub fn submit_with(&self, req: ForecastRequest, opts: SubmitOptions) -> RequestId {
         let mut q = lock(&self.inner.queue);
-        while q.pending.len() >= self.inner.queue_cap {
-            q = wait(&self.inner.space_cv, q);
+        loop {
+            if self.over_quota(&q, &opts) {
+                q = wait(&self.inner.space_cv, q);
+                continue;
+            }
+            if q.len() >= self.inner.queue_cap {
+                match q.pop_shed_victim(opts.priority) {
+                    Some(victim) => shed_victim(&self.inner, &mut q, victim),
+                    None => {
+                        q = wait(&self.inner.space_cv, q);
+                        continue;
+                    }
+                }
+            }
+            return self.enqueue(q, req, opts);
         }
-        self.enqueue(q, req)
     }
 
-    /// Submit without blocking; hands the request back when the queue is
-    /// full.
-    pub fn try_submit(&self, req: ForecastRequest) -> Result<RequestId, ForecastRequest> {
-        let q = lock(&self.inner.queue);
-        if q.pending.len() >= self.inner.queue_cap {
-            self.inner.metrics.counter_add("requests_rejected", &[], 1);
-            return Err(req);
-        }
-        Ok(self.enqueue(q, req))
+    /// Submit in the Normal lane without blocking; hands the request
+    /// back inside [`Rejected::QueueFull`] when nothing could be shed
+    /// to make room.
+    pub fn try_submit(&self, req: ForecastRequest) -> Result<RequestId, Rejected> {
+        self.try_submit_with(req, SubmitOptions::default())
     }
 
-    fn enqueue(&self, mut q: MutexGuard<'_, QueueState>, req: ForecastRequest) -> RequestId {
+    /// Submit with admission options, without blocking. Refusals are
+    /// typed — [`Rejected::QuotaExceeded`] when the tenant is at its
+    /// cap, [`Rejected::QueueFull`] when the queue is full and no
+    /// lower-lane request could be shed — and hand the request back.
+    /// Every refusal increments `requests_rejected` exactly once.
+    pub fn try_submit_with(
+        &self,
+        req: ForecastRequest,
+        opts: SubmitOptions,
+    ) -> Result<RequestId, Rejected> {
+        let mut q = lock(&self.inner.queue);
+        if self.over_quota(&q, &opts) {
+            drop(q);
+            self.reject("quota");
+            return Err(Rejected::QuotaExceeded {
+                tenant: opts.tenant.expect("over_quota implies tenant"),
+                req,
+            });
+        }
+        if q.len() >= self.inner.queue_cap {
+            match q.pop_shed_victim(opts.priority) {
+                Some(victim) => shed_victim(&self.inner, &mut q, victim),
+                None => {
+                    drop(q);
+                    self.reject("queue_full");
+                    return Err(Rejected::QueueFull(req));
+                }
+            }
+        }
+        Ok(self.enqueue(q, req, opts))
+    }
+
+    fn over_quota(&self, q: &QueueState, opts: &SubmitOptions) -> bool {
+        match (&opts.tenant, self.inner.tenant_cap) {
+            (Some(t), Some(cap)) => q.occupancy(t) >= cap,
+            _ => false,
+        }
+    }
+
+    fn reject(&self, reason: &str) {
+        self.inner.metrics.counter_add("requests_rejected", &[], 1);
+        self.inner
+            .metrics
+            .counter_add("requests_rejected", &[("reason", reason)], 1);
+    }
+
+    /// Cancel a queued or running request. Queued: removed and terminal
+    /// `Cancelled` immediately. Running: its token fires and the run
+    /// stops at the next step (or acoustic-substep) boundary; the
+    /// outcome then carries the partial run history, and the instance is
+    /// discarded like a failed one — never parked warm. Returns false
+    /// when the id is unknown or already terminal.
+    pub fn cancel(&self, id: RequestId) -> bool {
+        // Fire the token first: even if a slot pops the request between
+        // our queue scan and its start, it still stops at a boundary.
+        let Some(token) = lock(&self.inner.tokens).get(&id.0).cloned() else {
+            return false;
+        };
+        token.cancel();
+        // Still queued? Finalize right here — the waiter should not
+        // have to wait for a busy slot to find the tombstone.
+        let mut q = lock(&self.inner.queue);
+        let victim = q.lanes.iter_mut().find_map(|lane| {
+            lane.iter()
+                .position(|p| p.id == id.0)
+                .and_then(|pos| lane.remove(pos))
+        });
+        if let Some(victim) = victim {
+            q.tenant_release(&victim.tenant);
+            drop(q);
+            self.inner.space_cv.notify_all();
+            finish_queued_cancel(
+                &self.inner,
+                victim,
+                CancelCause::Requested,
+            );
+        }
+        true
+    }
+
+    fn enqueue(
+        &self,
+        mut q: MutexGuard<'_, QueueState>,
+        req: ForecastRequest,
+        opts: SubmitOptions,
+    ) -> RequestId {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let label = if req.label.is_empty() {
             format!("r{id}")
         } else {
             req.label.clone()
         };
+        // Every request gets an armed token so `cancel(id)` always has
+        // something to fire; a deadline arms it to fire on its own.
+        let token = match opts.deadline {
+            Some(budget) => CancelToken::with_budget(budget),
+            None => CancelToken::new(),
+        };
+        let deadline = token.deadline();
+        lock(&self.inner.tokens).insert(id, token.clone());
+        q.tenant_admit(&opts.tenant);
         self.inner.metrics.counter_add("requests_submitted", &[], 1);
         self.inner
             .metrics
-            .gauge_high_water("queue_depth_high_water", &[], (q.pending.len() + 1) as f64);
+            .gauge_high_water("queue_depth_high_water", &[], (q.len() + 1) as f64);
         let steps = req.steps;
-        q.pending.push_back(Pending {
+        q.lanes[opts.priority.lane()].push_back(Pending {
             id,
             label: label.clone(),
             req,
             submitted: Instant::now(),
+            priority: opts.priority,
+            deadline,
+            tenant: opts.tenant,
+            token,
         });
         // Emitted while still holding the queue lock: a slot cannot pop
         // this request (and emit RequestStarted) before Queued is on the
@@ -614,13 +1030,26 @@ impl ForecastEngine {
                 RunEvent::RequestQueued {
                     label,
                     steps,
-                    queue_depth: q.pending.len() as u64,
+                    queue_depth: q.len() as u64,
                 },
             );
         }
         drop(q);
         self.inner.work_cv.notify_one();
         RequestId(id)
+    }
+
+    /// Submit with a guard that cancels the request when dropped before
+    /// [`SubmitGuard::wait`] or [`SubmitGuard::detach`] — opt-in
+    /// abandon-stops-the-run semantics for callers that would otherwise
+    /// leak a slot-burning orphan on an early return.
+    pub fn submit_guarded(&self, req: ForecastRequest, opts: SubmitOptions) -> SubmitGuard<'_> {
+        let id = self.submit_with(req, opts);
+        SubmitGuard {
+            engine: self,
+            id,
+            armed: true,
+        }
     }
 
     /// Block until `id`'s outcome is available and take it. Each outcome
@@ -661,7 +1090,7 @@ impl ForecastEngine {
 
     /// Requests currently queued (not yet picked up by a slot).
     pub fn queue_depth(&self) -> usize {
-        lock(&self.inner.queue).pending.len()
+        lock(&self.inner.queue).len()
     }
 
     /// The engine's metrics registry (aggregate + per-request series).
@@ -678,16 +1107,31 @@ impl ForecastEngine {
     /// depth, busy slots, warm-pool size).
     pub fn stats(&self) -> EngineStats {
         let m = &self.inner.metrics;
+        let (queue_depth, lane_depths) = {
+            let q = lock(&self.inner.queue);
+            (
+                q.len() as u64,
+                [
+                    q.lanes[0].len() as u64,
+                    q.lanes[1].len() as u64,
+                    q.lanes[2].len() as u64,
+                ],
+            )
+        };
         EngineStats {
             submitted: m.counter_value("requests_submitted", &[]),
             completed: m.counter_value("requests_completed", &[]),
             failed: m.counter_value("requests_failed", &[]),
             rejected: m.counter_value("requests_rejected", &[]),
+            cancelled: m.counter_value("requests_cancelled", &[]),
+            evicted: m.counter_value("requests_evicted", &[]),
+            shed: m.counter_value("requests_shed", &[]),
             warm_acquires: m.counter_value("warm_acquires", &[]),
             cold_builds: m.counter_value("cold_builds", &[]),
             cache_hits: m.counter_value("kernel_cache_hits", &[]),
             cache_misses: m.counter_value("kernel_cache_misses", &[]),
-            queue_depth: lock(&self.inner.queue).pending.len() as u64,
+            queue_depth,
+            lane_depths,
             slots_busy: self.inner.slots_busy.load(Ordering::Relaxed) as u64,
             slots: self.inner.slots_n as u64,
             warm_pool: self.inner.warm_pool_size() as u64,
@@ -718,11 +1162,19 @@ impl ForecastEngine {
     /// occupancy, and bus health. Works with streaming on or off — the
     /// progress mirror is maintained either way.
     pub fn status(&self) -> EngineStatus {
-        let queued: Vec<(RequestId, String)> = lock(&self.inner.queue)
-            .pending
-            .iter()
-            .map(|p| (RequestId(p.id), p.label.clone()))
-            .collect();
+        let (queued, tenants) = {
+            let q = lock(&self.inner.queue);
+            let queued: Vec<(RequestId, String)> = q
+                .lanes
+                .iter()
+                .flatten()
+                .map(|p| (RequestId(p.id), p.label.clone()))
+                .collect();
+            let mut tenants: Vec<(String, usize)> =
+                q.tenants.iter().map(|(t, &n)| (t.clone(), n)).collect();
+            tenants.sort();
+            (queued, tenants)
+        };
         let mut running: Vec<RequestProgress> = lock(&self.inner.active)
             .iter()
             .map(|(&id, a)| {
@@ -746,6 +1198,7 @@ impl ForecastEngine {
             .unwrap_or((0, 0));
         EngineStatus {
             queued,
+            tenants,
             running,
             slots: self.inner.slots_n,
             slots_busy: self.inner.slots_busy.load(Ordering::Relaxed),
@@ -793,6 +1246,41 @@ impl Drop for ForecastEngine {
     }
 }
 
+/// RAII submission handle from [`ForecastEngine::submit_guarded`]:
+/// dropping it without [`wait`](Self::wait) or
+/// [`detach`](Self::detach) cancels the request.
+pub struct SubmitGuard<'a> {
+    engine: &'a ForecastEngine,
+    id: RequestId,
+    armed: bool,
+}
+
+impl SubmitGuard<'_> {
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Wait for the outcome (disarms the guard).
+    pub fn wait(mut self) -> ForecastOutcome {
+        self.armed = false;
+        self.engine.wait(self.id)
+    }
+
+    /// Let the request keep running unguarded; returns its id.
+    pub fn detach(mut self) -> RequestId {
+        self.armed = false;
+        self.id
+    }
+}
+
+impl Drop for SubmitGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.engine.cancel(self.id);
+        }
+    }
+}
+
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
@@ -806,7 +1294,7 @@ fn slot_loop(inner: &Arc<EngineInner>) {
         let pending = {
             let mut q = lock(&inner.queue);
             loop {
-                if let Some(p) = q.pending.pop_front() {
+                if let Some(p) = q.pop_next() {
                     inner.space_cv.notify_one();
                     break p;
                 }
@@ -816,13 +1304,111 @@ fn slot_loop(inner: &Arc<EngineInner>) {
                 q = wait(&inner.work_cv, q);
             }
         };
-        let outcome = run_request(inner, pending);
-        {
-            let mut r = lock(&inner.results);
-            r.insert(outcome.id.0, outcome);
+        // Admission check at pickup: a token that fired while the
+        // request sat in the queue means it never starts — deadline
+        // expiry evicts, an explicit cancel the queue scan lost the
+        // race with finalizes here instead.
+        if let Some(cause) = pending.token.cause() {
+            inner.release_tenant(&pending.tenant);
+            match cause {
+                CancelCause::Deadline => evict_expired(inner, pending),
+                CancelCause::Requested => finish_queued_cancel(inner, pending, cause),
+            }
+            continue;
         }
-        inner.done_cv.notify_all();
+        let tenant = pending.tenant.clone();
+        let outcome = run_request(inner, pending);
+        inner.release_tenant(&tenant);
+        inner.deposit(outcome);
     }
+}
+
+/// Terminal `Shed`: release the victim's tenant occupancy, account,
+/// publish, deposit. Called with the queue lock held; the victim is
+/// already popped from its lane.
+fn shed_victim(inner: &EngineInner, q: &mut QueueState, victim: Pending) {
+    q.tenant_release(&victim.tenant);
+    let lane = victim.priority;
+    inner.metrics.counter_add("requests_shed", &[], 1);
+    inner
+        .metrics
+        .counter_add("requests_shed", &[("lane", lane.label())], 1);
+    if let Some(bus) = &inner.bus {
+        bus.publish(
+            Some(&format!("r{}", victim.id)),
+            RunEvent::RequestShed {
+                lane: lane.label().to_string(),
+            },
+        );
+    }
+    inner.deposit(ForecastOutcome {
+        id: RequestId(victim.id),
+        label: victim.label,
+        queued_seconds: victim.submitted.elapsed().as_secs_f64(),
+        run_seconds: 0.0,
+        result: ForecastResult::Shed { lane },
+    });
+    inner.space_cv.notify_all();
+}
+
+/// Terminal `Cancelled` for a request that never started.
+fn finish_queued_cancel(inner: &EngineInner, victim: Pending, cause: CancelCause) {
+    inner.metrics.counter_add("requests_cancelled", &[], 1);
+    inner
+        .metrics
+        .counter_add("requests_cancelled", &[("cause", cause.label())], 1);
+    if let Some(bus) = &inner.bus {
+        bus.publish(
+            Some(&format!("r{}", victim.id)),
+            RunEvent::RequestCancelled {
+                cause: cause.label().to_string(),
+                steps_done: 0,
+            },
+        );
+    }
+    inner.deposit(ForecastOutcome {
+        id: RequestId(victim.id),
+        label: victim.label,
+        queued_seconds: victim.submitted.elapsed().as_secs_f64(),
+        run_seconds: 0.0,
+        result: ForecastResult::Cancelled(CancelledRun {
+            cause,
+            steps_done: 0,
+            run: None,
+        }),
+    });
+    inner.emit_tick();
+}
+
+/// Terminal `Evicted`: the deadline expired while the request was still
+/// queued.
+fn evict_expired(inner: &EngineInner, victim: Pending) {
+    let past = victim
+        .deadline
+        .map(|d| Instant::now().saturating_duration_since(d).as_secs_f64())
+        .unwrap_or(0.0);
+    inner.metrics.counter_add("requests_evicted", &[], 1);
+    inner
+        .metrics
+        .observe("eviction_past_deadline_seconds", &[], past);
+    if let Some(bus) = &inner.bus {
+        bus.publish(
+            Some(&format!("r{}", victim.id)),
+            RunEvent::RequestEvicted {
+                past_deadline_seconds: past,
+            },
+        );
+    }
+    inner.deposit(ForecastOutcome {
+        id: RequestId(victim.id),
+        label: victim.label,
+        queued_seconds: victim.submitted.elapsed().as_secs_f64(),
+        run_seconds: 0.0,
+        result: ForecastResult::Evicted {
+            past_deadline_seconds: past,
+        },
+    });
+    inner.emit_tick();
 }
 
 fn run_request(inner: &Arc<EngineInner>, p: Pending) -> ForecastOutcome {
@@ -859,11 +1445,11 @@ fn run_request(inner: &Arc<EngineInner>, p: Pending) -> ForecastOutcome {
     // blowup) fails this request only — never the slot.
     let result = match catch_unwind(AssertUnwindSafe(|| execute(inner, &p, &rid, &sink))) {
         Ok(res) => res,
-        Err(payload) => Err(EngineFailure::Panic(panic_text(&*payload))),
+        Err(payload) => ForecastResult::Failed(EngineFailure::Panic(panic_text(&*payload))),
     };
     let run_seconds = t0.elapsed().as_secs_f64();
     match &result {
-        Ok(rep) => {
+        ForecastResult::Completed(rep) => {
             m.counter_add("requests_completed", &[], 1);
             m.observe("request_run_seconds", &[], run_seconds);
             m.counter_add("request_steps", &[("request", &rid)], rep.steps);
@@ -872,7 +1458,7 @@ fn run_request(inner: &Arc<EngineInner>, p: Pending) -> ForecastOutcome {
                 run_seconds,
             });
         }
-        Err(e) => {
+        ForecastResult::Failed(e) => {
             m.counter_add("requests_failed", &[], 1);
             m.counter_add("request_failed", &[("request", &rid)], 1);
             let step = sink.progress().map(|pr| pr.steps_done).unwrap_or(0);
@@ -880,6 +1466,17 @@ fn run_request(inner: &Arc<EngineInner>, p: Pending) -> ForecastOutcome {
                 step,
                 detail: e.to_string(),
             });
+        }
+        ForecastResult::Cancelled(c) => {
+            m.counter_add("requests_cancelled", &[], 1);
+            m.counter_add("requests_cancelled", &[("cause", c.cause.label())], 1);
+            sink.emit(RunEvent::RequestCancelled {
+                cause: c.cause.label().to_string(),
+                steps_done: c.steps_done,
+            });
+        }
+        ForecastResult::Evicted { .. } | ForecastResult::Shed { .. } => {
+            unreachable!("a run slot never produces evicted/shed terminals")
         }
     }
     lock(&inner.active).remove(&p.id);
@@ -894,12 +1491,7 @@ fn run_request(inner: &Arc<EngineInner>, p: Pending) -> ForecastOutcome {
     }
 }
 
-fn execute(
-    inner: &Arc<EngineInner>,
-    p: &Pending,
-    rid: &str,
-    sink: &EventSink,
-) -> Result<ForecastReport, EngineFailure> {
+fn execute(inner: &Arc<EngineInner>, p: &Pending, rid: &str, sink: &EventSink) -> ForecastResult {
     let key = CaseKey::of(&p.req);
     let (mut d, warm_start) = acquire(inner, key, &p.req);
     // Install this request's sink on both the dycore (per-step
@@ -909,6 +1501,10 @@ fn execute(
     let (h0, m0) = d.exec_cache_counters();
     let mut sup = Supervisor::new(inner.policy.clone());
     sup.set_event_sink(sink.clone());
+    // Thread the request's token through the supervisor (and from there
+    // into the driver's substep loop): `cancel(id)` or deadline expiry
+    // stops this run at its next boundary.
+    sup.set_cancel_token(p.token.clone());
     let res = sup.run(&mut d, p.req.steps);
     let (h1, m1) = d.exec_cache_counters();
     let (hits, misses) = (h1 - h0, m1 - m0);
@@ -918,11 +1514,11 @@ fn execute(
     m.counter_add("kernel_cache_hits", &[("request", rid)], hits);
     m.counter_add("kernel_cache_misses", &[("request", rid)], misses);
     match res {
-        Ok(run) => {
+        Ok(run) if run.completed() => {
             let states = d.states.clone();
             let config = d.config;
             release(inner, key, d);
-            Ok(ForecastReport {
+            ForecastResult::Completed(ForecastReport {
                 steps: p.req.steps,
                 config,
                 run,
@@ -932,6 +1528,20 @@ fn execute(
                 warm_start,
             })
         }
+        Ok(run) => {
+            // Cancelled mid-run: the states may be mid-step (the token
+            // can fire at an acoustic-substep boundary), so the instance
+            // is discarded exactly like a failed one — a cancelled
+            // tenant must never contaminate the warm pool.
+            drop(d);
+            m.counter_add("instances_discarded", &[], 1);
+            let cause = run.cancelled.unwrap_or(CancelCause::Requested);
+            ForecastResult::Cancelled(CancelledRun {
+                cause,
+                steps_done: run.steps,
+                run: Some(run),
+            })
+        }
         Err(e) => {
             // Fault isolation: the poisoned instance is discarded, never
             // parked — the next tenant of this case gets a clean build.
@@ -939,7 +1549,7 @@ fn execute(
             // survive the discard.
             drop(d);
             m.counter_add("instances_discarded", &[], 1);
-            Err(EngineFailure::Supervised(e))
+            ForecastResult::Failed(EngineFailure::Supervised(e))
         }
     }
 }
@@ -1117,7 +1727,7 @@ mod tests {
         let _ = engine.wait(first);
         for id in accepted {
             let out = engine.wait(id);
-            assert!(out.result.is_ok());
+            assert!(out.result.is_completed());
         }
         engine.shutdown();
     }

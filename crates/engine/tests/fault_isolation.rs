@@ -73,12 +73,12 @@ fn poisoned_tenant_fails_alone_while_neighbours_stay_bit_identical() {
     for id in ids {
         let out = engine.wait(id);
         match out.result {
-            Ok(rep) => {
+            engine::ForecastResult::Completed(rep) => {
                 assert_bit_identical(&rep.states, &reference, &out.label);
                 assert!(rep.run.clean(), "{}: neighbour saw recovery events", out.label);
                 clean += 1;
             }
-            Err(EngineFailure::Supervised(e)) => {
+            engine::ForecastResult::Failed(EngineFailure::Supervised(e)) => {
                 assert_eq!(e.step, 2, "poison (pre-increment step 1) fails the second step");
                 assert!(
                     matches!(e.kind, FailureKind::Blowup | FailureKind::Violation),
@@ -87,7 +87,10 @@ fn poisoned_tenant_fails_alone_while_neighbours_stay_bit_identical() {
                 );
                 failed.push(out.id);
             }
-            Err(e @ EngineFailure::Panic(_)) => panic!("{}: unexpected {e}", out.label),
+            engine::ForecastResult::Failed(e @ EngineFailure::Panic(_)) => {
+                panic!("{}: unexpected {e}", out.label)
+            }
+            other => panic!("{}: unexpected terminal '{}'", out.label, other.terminal()),
         }
     }
     assert_eq!(failed.len(), 1, "exactly one tenant is poisoned");

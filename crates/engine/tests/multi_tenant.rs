@@ -78,7 +78,7 @@ fn concurrent_tenants_are_bit_identical_and_share_one_compile() {
     for id in wave1 {
         let out = engine.wait(id);
         let label = out.label.clone();
-        let rep = out.result.unwrap_or_else(|e| panic!("{label} failed: {e}"));
+        let rep = out.result.expect(&label);
         assert_bit_identical(&rep.states, &reference, &label);
         assert!(rep.run.clean(), "{label}: clean run expected");
         wave1_misses += rep.cache_misses;
@@ -98,7 +98,7 @@ fn concurrent_tenants_are_bit_identical_and_share_one_compile() {
     for id in wave2 {
         let out = engine.wait(id);
         let label = out.label.clone();
-        let rep = out.result.unwrap_or_else(|e| panic!("{label} failed: {e}"));
+        let rep = out.result.expect(&label);
         assert_bit_identical(&rep.states, &reference, &label);
         assert_eq!(rep.cache_misses, 0, "{label}: request N+1 pays zero compilation");
         assert!(rep.cache_hits > 0, "{label}: steady state runs from the shared cache");

@@ -79,7 +79,7 @@ fn check_case(slots: usize, budgets: &[u64], rotate: usize) {
         assert_eq!(out.id, *id, "{label}: outcome routed to the wrong waiter");
         let rep = out
             .result
-            .unwrap_or_else(|e| panic!("{label}: request {id} failed: {e}"));
+            .expect(&format!("{label}: request {id}"));
         assert_eq!(rep.steps, budgets[i], "{label}: request {id} ran a wrong budget");
         assert!(rep.run.clean(), "{label}: request {id} needed recovery");
         assert_eq!(rep.cache_misses, 0, "{label}: request {id} recompiled a warm case");

@@ -23,6 +23,7 @@
 //! * kernel launch overhead, which fusion amortizes (Table III);
 //! * network alpha-beta costs for halo exchanges (Fig. 11).
 
+pub mod cancel;
 pub mod cpu_model;
 pub mod faults;
 pub mod gpu_model;
@@ -31,6 +32,7 @@ pub mod pool;
 pub mod spec;
 pub mod stream;
 
+pub use cancel::{CancelCause, CancelToken};
 pub use cpu_model::CpuModel;
 pub use faults::{FaultAction, FaultSpec, FireCtx};
 pub use gpu_model::GpuModel;

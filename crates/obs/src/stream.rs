@@ -48,6 +48,17 @@ pub enum RunEvent {
     RequestCompleted { steps: u64, run_seconds: f64 },
     /// The request failed for good (supervision exhausted or panic).
     RequestFailed { step: u64, detail: String },
+    /// The request was cancelled — explicitly (`cause: "requested"`) or
+    /// by deadline expiry (`"deadline"`) — while queued or running.
+    /// `steps_done` counts the steps that completed first (0: never
+    /// started).
+    RequestCancelled { cause: String, steps_done: u64 },
+    /// A queued request's deadline expired before a slot picked it up;
+    /// it was evicted without ever starting.
+    RequestEvicted { past_deadline_seconds: f64 },
+    /// The queue shed this request under overload pressure to admit
+    /// higher-priority work (`lane`: the shed request's lane).
+    RequestShed { lane: String },
     /// One driver step finished.
     StepCompleted { step: u64, wall_seconds: f64 },
     /// Per-step health verdict (aggregated over ranks: worst wind/CFL).
@@ -87,6 +98,9 @@ impl RunEvent {
             RunEvent::RequestStarted { .. } => "request_started",
             RunEvent::RequestCompleted { .. } => "request_completed",
             RunEvent::RequestFailed { .. } => "request_failed",
+            RunEvent::RequestCancelled { .. } => "request_cancelled",
+            RunEvent::RequestEvicted { .. } => "request_evicted",
+            RunEvent::RequestShed { .. } => "request_shed",
             RunEvent::StepCompleted { .. } => "step_completed",
             RunEvent::HealthSample { .. } => "health_sample",
             RunEvent::SupervisorRetry { .. } => "supervisor_retry",
@@ -137,6 +151,21 @@ impl Event {
             }
             RunEvent::RequestFailed { step, detail } => {
                 let _ = write!(s, ",\"step\":{step},\"detail\":{}", json_string(detail));
+            }
+            RunEvent::RequestCancelled { cause, steps_done } => {
+                let _ = write!(
+                    s,
+                    ",\"cause\":{},\"steps_done\":{steps_done}",
+                    json_string(cause)
+                );
+            }
+            RunEvent::RequestEvicted {
+                past_deadline_seconds,
+            } => {
+                let _ = write!(s, ",\"past_deadline_seconds\":{past_deadline_seconds}");
+            }
+            RunEvent::RequestShed { lane } => {
+                let _ = write!(s, ",\"lane\":{}", json_string(lane));
             }
             RunEvent::StepCompleted { step, wall_seconds } => {
                 let _ = write!(s, ",\"step\":{step},\"wall_seconds\":{wall_seconds}");
@@ -245,6 +274,14 @@ impl Event {
                 step: u("step")?,
                 detail: s("detail")?,
             },
+            "request_cancelled" => RunEvent::RequestCancelled {
+                cause: s("cause")?,
+                steps_done: u("steps_done")?,
+            },
+            "request_evicted" => RunEvent::RequestEvicted {
+                past_deadline_seconds: f("past_deadline_seconds")?,
+            },
+            "request_shed" => RunEvent::RequestShed { lane: s("lane")? },
             "step_completed" => RunEvent::StepCompleted {
                 step: u("step")?,
                 wall_seconds: f("wall_seconds")?,
@@ -829,6 +866,16 @@ mod tests {
             RunEvent::RequestFailed {
                 step: 3,
                 detail: "blowup in pt".into(),
+            },
+            RunEvent::RequestCancelled {
+                cause: "deadline".into(),
+                steps_done: 2,
+            },
+            RunEvent::RequestEvicted {
+                past_deadline_seconds: 0.75,
+            },
+            RunEvent::RequestShed {
+                lane: "batch".into(),
             },
             RunEvent::StepCompleted {
                 step: 2,

@@ -25,6 +25,7 @@ pub mod fault;
 pub mod supervisor;
 
 pub use fault::FaultPlan;
+pub use machine::cancel::{CancelCause, CancelToken};
 pub use supervisor::{
     FailureKind, RecoveryEvent, RunReport, SupervisedError, Supervisor, SupervisorPolicy,
 };

@@ -23,6 +23,7 @@
 
 use fv3core::checkpoint::{step_path, Checkpoint};
 use fv3core::DistributedDycore;
+use machine::cancel::{CancelCause, CancelToken};
 use machine::faults;
 use obs::{BlowupReport, HealthMonitor, MetricsRegistry};
 use std::fmt;
@@ -113,6 +114,17 @@ impl FailureKind {
     }
 }
 
+/// How one guarded step attempt ended.
+enum StepAttempt {
+    /// Stepped and passed health checks.
+    Completed,
+    /// The cancel token fired mid-step; the dycore bailed at a substep
+    /// boundary (its states are mid-step — not sampled, not trusted).
+    Cancelled,
+    /// Panicked, blew up, or violated a health threshold.
+    Failed(FailureKind, String, Option<BlowupReport>),
+}
+
 /// One recovery action the supervisor took.
 #[derive(Debug, Clone)]
 pub struct RecoveryEvent {
@@ -132,8 +144,17 @@ pub struct RecoveryEvent {
 /// Outcome of a completed supervised run.
 #[derive(Debug)]
 pub struct RunReport {
-    /// Steps completed (== requested steps on success).
+    /// Steps completed. Equals the requested budget unless the run was
+    /// cancelled ([`cancelled`](Self::cancelled) is then `Some` and this
+    /// counts the steps that finished before the token fired).
     pub steps: u64,
+    /// `Some` when the run stopped early because its [`CancelToken`]
+    /// fired — by explicit request or deadline expiry — rather than
+    /// completing its budget. The rest of the report is the partial
+    /// history up to the cancellation point. The dycore's states may be
+    /// mid-step when the token fired inside a step: discard or restore
+    /// the instance, never trust or park it.
+    pub cancelled: Option<CancelCause>,
     /// Total retries across the run.
     pub retries: u32,
     /// Rollbacks performed.
@@ -164,6 +185,11 @@ impl RunReport {
     /// True when the run needed no recovery at all.
     pub fn clean(&self) -> bool {
         self.retries == 0 && self.events.is_empty()
+    }
+
+    /// True when the run completed its full budget (was not cancelled).
+    pub fn completed(&self) -> bool {
+        self.cancelled.is_none()
     }
 }
 
@@ -211,6 +237,11 @@ pub struct Supervisor {
     /// verdicts, retries/rollbacks, checkpoint writes, and halo-stall
     /// events when installed. Off (zero-cost) by default.
     sink: obs::EventSink,
+    /// Cooperative cancellation ([`machine::cancel`]): polled before
+    /// every step attempt and before every rollback-retry, and installed
+    /// on the dycore so a fired token also aborts a step at the next
+    /// acoustic-substep boundary. Inert (can never fire) by default.
+    cancel: CancelToken,
 }
 
 impl Supervisor {
@@ -222,7 +253,19 @@ impl Supervisor {
             monitor: fv3::health::default_monitor(),
             metrics: MetricsRegistry::new(),
             sink: obs::EventSink::default(),
+            cancel: CancelToken::default(),
         }
+    }
+
+    /// Install a cooperative cancellation token. A fired token stops the
+    /// supervised run at the next step (or acoustic-substep) boundary
+    /// with `RunReport::cancelled = Some(cause)`, and is consulted
+    /// before every rollback-retry so a recovery cycle never blows
+    /// through a deadline the run already missed. The default token is
+    /// inert; a run under an inert or unfired token is bit-identical to
+    /// an unsupervised loop.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
     }
 
     /// Install a live telemetry sink: the supervision loop then streams
@@ -248,6 +291,12 @@ impl Supervisor {
     ) -> Result<RunReport, Box<SupervisedError>> {
         if self.policy.stall_deadline.is_some() {
             d.set_halo_stall_deadline(self.policy.stall_deadline);
+        }
+        if !self.cancel.is_inert() {
+            // Thread the token down into the step loop: a fired token
+            // then aborts mid-step at the next acoustic-substep boundary
+            // instead of waiting out the whole step.
+            d.set_cancel_token(self.cancel.clone());
         }
         let start = d.step_index();
         let goal = start + steps;
@@ -289,12 +338,22 @@ impl Supervisor {
         // Cumulative stall count already seen, for per-step stall deltas
         // on the event stream.
         let mut stalls_seen = stalls_before;
+        // Set when the token fires; the loop then stops at the current
+        // boundary and the report carries the partial history.
+        let mut cancelled: Option<CancelCause> = None;
 
         while d.step_index() < goal {
+            // Cancellation point 1: between steps, before committing to
+            // another attempt.
+            if let Some(cause) = self.cancel.cause() {
+                cancelled = Some(cause);
+                break;
+            }
             // The step being attempted (step() increments only on
-            // success; a panic leaves the counter unchanged).
+            // success; a panic or cancellation leaves the counter
+            // unchanged).
             let attempting = d.step_index() + 1;
-            let failure = self.try_step(d);
+            let attempt = self.try_step(d);
             // Per-step halo-stall delta onto the event stream (the step
             // itself may have succeeded despite soft stalls).
             let stalls_now = d.halo_stalls();
@@ -305,8 +364,17 @@ impl Supervisor {
                 });
                 stalls_seen = stalls_now;
             }
-            match failure {
-                None => {
+            match attempt {
+                StepAttempt::Cancelled => {
+                    // Cancellation point 2: the token fired mid-step and
+                    // the dycore bailed at an acoustic-substep boundary.
+                    // Its states are mid-step garbage; the report says so
+                    // (`cancelled` is Some) and the caller must discard
+                    // or restore the instance.
+                    cancelled = Some(self.cancel.cause().unwrap_or(CancelCause::Requested));
+                    break;
+                }
+                StepAttempt::Completed => {
                     retries_this_step = 0;
                     if checkpointing
                         && (d.step_index() - start).is_multiple_of(self.policy.checkpoint_every)
@@ -332,8 +400,27 @@ impl Supervisor {
                         basis = Some(ck);
                     }
                 }
-                Some((kind, detail, blowup)) => {
+                StepAttempt::Failed(kind, detail, blowup) => {
                     let failed_step = attempting;
+                    // Cancellation point 3: before spending budget on a
+                    // rollback-retry. A recovery cycle must not blow
+                    // through a deadline the run already missed, and an
+                    // explicit cancel should not be answered with more
+                    // retries. One last rollback (when a basis exists)
+                    // evicts the failed attempt from the step counter so
+                    // the partial report only counts trustworthy steps —
+                    // blowups are detected post-increment.
+                    if let Some(cause) = self.cancel.cause() {
+                        if let Some(ck) = &basis {
+                            let rewritten = d.restore(ck) as u64;
+                            restores += 1;
+                            ranks_restored += rewritten;
+                            self.metrics.counter_add("ranks_restored", &[], rewritten);
+                            self.metrics.counter_add("restore_count", &[], 1);
+                        }
+                        cancelled = Some(cause);
+                        break;
+                    }
                     let Some(ck) = &basis else {
                         return Err(Box::new(SupervisedError {
                             step: failed_step,
@@ -396,7 +483,8 @@ impl Supervisor {
             self.metrics.counter_add("halo_stalls", &[], stalls);
         }
         Ok(RunReport {
-            steps,
+            steps: d.step_index() - start,
+            cancelled,
             retries: retries_total,
             restores,
             ranks_restored,
@@ -410,17 +498,21 @@ impl Supervisor {
         })
     }
 
-    /// One guarded step: catch panics, then sample health. Returns the
-    /// failure, if any.
-    fn try_step(
-        &mut self,
-        d: &mut DistributedDycore,
-    ) -> Option<(FailureKind, String, Option<BlowupReport>)> {
+    /// One guarded step: catch panics, then sample health. Returns how
+    /// the attempt ended.
+    fn try_step(&mut self, d: &mut DistributedDycore) -> StepAttempt {
         let stepped = catch_unwind(AssertUnwindSafe(|| d.step()));
         if let Err(payload) = stepped {
             // `&*payload`: deref the box so the downcast sees the payload
             // itself, not `Box<dyn Any>` (which would never match).
-            return Some((FailureKind::Panic, panic_text(&*payload), None));
+            return StepAttempt::Failed(FailureKind::Panic, panic_text(&*payload), None);
+        }
+        if d.step_interrupted() {
+            // The token fired inside the step; the dycore bailed at an
+            // acoustic-substep boundary without advancing its counter.
+            // Skip health sampling: the states are mid-step and would
+            // misreport as a blowup or violation.
+            return StepAttempt::Cancelled;
         }
         let healthy = d.sample_health(&mut self.monitor, d.step_index());
         // Stream the per-step verdict (worst wind/CFL over ranks) while
@@ -435,7 +527,7 @@ impl Supervisor {
                 .health_sample(d.step_index(), healthy, max_wind, cfl);
         }
         if healthy {
-            return None;
+            return StepAttempt::Completed;
         }
         // The last ranks() samples belong to this step; find the worst.
         let ranks = d.partition.ranks();
@@ -453,7 +545,7 @@ impl Supervisor {
         } else {
             FailureKind::Violation
         };
-        Some((kind, detail, blowup))
+        StepAttempt::Failed(kind, detail, blowup)
     }
 
     fn io_error(
